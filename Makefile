@@ -1,0 +1,27 @@
+.PHONY: all build test bench bench-quick examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# full reproduction of the paper's tables and figures (~5 minutes)
+bench:
+	dune exec bench/main.exe
+
+# ~10 second smoke version
+bench-quick:
+	UINDEX_BENCH_QUICK=1 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/vehicle_registry.exe
+	dune exec examples/schema_evolution.exe
+	dune exec examples/index_shootout.exe
+	dune exec examples/division_analytics.exe
+
+clean:
+	dune clean

@@ -1,0 +1,797 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5), plus seven ablations (A1-A7), and wall-clock
+   micro-benchmarks (Bechamel).
+
+   Environment knobs:
+     UINDEX_BENCH_QUICK=1        small database, few repetitions (smoke run)
+     UINDEX_BENCH_REPS=n         repetitions per configuration (default 100,
+                                 the paper's count)
+     UINDEX_BENCH_OBJECTS=n      objects per experiment-2 database
+                                 (default 150,000, the paper's count)
+     UINDEX_BENCH_SKIP_TIMING=1  skip the Bechamel wall-clock section *)
+
+module Dg = Workload.Datagen
+module Ex = Workload.Experiment
+module Qg = Workload.Querygen
+module Tb = Workload.Table
+module Value = Objstore.Value
+module Query = Uindex.Query
+module Exec = Uindex.Exec
+module Index = Uindex.Index
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let quick = Sys.getenv_opt "UINDEX_BENCH_QUICK" = Some "1"
+let reps = env_int "UINDEX_BENCH_REPS" (if quick then 10 else 100)
+let n_objects = env_int "UINDEX_BENCH_OBJECTS" (if quick then 20_000 else 150_000)
+let seed = 20260706
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+(* --- Table 1 ----------------------------------------------------------------- *)
+
+let run_table1 () =
+  section "Table 1: visited nodes, 12,000-record vehicle database (m = 10)";
+  let n_vehicles = if quick then 2_000 else 12_000 in
+  let e = Dg.exp1 ~n_vehicles ~seed () in
+  Format.printf "color index: %a@.path index:  %a@.@." Index.pp_stats e.ch_color
+    Index.pp_stats e.path_age;
+  print_string (Ex.render_table1 (Ex.table1 e));
+  print_string
+    "(expected shapes, per the paper: subtree queries cheaper than\n\
+    \ full-class queries; each extra range value adds little; parallel\n\
+    \ well below forward on multi-class queries; partial-path cheaper\n\
+    \ than full-path)\n"
+
+(* --- Figures 5-8 -------------------------------------------------------------- *)
+
+let set_counts_of n_classes =
+  if n_classes >= 40 then [ 1; 10; 20; 30; 40 ] else [ 1; 2; 4; 6; 8 ]
+
+let key_configs () =
+  [
+    ("unique keys", n_objects);
+    ("100 different keys", 100);
+    ("1000 different keys", 1000);
+  ]
+
+(* datasets are shared by figures 5-8 and the ablations *)
+let datasets = Hashtbl.create 8
+
+let dataset ~n_classes ~distinct_keys =
+  let key = (n_classes, distinct_keys) in
+  match Hashtbl.find_opt datasets key with
+  | Some d -> d
+  | None ->
+      let cfg =
+        { (Dg.default_exp2 ~n_classes ~distinct_keys) with n_objects; seed }
+      in
+      let t0 = Unix.gettimeofday () in
+      let d = Dg.exp2 cfg in
+      Printf.eprintf "[build] %d classes / %d keys: %.1fs\n%!" n_classes
+        distinct_keys
+        (Unix.gettimeofday () -. t0);
+      Hashtbl.add datasets key d;
+      d
+
+(* set UINDEX_BENCH_CSV=<dir> to also emit one CSV per panel *)
+let csv_dir = Sys.getenv_opt "UINDEX_BENCH_CSV"
+
+let write_csv ~name series =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+      Printf.fprintf oc "sets,%s\n"
+        (String.concat "," (List.map fst series));
+      let xs =
+        List.concat_map (fun (_, pts) -> List.map fst pts) series
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun x ->
+          Printf.fprintf oc "%d" x;
+          List.iter
+            (fun (_, pts) ->
+              match List.assoc_opt x pts with
+              | Some y -> Printf.fprintf oc ",%.2f" y
+              | None -> Printf.fprintf oc ",")
+            series;
+          output_char oc '\n')
+        xs;
+      close_out oc
+
+let run_panel ?csv_name ~kind ~n_classes ~distinct_label ~distinct_keys () =
+  let d = dataset ~n_classes ~distinct_keys in
+  let series =
+    Ex.figure_series d ~kind ~set_counts:(set_counts_of n_classes) ~reps ~seed
+  in
+  (match csv_name with Some name -> write_csv ~name series | None -> ());
+  print_string
+    (Tb.render_series
+       ~title:(Printf.sprintf "%d sets, %s" n_classes distinct_label)
+       ~x_label:"sets" ~series)
+
+let run_figure ~fig ~kind ~title =
+  section
+    (Printf.sprintf "Figure %d: %s (avg page reads over %d reps)" fig title reps);
+  List.iter
+    (fun n_classes ->
+      List.iter
+        (fun (distinct_label, distinct_keys) ->
+          run_panel
+            ~csv_name:(Printf.sprintf "fig%d_%dsets_%dkeys" fig n_classes distinct_keys)
+            ~kind ~n_classes ~distinct_label ~distinct_keys ();
+          print_newline ())
+        (key_configs ()))
+    [ 40; 8 ]
+
+let run_figure8 () =
+  section
+    (Printf.sprintf
+       "Figure 8: narrow ranges and set clustering, 1000 different keys (avg \
+        page reads over %d reps)"
+       reps);
+  List.iter
+    (fun (frac, label) ->
+      subsection (Printf.sprintf "range = %s of keyspace" label);
+      List.iter
+        (fun n_classes ->
+          run_panel
+            ~csv_name:
+              (Printf.sprintf "fig8_range%s_%dsets" label n_classes
+              |> String.map (fun c -> if c = '%' || c = '.' then '_' else c))
+            ~kind:(Ex.Range frac) ~n_classes
+            ~distinct_label:"1000 different keys" ~distinct_keys:1000 ();
+          print_newline ())
+        [ 40; 8 ])
+    [ (0.005, "0.5%"); (0.002, "0.2%") ];
+  subsection "near vs non-near queried sets, range = 10%, 1000 keys";
+  List.iter
+    (fun n_classes ->
+      run_panel
+        ~csv_name:(Printf.sprintf "fig8_near_%dsets" n_classes)
+        ~kind:(Ex.Range 0.10) ~n_classes
+        ~distinct_label:"1000 different keys" ~distinct_keys:1000 ();
+      print_newline ())
+    [ 40; 8 ]
+
+(* --- Ablation A1: front compression ------------------------------------------- *)
+
+let run_ablation_compression () =
+  section "Ablation A1: front compression on/off (U-index storage & reads)";
+  let d = dataset ~n_classes:40 ~distinct_keys:1000 in
+  let build ~front_coding =
+    let pager = Storage.Pager.create ~page_size:d.cfg.page_size () in
+    let config =
+      { (Btree.default_config ~page_size:d.cfg.page_size) with front_coding }
+    in
+    let idx =
+      Index.create_class_hierarchy ~config pager d.enc ~root:d.root ~attr:"k"
+    in
+    Array.iter
+      (fun (k, cls, oid) ->
+        Index.insert_entry idx ~value:(Value.Int k) [ (cls, oid) ])
+      d.entries;
+    idx
+  in
+  let measure idx =
+    let tree = Index.tree idx in
+    let pages = Storage.Pager.page_count (Btree.pager tree) in
+    let rng = Workload.Rng.create seed in
+    let total = ref 0 in
+    for _ = 1 to reps do
+      let sets = Qg.pick_sets rng Qg.Near ~classes:d.classes ~k:10 in
+      let lo, hi = Qg.range_bounds rng ~distinct_keys:1000 ~frac:0.02 in
+      let q =
+        Query.class_hierarchy
+          ~value:(V_range (Some (Value.Int lo), Some (Value.Int hi)))
+          (Qg.union_of_classes sets)
+      in
+      let o = Exec.parallel idx q in
+      total := !total + o.page_reads
+    done;
+    (pages, float_of_int !total /. float_of_int reps)
+  in
+  let on_idx = build ~front_coding:true in
+  let on_pages, on_reads = measure on_idx in
+  let off_pages, off_reads = measure (build ~front_coding:false) in
+  print_string
+    (Tb.render
+       ~header:
+         [ "front coding"; "index pages"; "avg reads (2% range, 10 near sets)" ]
+       ~rows:
+         [
+           [ "on"; string_of_int on_pages; Tb.fmt_f on_reads ];
+           [ "off"; string_of_int off_pages; Tb.fmt_f off_reads ];
+         ]);
+  let cs = Btree.compression_stats (Index.tree on_idx) in
+  Printf.printf
+    "key bytes: %d raw -> %d stored (%.1f%%); avg compressed prefix %.1f B\n"
+    cs.Btree.raw_key_bytes cs.Btree.stored_key_bytes
+    (100.0
+    *. float_of_int cs.Btree.stored_key_bytes
+    /. float_of_int (max 1 cs.Btree.raw_key_bytes))
+    cs.Btree.avg_prefix_len
+
+(* --- Ablation A2: four-way shootout -------------------------------------------- *)
+
+let run_shootout () =
+  section
+    "Ablation A2: U-index vs CH-tree vs H-tree vs CG-tree (class-hierarchy \
+     case, 40 classes, 1000 keys)";
+  let d = dataset ~n_classes:40 ~distinct_keys:1000 in
+  let entries =
+    Array.to_list d.entries
+    |> List.map (fun (k, cls, oid) -> (Value.Int k, cls, oid))
+  in
+  let page_size = d.cfg.page_size in
+  let ch = Baselines.Ch_tree.create (Storage.Pager.create ~page_size ()) in
+  Baselines.Ch_tree.build ch entries;
+  let ht =
+    Baselines.H_tree.create
+      (Storage.Pager.create ~page_size ())
+      ~classes:(Array.to_list d.classes)
+  in
+  Baselines.H_tree.build ht entries;
+  let run_one ~sets ~lo ~hi ~exact structure =
+    match structure with
+    | `U ->
+        let value =
+          if exact then Query.V_eq (Value.Int lo)
+          else Query.V_range (Some (Value.Int lo), Some (Value.Int hi))
+        in
+        let q = Query.class_hierarchy ~value (Qg.union_of_classes sets) in
+        (Exec.parallel d.uindex q).page_reads
+    | `Ch ->
+        let s = Storage.Pager.stats (Baselines.Ch_tree.pager ch) in
+        Storage.Stats.reset s;
+        if exact then
+          ignore (Baselines.Ch_tree.exact ch ~value:(Value.Int lo) ~sets)
+        else
+          ignore
+            (Baselines.Ch_tree.range ch ~lo:(Value.Int lo) ~hi:(Value.Int hi)
+               ~sets);
+        s.reads
+    | `H ->
+        let s = Storage.Pager.stats (Baselines.H_tree.pager ht) in
+        Storage.Stats.reset s;
+        if exact then
+          ignore (Baselines.H_tree.exact ht ~value:(Value.Int lo) ~sets)
+        else
+          ignore
+            (Baselines.H_tree.range ht ~lo:(Value.Int lo) ~hi:(Value.Int hi)
+               ~sets);
+        s.reads
+    | `Cg ->
+        let kind = if exact then Ex.Exact else Ex.Range 0.0 in
+        fst (Ex.cg_page_reads d ~kind ~lo ~hi ~sets)
+  in
+  let avg ~exact ~frac ~k structure =
+    let rng = Workload.Rng.create (seed + Hashtbl.hash structure) in
+    let total = ref 0 in
+    for _ = 1 to reps do
+      let sets = Qg.pick_sets rng Qg.Near ~classes:d.classes ~k in
+      let lo, hi =
+        if exact then
+          let v = Qg.exact_value rng ~distinct_keys:1000 in
+          (v, v)
+        else Qg.range_bounds rng ~distinct_keys:1000 ~frac
+      in
+      total := !total + run_one ~sets ~lo ~hi ~exact structure
+    done;
+    float_of_int !total /. float_of_int reps
+  in
+  let structures =
+    [ ("U-index", `U); ("CH-tree", `Ch); ("H-tree", `H); ("CG-tree", `Cg) ]
+  in
+  List.iter
+    (fun (label, exact, frac) ->
+      let series =
+        List.map
+          (fun (name, s) ->
+            ( name,
+              List.map (fun k -> (k, avg ~exact ~frac ~k s)) [ 1; 10; 20; 40 ] ))
+          structures
+      in
+      print_string (Tb.render_series ~title:label ~x_label:"sets" ~series);
+      print_newline ())
+    [
+      ("exact match", true, 0.0);
+      ("range 10%", false, 0.10);
+      ("range 2%", false, 0.02);
+    ]
+
+(* --- Ablation A3: update cost (Section 4.2) ------------------------------------ *)
+
+let run_update_cost () =
+  section
+    "Ablation A3: update cost — page writes+reads per operation (Section 4.2)";
+  let d = dataset ~n_classes:40 ~distinct_keys:1000 in
+  let entries =
+    Array.to_list d.entries
+    |> List.map (fun (k, cls, oid) -> (Value.Int k, cls, oid))
+  in
+  let page_size = d.cfg.page_size in
+  (* fresh copies so the shared dataset stays untouched *)
+  let upager = Storage.Pager.create ~page_size () in
+  let u = Index.create_class_hierarchy upager d.enc ~root:d.root ~attr:"k" in
+  Array.iter
+    (fun (k, cls, oid) -> Index.insert_entry u ~value:(Value.Int k) [ (cls, oid) ])
+    d.entries;
+  let ch = Baselines.Ch_tree.create (Storage.Pager.create ~page_size ()) in
+  Baselines.Ch_tree.build ch entries;
+  let ht =
+    Baselines.H_tree.create
+      (Storage.Pager.create ~page_size ())
+      ~classes:(Array.to_list d.classes)
+  in
+  Baselines.H_tree.build ht entries;
+  let cg = Baselines.Cg_tree.create (Storage.Pager.create ~page_size ()) in
+  Baselines.Cg_tree.build cg entries;
+  let ops = if quick then 200 else 2000 in
+  let measure pager f =
+    let s = Storage.Pager.stats pager in
+    Storage.Stats.reset s;
+    let rng = Workload.Rng.create 99 in
+    for i = 0 to ops - 1 do
+      let k = Workload.Rng.int rng 1000
+      and cls = Workload.Rng.pick rng d.classes in
+      f i k cls
+    done;
+    ( float_of_int s.Storage.Stats.reads /. float_of_int ops,
+      float_of_int s.Storage.Stats.writes /. float_of_int ops )
+  in
+  let base = 1_000_000 in
+  let rows =
+    [
+      ( "U-index",
+        measure upager (fun i k cls ->
+            Index.insert_entry u ~value:(Value.Int k) [ (cls, base + i) ]) );
+      ( "CH-tree",
+        measure
+          (Baselines.Ch_tree.pager ch)
+          (fun i k cls ->
+            Baselines.Ch_tree.insert ch ~value:(Value.Int k) ~cls (base + i)) );
+      ( "H-tree",
+        measure (Baselines.H_tree.pager ht) (fun i k cls ->
+            Baselines.H_tree.insert ht ~value:(Value.Int k) ~cls (base + i)) );
+      ( "CG-tree",
+        measure (Baselines.Cg_tree.pager cg) (fun i k cls ->
+            Baselines.Cg_tree.insert cg ~value:(Value.Int k) ~cls (base + i)) );
+    ]
+  in
+  print_string
+    (Tb.render
+       ~header:[ "structure"; "reads/insert"; "writes/insert" ]
+       ~rows:
+         (List.map
+            (fun (n, (r, w)) -> [ n; Tb.fmt_f r; Tb.fmt_f w ])
+            rows));
+  (* the mid-path update: presidents switch companies; batched B-tree
+     maintenance keeps it to a handful of page writes (Section 3.5) *)
+  subsection "mid-path update: a company replaces its president (path index)";
+  let pd = Dg.path_db ~n_vehicles:(if quick then 2_000 else 12_000) ~seed:7 () in
+  let store = pd.e1.store in
+  let b = pd.e1.ext.b in
+  let db = Uindex.Db.create store in
+  Uindex.Db.add_index db pd.e1.path_age;
+  let companies = Objstore.Store.extent store ~deep:true b.company in
+  let employees = Array.of_list (Objstore.Store.extent store ~deep:true b.employee) in
+  let stats = Storage.Pager.stats (Btree.pager (Index.tree pd.e1.path_age)) in
+  let rng = Workload.Rng.create 5 in
+  let n = min 200 (List.length companies) in
+  Storage.Stats.reset stats;
+  List.iteri
+    (fun i c ->
+      if i < n then
+        Uindex.Db.set_attr db c "president"
+          (Value.Ref (Workload.Rng.pick rng employees)))
+    companies;
+  Printf.printf
+    "%d president replacements: %.1f page reads, %.1f page writes per switch\n"
+    n
+    (float_of_int stats.Storage.Stats.reads /. float_of_int n)
+    (float_of_int stats.Storage.Stats.writes /. float_of_int n);
+  (* end-of-path inserts: the U-index writes one leaf; NIX also maintains
+     its auxiliary structures (Section 4.4's update expectation) *)
+  subsection "end-of-path object insertion: U-index path vs NIX";
+  let enc = b.enc in
+  let code c = Oodb_schema.Encoding.code enc c in
+  ignore code;
+  let rng = Workload.Rng.create 31 in
+  let employees' = employees in
+  let sample_chain i =
+    let e = Workload.Rng.pick rng employees' in
+    let c = List.nth companies (Workload.Rng.int rng (List.length companies)) in
+    let age =
+      match Objstore.Store.attr store e "age" with
+      | Value.Int a -> a
+      | _ -> 40
+    in
+    (Value.Int age, [ (Objstore.Store.class_of store e, e);
+                      (Objstore.Store.class_of store c, c);
+                      (b.vehicle, 2_000_000 + i) ])
+  in
+  let chains = List.init (if quick then 100 else 1000) sample_chain in
+  let u_stats = Storage.Pager.stats (Btree.pager (Index.tree pd.e1.path_age)) in
+  Storage.Stats.reset u_stats;
+  List.iter
+    (fun (v, chain) -> Index.insert_entry pd.e1.path_age ~value:v chain)
+    chains;
+  let u_w = float_of_int u_stats.Storage.Stats.writes /. float_of_int (List.length chains) in
+  let nix_stats = Storage.Pager.stats (Baselines.Nix.pager pd.nix) in
+  Storage.Stats.reset nix_stats;
+  List.iter
+    (fun (v, chain) -> Baselines.Nix.insert_chain pd.nix ~value:v chain)
+    chains;
+  let nix_w =
+    float_of_int nix_stats.Storage.Stats.writes /. float_of_int (List.length chains)
+  in
+  Printf.printf "U-index: %.1f page writes/insert; NIX: %.1f (primary + auxiliary)\n"
+    u_w nix_w
+
+(* --- Ablation A4: storage cost (Section 4.2) ------------------------------------ *)
+
+let run_storage_cost () =
+  section "Ablation A4: storage cost — pages per structure (Section 4.2)";
+  let d = dataset ~n_classes:40 ~distinct_keys:1000 in
+  let entries =
+    Array.to_list d.entries
+    |> List.map (fun (k, cls, oid) -> (Value.Int k, cls, oid))
+  in
+  let page_size = d.cfg.page_size in
+  let u_pages ~front_coding =
+    let pager = Storage.Pager.create ~page_size () in
+    let config =
+      { (Btree.default_config ~page_size) with front_coding }
+    in
+    let idx =
+      Index.create_class_hierarchy ~config pager d.enc ~root:d.root ~attr:"k"
+    in
+    Array.iter
+      (fun (k, cls, oid) ->
+        Index.insert_entry idx ~value:(Value.Int k) [ (cls, oid) ])
+      d.entries;
+    Storage.Pager.page_count pager
+  in
+  let ch_pager = Storage.Pager.create ~page_size () in
+  let ch = Baselines.Ch_tree.create ch_pager in
+  Baselines.Ch_tree.build ch entries;
+  let ht_pager = Storage.Pager.create ~page_size () in
+  let ht = Baselines.H_tree.create ht_pager ~classes:(Array.to_list d.classes) in
+  Baselines.H_tree.build ht entries;
+  let cg_pager = Storage.Pager.create ~page_size () in
+  let cg = Baselines.Cg_tree.create cg_pager in
+  Baselines.Cg_tree.build cg entries;
+  print_string
+    (Tb.render
+       ~header:[ "structure"; "pages (1 KiB)" ]
+       ~rows:
+         [
+           [ "U-index (front-coded)"; string_of_int (u_pages ~front_coding:true) ];
+           [ "U-index (uncompressed)"; string_of_int (u_pages ~front_coding:false) ];
+           [ "CH-tree"; string_of_int (Storage.Pager.page_count ch_pager) ];
+           [ "H-tree"; string_of_int (Storage.Pager.page_count ht_pager) ];
+           [ "CG-tree"; string_of_int (Storage.Pager.page_count cg_pager) ];
+         ])
+
+(* --- Ablation A5: path indexes vs NIX (Section 4.4) ------------------------------ *)
+
+let run_path_comparison () =
+  section
+    "Ablation A5: path queries — U-index vs NIX vs Bertino-Kim indexes \
+     (Section 4.4)";
+  let pd = Dg.path_db ~n_vehicles:(if quick then 3_000 else 12_000) ~seed:13 () in
+  let b = pd.e1.ext.b in
+  let u = pd.e1.path_age in
+  let reps' = if quick then 20 else 100 in
+  let counted pager f =
+    let s = Storage.Pager.stats pager in
+    Storage.Stats.reset s;
+    let n = f () in
+    (s.Storage.Stats.reads, n)
+  in
+  let avg f =
+    let rng = Workload.Rng.create 21 in
+    let total = ref 0 and results = ref 0 in
+    for _ = 1 to reps' do
+      let age = 20 + Workload.Rng.int rng 51 in
+      let reads, n = f age in
+      total := !total + reads;
+      results := !results + n
+    done;
+    ( float_of_int !total /. float_of_int reps',
+      float_of_int !results /. float_of_int reps' )
+  in
+  let vehicle_sets =
+    Workload.Paper_schema.vehicle_leaf_classes pd.e1.ext |> Array.to_list
+  in
+  let japanese_sets =
+    Oodb_schema.Schema.subtree b.schema b.japanese_auto_company
+  in
+  let u_query age comps =
+    let o = Exec.parallel u (Query.path ~value:(V_eq (Value.Int age)) comps) in
+    (o.Exec.page_reads, List.length (Exec.head_oids o))
+  in
+  let full_path age =
+    u_query age
+      [
+        Query.comp (P_subtree b.employee);
+        Query.comp (P_subtree b.company);
+        Query.comp (P_subtree b.vehicle);
+      ]
+  in
+  (* 1. exact head retrieval: "vehicles whose president is AGE" *)
+  let nix_exact age =
+    counted (Baselines.Nix.pager pd.nix) (fun () ->
+        Baselines.Nix.exact pd.nix ~value:(Value.Int age) ~sets:vehicle_sets
+        |> List.length)
+  in
+  let bk what age =
+    let idx = match what with `Path -> pd.bk_path | `Nested -> pd.bk_nested in
+    counted (Baselines.Path_index.pager idx) (fun () ->
+        List.length (Baselines.Path_index.exact idx ~value:(Value.Int age)))
+  in
+  (* 2. combined query: vehicles of Japanese auto companies with that
+     president age — NIX joins its per-class lists through the auxiliary
+     parent structures *)
+  let u_combined age =
+    u_query age
+      [
+        Query.comp (P_subtree b.employee);
+        Query.comp (P_subtree b.japanese_auto_company);
+        Query.comp (P_subtree b.vehicle);
+      ]
+  in
+  let nix_combined age =
+    counted (Baselines.Nix.pager pd.nix) (fun () ->
+        Baselines.Nix.exact pd.nix ~value:(Value.Int age) ~sets:japanese_sets
+        |> List.concat_map (fun (cls, c) -> Baselines.Nix.parents pd.nix ~cls c)
+        |> List.sort_uniq compare |> List.length)
+  in
+  let bk_combined age =
+    (* the BK path index scans its path records and filters *)
+    let japanese c = List.mem c japanese_sets in
+    counted (Baselines.Path_index.pager pd.bk_path) (fun () ->
+        Baselines.Path_index.exact_restricted pd.bk_path ~value:(Value.Int age)
+          ~pred:(fun inner ->
+            match inner with
+            | c :: _ -> japanese (Objstore.Store.class_of pd.e1.store c)
+            | [] -> false)
+        |> List.length)
+  in
+  let row label cells =
+    label :: List.map (fun (r, _) -> Tb.fmt_f r) cells
+    @ [ Tb.fmt_f (snd (List.hd cells)) ]
+  in
+  let cells_of f = avg f in
+  print_string
+    (Tb.render
+       ~header:[ "query"; "U-index"; "NIX"; "BK path"; "BK nested"; "avg results" ]
+       ~rows:
+         [
+           row "exact head retrieval"
+             [
+               cells_of full_path;
+               cells_of nix_exact;
+               cells_of (bk `Path);
+               cells_of (bk `Nested);
+             ];
+           (let u = cells_of u_combined
+            and nx = cells_of nix_combined
+            and bp = cells_of bk_combined in
+            [
+              "combined (Japanese makers)";
+              Tb.fmt_f (fst u);
+              Tb.fmt_f (fst nx);
+              Tb.fmt_f (fst bp);
+              "-";
+              Tb.fmt_f (snd u);
+            ]);
+         ]);
+  Printf.printf
+    "(NIX answers the combined query through its auxiliary parent trees;\n\
+    \ the nested index cannot answer it at all — Section 4.4)\n"
+
+(* --- Ablation A6: LRU buffer pool ------------------------------------------------ *)
+
+let run_buffer_pool () =
+  section
+    "Ablation A6: steady-state U-index behaviour under a shared LRU buffer \
+     pool (2% ranges, 10 near sets)";
+  let d = dataset ~n_classes:40 ~distinct_keys:1000 in
+  let tree = Index.tree d.uindex in
+  let total_pages = Storage.Pager.page_count (Btree.pager tree) in
+  let run_queries read =
+    let rng = Workload.Rng.create 17 in
+    for _ = 1 to if quick then 50 else 400 do
+      let sets = Qg.pick_sets rng Qg.Near ~classes:d.classes ~k:10 in
+      let lo, hi = Qg.range_bounds rng ~distinct_keys:1000 ~frac:0.02 in
+      let q =
+        Query.class_hierarchy
+          ~value:(V_range (Some (Value.Int lo), Some (Value.Int hi)))
+          (Qg.union_of_classes sets)
+      in
+      let plan =
+        Uindex.Plan.compile ~enc:(Index.encoding d.uindex)
+          ~ty:(Index.attr_ty d.uindex) q
+      in
+      let sc = Btree.Scanner.create tree ~read in
+      let rec go = function
+        | Some (e : Btree.entry) -> (
+            match Uindex.Plan.classify plan e.Btree.key with
+            | Uindex.Plan.Accept { next = Uindex.Plan.Seek k; _ }
+            | Uindex.Plan.Reject (Uindex.Plan.Seek k) ->
+                go (Btree.Scanner.seek sc k)
+            | Uindex.Plan.Accept { next = Uindex.Plan.Advance; _ }
+            | Uindex.Plan.Reject Uindex.Plan.Advance ->
+                go (Btree.Scanner.next sc)
+            | Uindex.Plan.Accept { next = Uindex.Plan.Stop; _ }
+            | Uindex.Plan.Reject Uindex.Plan.Stop ->
+                ())
+        | None -> ()
+      in
+      match Uindex.Plan.lower plan with
+      | Some lo -> go (Btree.Scanner.seek sc lo)
+      | None -> ()
+    done
+  in
+  let rows =
+    List.map
+      (fun capacity ->
+        let pool = Storage.Buffer_pool.create ~capacity (Btree.pager tree) in
+        run_queries (Storage.Buffer_pool.read pool);
+        [
+          string_of_int capacity;
+          Printf.sprintf "%.1f%%" (100.0 *. Storage.Buffer_pool.hit_rate pool);
+          string_of_int (Storage.Buffer_pool.misses pool);
+        ])
+      [ 64; 256; 1024 ]
+  in
+  Printf.printf "index occupies %d pages\n" total_pages;
+  print_string
+    (Tb.render ~header:[ "pool pages"; "hit rate"; "pager reads" ] ~rows)
+
+(* --- Ablation A7: entry layout (Section 3.2.1) ----------------------------------- *)
+
+let run_entry_layout () =
+  section
+    "Ablation A7: single-value vs grouped (OID-list) entries (Section 3.2.1)";
+  List.iter
+    (fun distinct_keys ->
+      let d = dataset ~n_classes:40 ~distinct_keys in
+      let g =
+        Uindex.Grouped.create
+          (Storage.Pager.create ~page_size:d.cfg.page_size ())
+          d.enc ~root:d.root ~attr:"k"
+      in
+      Array.iter
+        (fun (k, cls, oid) ->
+          Uindex.Grouped.insert g ~value:(Value.Int k) ~cls oid)
+        d.entries;
+      let single_pages =
+        Storage.Pager.page_count (Btree.pager (Index.tree d.uindex))
+      in
+      let grouped_pages =
+        Storage.Pager.page_count (Btree.pager (Uindex.Grouped.tree g))
+      in
+      let avg kind =
+        let rng = Workload.Rng.create 77 in
+        let ts = ref 0 and tg = ref 0 in
+        for _ = 1 to reps do
+          let sets = Qg.pick_sets rng Qg.Near ~classes:d.classes ~k:10 in
+          let value =
+            match kind with
+            | `Exact ->
+                Query.V_eq
+                  (Value.Int (Qg.exact_value rng ~distinct_keys))
+            | `Range ->
+                let lo, hi = Qg.range_bounds rng ~distinct_keys ~frac:0.02 in
+                Query.V_range (Some (Value.Int lo), Some (Value.Int hi))
+          in
+          let q = Query.class_hierarchy ~value (Qg.union_of_classes sets) in
+          ts := !ts + (Exec.parallel d.uindex q).Exec.page_reads;
+          tg := !tg + snd (Uindex.Grouped.query g q)
+        done;
+        ( float_of_int !ts /. float_of_int reps,
+          float_of_int !tg /. float_of_int reps )
+      in
+      let es, eg = avg `Exact and rs, rg = avg `Range in
+      Printf.printf "\n%d distinct keys:\n" distinct_keys;
+      print_string
+        (Tb.render
+           ~header:[ "layout"; "pages"; "exact (10 near sets)"; "2% range" ]
+           ~rows:
+             [
+               [ "single-value"; string_of_int single_pages; Tb.fmt_f es; Tb.fmt_f rs ];
+               [ "grouped"; string_of_int grouped_pages; Tb.fmt_f eg; Tb.fmt_f rg ];
+             ]))
+    [ 100; 1000 ]
+
+(* --- wall-clock micro-benchmarks (Bechamel) ------------------------------------ *)
+
+let run_timing () =
+  section "Wall-clock micro-benchmarks (Bechamel, ns per query)";
+  let open Bechamel in
+  let open Toolkit in
+  let d = dataset ~n_classes:40 ~distinct_keys:1000 in
+  let rng = Workload.Rng.create seed in
+  let sets10 = Qg.pick_sets rng Qg.Near ~classes:d.classes ~k:10 in
+  let mk_exact v sets =
+    Query.class_hierarchy ~value:(V_eq (Value.Int v)) (Qg.union_of_classes sets)
+  in
+  let mk_range lo hi sets =
+    Query.class_hierarchy
+      ~value:(V_range (Some (Value.Int lo), Some (Value.Int hi)))
+      (Qg.union_of_classes sets)
+  in
+  let tests =
+    [
+      Test.make ~name:"fig5.u-exact"
+        (Staged.stage (fun () ->
+             ignore (Exec.parallel d.uindex (mk_exact 500 sets10))));
+      Test.make ~name:"fig5.cg-exact"
+        (Staged.stage (fun () ->
+             ignore
+               (Baselines.Cg_tree.exact d.cg ~value:(Value.Int 500) ~sets:sets10)));
+      Test.make ~name:"fig6.u-range-10pc"
+        (Staged.stage (fun () ->
+             ignore (Exec.parallel d.uindex (mk_range 100 199 sets10))));
+      Test.make ~name:"fig6.cg-range-10pc"
+        (Staged.stage (fun () ->
+             ignore
+               (Baselines.Cg_tree.range d.cg ~lo:(Value.Int 100)
+                  ~hi:(Value.Int 199) ~sets:sets10)));
+      Test.make ~name:"fig7.u-range-2pc"
+        (Staged.stage (fun () ->
+             ignore (Exec.parallel d.uindex (mk_range 100 119 sets10))));
+      Test.make ~name:"fig8.u-range-0.5pc"
+        (Staged.stage (fun () ->
+             ignore (Exec.parallel d.uindex (mk_range 100 104 sets10))));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt results name with
+      | Some r -> (
+          match Analyze.OLS.estimates r with
+          | Some [ est ] -> Printf.printf "%-32s %14.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+      | None -> ())
+    (List.sort compare names)
+
+let () =
+  Printf.printf "U-index reproduction benchmarks (reps=%d, objects=%d%s)\n" reps
+    n_objects
+    (if quick then ", QUICK" else "");
+  run_table1 ();
+  run_figure ~fig:5 ~kind:Ex.Exact ~title:"exact match queries";
+  run_figure ~fig:6 ~kind:(Ex.Range 0.10) ~title:"range queries, 10% of keyspace";
+  run_figure ~fig:7 ~kind:(Ex.Range 0.02) ~title:"range queries, 2% of keyspace";
+  run_figure8 ();
+  run_ablation_compression ();
+  run_shootout ();
+  run_update_cost ();
+  run_storage_cost ();
+  run_path_comparison ();
+  run_buffer_pool ();
+  run_entry_layout ();
+  if Sys.getenv_opt "UINDEX_BENCH_SKIP_TIMING" <> Some "1" then run_timing ()

@@ -1,0 +1,271 @@
+(* uindex-cli: explore the U-index from the command line.
+
+   Subcommands:
+     codes        print the encoded paper schema
+     demo         build the Example 1 database and run the Section 3.3 queries
+     query        run one query against a freshly generated vehicle database
+     bench-table1 regenerate Table 1 (small/full size)
+     shootout     page-read comparison of U-index vs CG-tree on one config *)
+
+module Ps = Workload.Paper_schema
+module Dg = Workload.Datagen
+module Ex = Workload.Experiment
+module Qg = Workload.Querygen
+module Value = Objstore.Value
+module Query = Uindex.Query
+module Index = Uindex.Index
+module Exec = Uindex.Exec
+module Encoding = Oodb_schema.Encoding
+module Schema = Oodb_schema.Schema
+
+open Cmdliner
+
+(* --- codes -------------------------------------------------------------- *)
+
+let codes_cmd =
+  let run extended =
+    if extended then
+      let e = Ps.extended () in
+      Format.printf "%a" Encoding.pp e.b.enc
+    else
+      let b = Ps.base () in
+      Format.printf "%a" Encoding.pp b.enc
+  in
+  let extended =
+    Arg.(value & flag & info [ "extended" ] ~doc:"Include the Section 5 classes.")
+  in
+  Cmd.v
+    (Cmd.info "codes" ~doc:"Print the encoded Fig. 1 schema (the COD relation).")
+    Term.(const run $ extended)
+
+(* --- demo --------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    let b = Ps.base () in
+    let ex = Ps.example1 b in
+    let ch =
+      Index.create_class_hierarchy (Storage.Pager.create ()) b.enc
+        ~root:b.vehicle ~attr:"color"
+    in
+    Index.build ch ex.store;
+    let path =
+      Index.create_path (Storage.Pager.create ()) b.enc ~head:b.vehicle
+        ~refs:[ "manufactured_by"; "president" ]
+        ~attr:"age"
+    in
+    Index.build path ex.store;
+    let show label idx q =
+      let o = Exec.parallel idx q in
+      Printf.printf "%-46s -> %s (%d pages)\n" label
+        (String.concat ","
+           (List.map string_of_int (Exec.head_oids o)))
+        o.Exec.page_reads
+    in
+    Printf.printf "Example 1 database: %d objects\n\n" (Objstore.Store.count ex.store);
+    show "red vehicles" ch
+      (Query.class_hierarchy ~value:(V_eq (Str "Red")) (P_subtree b.vehicle));
+    show "white autos or trucks" ch
+      (Query.class_hierarchy ~value:(V_eq (Str "White"))
+         (P_union [ P_subtree b.automobile; P_subtree b.truck ]));
+    show "vehicles, president aged 50" path
+      (Query.path ~value:(V_eq (Int 50))
+         [
+           Query.comp (P_subtree b.employee);
+           Query.comp (P_subtree b.company);
+           Query.comp (P_subtree b.vehicle);
+         ]);
+    show "vehicles of Japanese auto companies" path
+      (Query.path ~value:V_any
+         [
+           Query.comp (P_subtree b.employee);
+           Query.comp (P_subtree b.japanese_auto_company);
+           Query.comp (P_subtree b.vehicle);
+         ])
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Example 1 database and the Section 3.3 queries.")
+    Term.(const run $ const ())
+
+(* --- query --------------------------------------------------------------- *)
+
+let query_cmd =
+  let run n_vehicles seed cls color algo =
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    let b = e.ext.b in
+    let schema = b.schema in
+    let cls_id =
+      match Schema.find schema cls with
+      | Some id -> id
+      | None ->
+          Printf.eprintf "unknown class %S; try Vehicle, Automobile, Bus...\n" cls;
+          exit 1
+    in
+    let value =
+      match color with
+      | None -> Query.V_any
+      | Some c -> Query.V_eq (Value.Str c)
+    in
+    let q = Query.class_hierarchy ~value (P_subtree cls_id) in
+    let algo = if algo = "forward" then `Forward else `Parallel in
+    let o = Exec.run ~algo e.ch_color q in
+    Printf.printf "%d results, %d page reads, %d entries scanned\n"
+      (List.length o.Exec.bindings) o.Exec.page_reads o.Exec.entries_scanned
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let cls =
+    Arg.(value & opt string "Bus" & info [ "class" ] ~doc:"Class subtree to query.")
+  in
+  let color =
+    Arg.(value & opt (some string) None & info [ "color" ] ~doc:"Exact color.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("parallel", "parallel"); ("forward", "forward") ]) "parallel"
+      & info [ "algo" ] ~doc:"Retrieval algorithm.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run one class-hierarchy query on a generated vehicle database.")
+    Term.(const run $ n $ seed $ cls $ color $ algo)
+
+(* --- run: textual queries --------------------------------------------------- *)
+
+let run_cmd =
+  let run n_vehicles seed qstr algo explain =
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    let b = e.ext.b in
+    match Uindex.Qparse.parse b.schema qstr with
+    | exception Uindex.Qparse.Parse_error m ->
+        Printf.eprintf "parse error %s\n" m;
+        exit 1
+    | q ->
+        (* route to the index matching the query's arity *)
+        let idx =
+          if List.length q.Uindex.Query.comps = 1 then e.ch_color else e.path_age
+        in
+        let algo = if algo = "forward" then `Forward else `Parallel in
+        let o = Exec.run ~algo idx q in
+        Printf.printf "query  %s\nindex  %s\n"
+          (Uindex.Qparse.to_syntax b.schema q)
+          (match Index.kind idx with
+          | Index.Class_hierarchy _ -> "class-hierarchy on Vehicle.color"
+          | Index.Path _ -> "path on Vehicle.manufactured_by.president.age");
+        Printf.printf "%d results, %d page reads, %d entries scanned\n"
+          (List.length o.Exec.bindings)
+          o.Exec.page_reads o.Exec.entries_scanned;
+        List.iteri
+          (fun i bnd ->
+            if i < 10 then
+              Printf.printf "  %s\n"
+                (String.concat " / "
+                   (List.map
+                      (fun (cls, oid) ->
+                        Printf.sprintf "%s@%d" (Schema.name b.schema cls) oid)
+                      bnd.Exec.comps)))
+          o.Exec.bindings;
+        if List.length o.Exec.bindings > 10 then Printf.printf "  ...\n";
+        if explain then begin
+          match Exec.explain idx q with
+          | Some visits ->
+              print_endline "\nsearch tree (the paper's Fig. 3):";
+              Format.printf "%a" Exec.pp_explain visits
+          | None ->
+              print_endline
+                "\n(no static search tree: the value predicate is a \
+                 contiguous range; candidates are generated lazily)"
+        end
+  in
+  let n = Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let qstr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Query in the paper's syntax, e.g. '(Red, Bus*)' or '([50-60], \
+             Employee*, Company*, Vehicle*)'.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("parallel", "parallel"); ("forward", "forward") ]) "parallel"
+      & info [ "algo" ] ~doc:"Retrieval algorithm.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the search tree the parallel algorithm builds (Fig. 3).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a textual query (Section 3.4 syntax).")
+    Term.(const run $ n $ seed $ qstr $ algo $ explain)
+
+(* --- bench-table1 ---------------------------------------------------------- *)
+
+let table1_cmd =
+  let run n_vehicles seed =
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    print_string (Ex.render_table1 (Ex.table1 e))
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 20260706 & info [ "seed" ] ~doc:"Seed.") in
+  Cmd.v
+    (Cmd.info "bench-table1" ~doc:"Regenerate Table 1 (visited nodes per query).")
+    Term.(const run $ n $ seed)
+
+(* --- shootout ---------------------------------------------------------------- *)
+
+let shootout_cmd =
+  let run n_objects n_classes distinct_keys frac reps =
+    let cfg =
+      { (Dg.default_exp2 ~n_classes ~distinct_keys) with n_objects }
+    in
+    let d = Dg.exp2 cfg in
+    let kind = if frac > 0.0 then Ex.Range frac else Ex.Exact in
+    let series =
+      Ex.figure_series d ~kind ~set_counts:(if n_classes >= 40 then [ 1; 10; 20; 30; 40 ] else [ 1; 2; 4; 6; 8 ])
+        ~reps ~seed:42
+    in
+    print_string
+      (Workload.Table.render_series
+         ~title:
+           (Printf.sprintf "%s, %d classes, %d keys, %d objects"
+              (if frac > 0.0 then Printf.sprintf "range %.1f%%" (100.0 *. frac)
+               else "exact match")
+              n_classes distinct_keys n_objects)
+         ~x_label:"sets" ~series)
+  in
+  let n =
+    Arg.(value & opt int 150_000 & info [ "objects" ] ~doc:"Objects to generate.")
+  in
+  let classes =
+    Arg.(value & opt int 40 & info [ "classes" ] ~doc:"Hierarchy size (8 or 40).")
+  in
+  let keys =
+    Arg.(value & opt int 1000 & info [ "keys" ] ~doc:"Distinct key values.")
+  in
+  let frac =
+    Arg.(
+      value & opt float 0.0
+      & info [ "range" ] ~doc:"Range fraction of key space (0 = exact match).")
+  in
+  let reps = Arg.(value & opt int 100 & info [ "reps" ] ~doc:"Repetitions.") in
+  Cmd.v
+    (Cmd.info "shootout" ~doc:"U-index vs CG-tree page reads (Figures 5-8).")
+    Term.(const run $ n $ classes $ keys $ frac $ reps)
+
+let () =
+  let doc = "A uniform indexing scheme for object-oriented databases (U-index)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "uindex-cli" ~doc)
+          [ codes_cmd; demo_cmd; query_cmd; run_cmd; table1_cmd; shootout_cmd ]))

@@ -1,0 +1,72 @@
+module Bu = Storage.Bytes_util
+
+type directory = (int * int list) list
+
+let encode_entries buf entries =
+  Buffer.add_string buf (Bu.encode_u32 (List.length entries));
+  List.iter
+    (fun (id, oids) ->
+      Buffer.add_string buf (Bu.encode_u32 id);
+      Buffer.add_string buf (Bu.encode_u32 (List.length oids));
+      List.iter (fun o -> Buffer.add_string buf (Bu.encode_u32 o)) oids)
+    entries
+
+let decode_entries s =
+  let n = Bu.decode_u32 s 0 in
+  let pos = ref 4 in
+  List.init n (fun _ ->
+      let id = Bu.decode_u32 s !pos in
+      let count = Bu.decode_u32 s (!pos + 4) in
+      pos := !pos + 8;
+      let oids =
+        List.init count (fun i -> Bu.decode_u32 s (!pos + (4 * i)))
+      in
+      pos := !pos + (4 * count);
+      (id, oids))
+
+let encode_directory d =
+  let buf = Buffer.create 64 in
+  encode_entries buf d;
+  Buffer.contents buf
+
+let decode_directory = decode_entries
+
+let directory_add d cls oid =
+  let rec go = function
+    | (c, oids) :: rest when c = cls -> (c, oids @ [ oid ]) :: rest
+    | e :: rest -> e :: go rest
+    | [] -> [ (cls, [ oid ]) ]
+  in
+  go d
+
+let directory_remove d cls oid =
+  let rec remove_one = function
+    | o :: rest when o = oid -> rest
+    | o :: rest -> o :: remove_one rest
+    | [] -> []
+  in
+  List.filter_map
+    (fun (c, oids) ->
+      if c <> cls then Some (c, oids)
+      else
+        match remove_one oids with [] -> None | oids -> Some (c, oids))
+    d
+
+type paths = (int * int list) list
+
+let encode_paths p =
+  let buf = Buffer.create 64 in
+  encode_entries buf p;
+  Buffer.contents buf
+
+let decode_paths = decode_entries
+
+let encode_oids oids =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (Bu.encode_u32 (List.length oids));
+  List.iter (fun o -> Buffer.add_string buf (Bu.encode_u32 o)) oids;
+  Buffer.contents buf
+
+let decode_oids s =
+  let n = Bu.decode_u32 s 0 in
+  List.init n (fun i -> Bu.decode_u32 s (4 + (4 * i)))

@@ -1,0 +1,26 @@
+(** Serialization of the directory records the baseline index structures
+    keep in their leaves (CH-trees, NIX: per-class OID lists; path
+    indexes: path instantiations). *)
+
+type directory = (int * int list) list
+(** [(class_or_set_id, oids)] pairs; order is preserved. *)
+
+val encode_directory : directory -> string
+val decode_directory : string -> directory
+
+val directory_add : directory -> int -> int -> directory
+(** [directory_add d cls oid] appends [oid] to the class's list (creating
+    it), keeping one entry per class. *)
+
+val directory_remove : directory -> int -> int -> directory
+(** Removes one occurrence; drops the class entry when its list empties. *)
+
+type paths = (int * int list) list
+(** Path records: [(head_oid, inner_oids)] — the instantiations of a path
+    index entry. *)
+
+val encode_paths : paths -> string
+val decode_paths : string -> paths
+
+val encode_oids : int list -> string
+val decode_oids : string -> int list

@@ -1,0 +1,73 @@
+module Value = Objstore.Value
+
+type t = { tree : Btree.t }
+
+let create ?config pager = { tree = Btree.create ?config pager }
+let pager t = Btree.pager t.tree
+let tree t = t.tree
+
+let update_directory t venc f =
+  let dir =
+    match Btree.find t.tree venc with
+    | Some blob -> Blob.decode_directory blob
+    | None -> []
+  in
+  match f dir with
+  | [] -> ignore (Btree.delete t.tree venc)
+  | dir -> Btree.insert t.tree ~key:venc ~value:(Blob.encode_directory dir)
+
+let insert t ~value ~cls oid =
+  update_directory t (Value.encode value) (fun d -> Blob.directory_add d cls oid)
+
+let remove t ~value ~cls oid =
+  update_directory t (Value.encode value) (fun d ->
+      Blob.directory_remove d cls oid)
+
+let build t entries =
+  let tagged =
+    List.map (fun (v, cls, oid) -> (Value.encode v, cls, oid)) entries
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let flush venc dir =
+    if dir <> [] then
+      Btree.insert t.tree ~key:venc ~value:(Blob.encode_directory (List.rev dir))
+  in
+  let rec go cur dir = function
+    | (venc, cls, oid) :: rest when venc = cur ->
+        go cur (Blob.directory_add dir cls oid) rest
+    | (venc, cls, oid) :: rest ->
+        flush cur dir;
+        go venc (Blob.directory_add [] cls oid) rest
+    | [] -> flush cur dir
+  in
+  match tagged with
+  | [] -> ()
+  | (venc, cls, oid) :: rest -> go venc (Blob.directory_add [] cls oid) rest
+
+let filter_sets sets dir =
+  List.concat_map
+    (fun (cls, oids) ->
+      if List.mem cls sets then List.map (fun o -> (cls, o)) oids else [])
+    dir
+
+let exact t ~value ~sets =
+  match Btree.find t.tree (Value.encode value) with
+  | None -> []
+  | Some blob -> filter_sets sets (Blob.decode_directory blob)
+
+let range t ~lo ~hi ~sets =
+  let lo = Value.encode lo
+  and hi = Storage.Bytes_util.succ_prefix (Value.encode hi) in
+  let out = ref [] in
+  Btree.scan_range t.tree ~read:(Btree.raw_read t.tree) ~lo ~hi (fun e ->
+      (* key grouping: every record in the range is read in full *)
+      let dir = Blob.decode_directory (e.value ()) in
+      out := filter_sets sets dir :: !out);
+  List.concat (List.rev !out)
+
+let entry_count t =
+  let n = ref 0 in
+  Btree.iter t.tree (fun e ->
+      List.iter (fun (_, oids) -> n := !n + List.length oids)
+        (Blob.decode_directory (e.value ())));
+  !n

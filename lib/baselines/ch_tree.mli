@@ -1,0 +1,34 @@
+(** CH-tree: the original class-hierarchy index of Kim et al. [7, 9].
+
+    One B+-tree on the attribute value; each leaf record carries a {e set
+    directory} mapping every class of the indexed hierarchy that has
+    objects with this value to its OID list.  Pure {e key grouping}: an
+    exact-match query reads one record, but a range query must read every
+    record in the range — including the OIDs of classes it did not ask
+    for — which is the weakness the U-index and CG-trees address. *)
+
+type t
+
+val create : ?config:Btree.config -> Storage.Pager.t -> t
+
+val pager : t -> Storage.Pager.t
+val tree : t -> Btree.t
+
+val insert : t -> value:Objstore.Value.t -> cls:int -> int -> unit
+val remove : t -> value:Objstore.Value.t -> cls:int -> int -> unit
+
+val build : t -> (Objstore.Value.t * int * int) list -> unit
+(** Bulk load: one directory write per distinct value. *)
+
+val exact : t -> value:Objstore.Value.t -> sets:int list -> (int * int) list
+(** [(class, oid)] pairs of the requested sets having the value. *)
+
+val range :
+  t ->
+  lo:Objstore.Value.t ->
+  hi:Objstore.Value.t ->
+  sets:int list ->
+  (int * int) list
+(** Inclusive value range. *)
+
+val entry_count : t -> int

@@ -1,0 +1,53 @@
+module Bu = Storage.Bytes_util
+module Value = Objstore.Value
+
+type t = {
+  pager : Storage.Pager.t;
+  trees : (int, Btree.t) Hashtbl.t;
+}
+
+let create ?config pager ~classes =
+  let trees = Hashtbl.create (List.length classes) in
+  List.iter (fun c -> Hashtbl.replace trees c (Btree.create ?config pager)) classes;
+  { pager; trees }
+
+let pager t = t.pager
+
+let tree_exn t cls =
+  match Hashtbl.find_opt t.trees cls with
+  | Some tr -> tr
+  | None -> invalid_arg "H_tree: class not registered"
+
+(* per-class entries: key = value ++ 0x01 ++ oid, empty payload *)
+let entry_key value oid = Value.encode value ^ "\x01" ^ Bu.encode_u32 oid
+
+let insert t ~value ~cls oid =
+  Btree.insert (tree_exn t cls) ~key:(entry_key value oid) ~value:""
+
+let remove t ~value ~cls oid =
+  ignore (Btree.delete (tree_exn t cls) (entry_key value oid))
+
+let build t entries =
+  List.iter (fun (v, cls, oid) -> insert t ~value:v ~cls oid) entries
+
+let scan_tree tr ~lo ~hi cls out =
+  Btree.scan_range tr ~read:(Btree.raw_read tr) ~lo ~hi (fun e ->
+      let oid = Bu.decode_u32 e.key (String.length e.key - 4) in
+      out := (cls, oid) :: !out)
+
+let exact t ~value ~sets =
+  let venc = Value.encode value in
+  let lo = venc ^ "\x01" and hi = venc ^ "\x02" in
+  let out = ref [] in
+  List.iter (fun cls -> scan_tree (tree_exn t cls) ~lo ~hi cls out) sets;
+  List.rev !out
+
+let range t ~lo ~hi ~sets =
+  let lo = Value.encode lo ^ "\x01"
+  and hi = Value.encode hi ^ "\x02" in
+  let out = ref [] in
+  List.iter (fun cls -> scan_tree (tree_exn t cls) ~lo ~hi cls out) sets;
+  List.rev !out
+
+let entry_count t =
+  Hashtbl.fold (fun _ tr acc -> acc + Btree.length tr) t.trees 0

@@ -1,0 +1,35 @@
+(** H-tree: the class-divided index of Lu, Low and Ooi [8].
+
+    One B+-tree per class, nested along the class hierarchy by link
+    pointers between the trees.  Pure {e set grouping}: each class's
+    entries are clustered by key in its own tree, so range queries on a
+    single class are optimal, but retrieval cost grows directly with the
+    number of classes queried (one sub-search per class).
+
+    Simplification: the original's inter-tree nesting links (which let a
+    parent-tree search position the subtree searches) are not modelled —
+    each queried class costs a full descent of its own tree.  The paper's
+    qualitative characterisation — best for range queries, cost directly
+    proportional to the number of sets — is exactly what this reproduces,
+    and is all the experiments exercise. *)
+
+type t
+
+val create :
+  ?config:Btree.config -> Storage.Pager.t -> classes:int list -> t
+(** One tree per class id. *)
+
+val insert : t -> value:Objstore.Value.t -> cls:int -> int -> unit
+val remove : t -> value:Objstore.Value.t -> cls:int -> int -> unit
+val build : t -> (Objstore.Value.t * int * int) list -> unit
+
+val exact : t -> value:Objstore.Value.t -> sets:int list -> (int * int) list
+val range :
+  t ->
+  lo:Objstore.Value.t ->
+  hi:Objstore.Value.t ->
+  sets:int list ->
+  (int * int) list
+
+val pager : t -> Storage.Pager.t
+val entry_count : t -> int

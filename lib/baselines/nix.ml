@@ -1,0 +1,110 @@
+module Bu = Storage.Bytes_util
+module Value = Objstore.Value
+
+type t = {
+  pager : Storage.Pager.t;
+  primary : Btree.t;  (* encoded value -> directory (class -> oid multiset) *)
+  aux : (int, Btree.t) Hashtbl.t;  (* per class: oid -> parent oid list *)
+}
+
+let create ?config pager ~classes =
+  let aux = Hashtbl.create (List.length classes) in
+  List.iter (fun c -> Hashtbl.replace aux c (Btree.create ?config pager)) classes;
+  { pager; primary = Btree.create ?config pager; aux }
+
+let aux_exn t cls =
+  match Hashtbl.find_opt t.aux cls with
+  | Some tr -> tr
+  | None -> invalid_arg "Nix: class not registered"
+
+let update_primary t venc f =
+  let dir =
+    match Btree.find t.primary venc with
+    | Some blob -> Blob.decode_directory blob
+    | None -> []
+  in
+  match f dir with
+  | [] -> ignore (Btree.delete t.primary venc)
+  | dir -> Btree.insert t.primary ~key:venc ~value:(Blob.encode_directory dir)
+
+let aux_update t cls oid f =
+  let tr = aux_exn t cls in
+  let key = Bu.encode_u32 oid in
+  let parents =
+    match Btree.find tr key with
+    | Some blob -> Blob.decode_oids blob
+    | None -> []
+  in
+  match f parents with
+  | [] -> ignore (Btree.delete tr key)
+  | parents -> Btree.insert tr ~key ~value:(Blob.encode_oids parents)
+
+let insert_chain t ~value chain =
+  let venc = Value.encode value in
+  update_primary t venc (fun dir ->
+      List.fold_left (fun dir (cls, oid) -> Blob.directory_add dir cls oid) dir chain);
+  (* parent links: the component after [x] in target-first order is the
+     object referencing [x] *)
+  let rec link = function
+    | (cls, oid) :: ((_, parent) :: _ as rest) ->
+        aux_update t cls oid (fun ps -> ps @ [ parent ]);
+        link rest
+    | [ _ ] | [] -> ()
+  in
+  link chain
+
+let remove_chain t ~value chain =
+  let venc = Value.encode value in
+  update_primary t venc (fun dir ->
+      List.fold_left
+        (fun dir (cls, oid) -> Blob.directory_remove dir cls oid)
+        dir chain);
+  let rec unlink = function
+    | (cls, oid) :: ((_, parent) :: _ as rest) ->
+        aux_update t cls oid (fun ps ->
+            let rec remove_one = function
+              | p :: r when p = parent -> r
+              | p :: r -> p :: remove_one r
+              | [] -> []
+            in
+            remove_one ps);
+        unlink rest
+    | [ _ ] | [] -> ()
+  in
+  unlink chain
+
+let filter_sets sets dir =
+  List.concat_map
+    (fun (cls, oids) ->
+      if List.mem cls sets then
+        List.sort_uniq compare oids |> List.map (fun o -> (cls, o))
+      else [])
+    dir
+
+let exact t ~value ~sets =
+  match Btree.find t.primary (Value.encode value) with
+  | None -> []
+  | Some blob -> filter_sets sets (Blob.decode_directory blob)
+
+let range t ~lo ~hi ~sets =
+  let lo = Value.encode lo
+  and hi = Storage.Bytes_util.succ_prefix (Value.encode hi) in
+  let out = ref [] in
+  Btree.scan_range t.primary ~read:(Btree.raw_read t.primary) ~lo ~hi (fun e ->
+      out := filter_sets sets (Blob.decode_directory (e.value ())) :: !out);
+  List.concat (List.rev !out)
+
+let parents t ~cls oid =
+  match Btree.find (aux_exn t cls) (Bu.encode_u32 oid) with
+  | Some blob -> Blob.decode_oids blob
+  | None -> []
+
+let pager t = t.pager
+
+let entry_count t =
+  let n = ref 0 in
+  Btree.iter t.primary (fun e ->
+      List.iter
+        (fun (_, oids) -> n := !n + List.length oids)
+        (Blob.decode_directory (e.value ())));
+  !n

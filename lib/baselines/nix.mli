@@ -1,0 +1,47 @@
+(** NIX — the Nested-Inherited Index of Bertino and Foscoli [3].
+
+    Like the U-index, NIX answers combined class-hierarchy / path
+    queries: for an attribute value it indexes {e all} object instances
+    of every class (and subclass) along the path.  Structurally it is a
+    {e key-grouping} scheme: the primary B+-tree maps a value to a leaf
+    directory with one entry per class holding the relevant OIDs; a set of
+    auxiliary per-class B+-trees maps each object to its parents along the
+    path (the objects referencing it), which is what accelerates updates.
+
+    The paper compares against NIX qualitatively (Section 4.4): single
+    class queries comparable; dispersed subclasses favour NIX, complete
+    subtrees favour the U-index; in-path OID restrictions favour the
+    U-index (NIX must intersect directory lists); end-of-path updates
+    favour the U-index (NIX maintains the auxiliary structures). *)
+
+type t
+
+val create : ?config:Btree.config -> Storage.Pager.t -> classes:int list -> t
+(** [classes] are all classes that may appear along the path (including
+    subclasses); each gets an auxiliary tree. *)
+
+val insert_chain : t -> value:Objstore.Value.t -> (int * int) list -> unit
+(** [(class, oid)] components of one path instantiation, target-first
+    (same orientation as {!Uindex.Ukey.entry_key}); the head of the path
+    is the last element.  Records each object under the value and its
+    parent links in the auxiliary trees. *)
+
+val remove_chain : t -> value:Objstore.Value.t -> (int * int) list -> unit
+
+val exact : t -> value:Objstore.Value.t -> sets:int list -> (int * int) list
+(** [(class, oid)] of objects of the requested classes associated with
+    the value. *)
+
+val range :
+  t ->
+  lo:Objstore.Value.t ->
+  hi:Objstore.Value.t ->
+  sets:int list ->
+  (int * int) list
+
+val parents : t -> cls:int -> int -> int list
+(** Auxiliary lookup: the objects referencing this one along the path
+    (used by the update algorithms). *)
+
+val pager : t -> Storage.Pager.t
+val entry_count : t -> int

@@ -1,0 +1,94 @@
+module Value = Objstore.Value
+
+type variant = Nested | Path
+
+type t = { tree : Btree.t; variant : variant }
+
+let pager t = Btree.pager t.tree
+
+let create ?config pager variant = { tree = Btree.create ?config pager; variant }
+let variant t = t.variant
+
+let decode_record t blob =
+  match t.variant with
+  | Nested -> List.map (fun o -> (o, [])) (Blob.decode_oids blob)
+  | Path -> Blob.decode_paths blob
+
+let encode_record t paths =
+  match t.variant with
+  | Nested -> Blob.encode_oids (List.map fst paths)
+  | Path -> Blob.encode_paths paths
+
+let update t venc f =
+  let paths =
+    match Btree.find t.tree venc with
+    | Some blob -> decode_record t blob
+    | None -> []
+  in
+  match f paths with
+  | [] -> ignore (Btree.delete t.tree venc)
+  | paths -> Btree.insert t.tree ~key:venc ~value:(encode_record t paths)
+
+let insert t ~value ~head ~inner =
+  update t (Value.encode value) (fun paths -> paths @ [ (head, inner) ])
+
+let remove t ~value ~head ~inner =
+  let inner = match t.variant with Nested -> [] | Path -> inner in
+  update t (Value.encode value) (fun paths ->
+      let rec remove_one = function
+        | p :: rest when p = (head, inner) -> rest
+        | p :: rest -> p :: remove_one rest
+        | [] -> []
+      in
+      remove_one paths)
+
+let build t entries =
+  let tagged =
+    List.map (fun (v, h, i) -> (Value.encode v, h, i)) entries
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let flush venc paths =
+    if paths <> [] then
+      Btree.insert t.tree ~key:venc ~value:(encode_record t (List.rev paths))
+  in
+  let rec go cur paths = function
+    | (venc, h, i) :: rest when venc = cur -> go cur ((h, i) :: paths) rest
+    | (venc, h, i) :: rest ->
+        flush cur paths;
+        go venc [ (h, i) ] rest
+    | [] -> flush cur paths
+  in
+  match tagged with
+  | [] -> ()
+  | (venc, h, i) :: rest -> go venc [ (h, i) ] rest
+
+let exact t ~value =
+  match Btree.find t.tree (Value.encode value) with
+  | None -> []
+  | Some blob -> List.map fst (decode_record t blob) |> List.sort_uniq compare
+
+let range t ~lo ~hi =
+  let lo = Value.encode lo
+  and hi = Storage.Bytes_util.succ_prefix (Value.encode hi) in
+  let out = ref [] in
+  Btree.scan_range t.tree ~read:(Btree.raw_read t.tree) ~lo ~hi (fun e ->
+      out := List.map fst (decode_record t (e.value ())) :: !out);
+  List.concat !out |> List.sort_uniq compare
+
+let exact_paths t ~value =
+  if t.variant <> Path then
+    invalid_arg "Path_index.exact_paths: nested variant has no path records";
+  match Btree.find t.tree (Value.encode value) with
+  | None -> []
+  | Some blob -> decode_record t blob
+
+let exact_restricted t ~value ~pred =
+  exact_paths t ~value
+  |> List.filter_map (fun (head, inner) -> if pred inner then Some head else None)
+  |> List.sort_uniq compare
+
+let entry_count t =
+  let n = ref 0 in
+  Btree.iter t.tree (fun e ->
+      n := !n + List.length (decode_record t (e.value ())));
+  !n

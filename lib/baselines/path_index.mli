@@ -1,0 +1,45 @@
+(** The nested index and path index of Kim and Bertino [1].
+
+    Both are B+-trees on the value of the nested attribute at the end of
+    a path [A.B.C.attr]:
+
+    - the {e nested index} leaf record holds only the OIDs of the head
+      class [A] (access to the top class only);
+    - the {e path index} leaf record additionally points to path records
+      listing the instantiations [(head, [b; c])], so predicates on
+      in-path classes can be answered — at the cost of reading extra
+      (potentially many) index pages, which is the weakness Section 2
+      notes and the U-index's clustered path components avoid. *)
+
+type variant = Nested | Path
+
+type t
+
+val create : ?config:Btree.config -> Storage.Pager.t -> variant -> t
+val variant : t -> variant
+
+val insert :
+  t -> value:Objstore.Value.t -> head:int -> inner:int list -> unit
+(** [inner] lists the in-path objects (e.g. [[company; employee]]); the
+    nested variant ignores it. *)
+
+val remove :
+  t -> value:Objstore.Value.t -> head:int -> inner:int list -> unit
+
+val build : t -> (Objstore.Value.t * int * int list) list -> unit
+
+val exact : t -> value:Objstore.Value.t -> int list
+(** Head OIDs with this value. *)
+
+val range : t -> lo:Objstore.Value.t -> hi:Objstore.Value.t -> int list
+
+val exact_paths : t -> value:Objstore.Value.t -> (int * int list) list
+(** Path-variant only: the full instantiations [(head, inner)]. *)
+
+val exact_restricted :
+  t -> value:Objstore.Value.t -> pred:(int list -> bool) -> int list
+(** Path-variant only: heads whose inner objects satisfy [pred] — the
+    in-path-predicate queries path indexes exist for. *)
+
+val pager : t -> Storage.Pager.t
+val entry_count : t -> int

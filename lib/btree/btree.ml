@@ -1,0 +1,1102 @@
+module Node = Node
+module Bu = Storage.Bytes_util
+module Pager = Storage.Pager
+
+type config = {
+  max_entries : int option;
+  front_coding : bool;
+  overflow_threshold : int;
+}
+
+let default_config ~page_size =
+  {
+    max_entries = None;
+    front_coding = true;
+    overflow_threshold = (page_size - Node.header_size) / 4;
+  }
+
+type t = {
+  pager : Pager.t;
+  cfg : config;
+  mutable root : int;
+  mutable height : int;
+}
+
+let pager t = t.pager
+let config t = t.cfg
+let height t = t.height
+
+let page_size t = Pager.page_size t.pager
+
+let store t id node =
+  Pager.write t.pager id
+    (Node.encode ~front_coding:t.cfg.front_coding ~page_size:(page_size t)
+       node)
+
+let create ?config pager =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> default_config ~page_size:(Pager.page_size pager)
+  in
+  let t = { pager; cfg; root = -1; height = 1 } in
+  let root = Pager.alloc pager in
+  t.root <- root;
+  store t root (Node.Leaf { lkeys = [||]; lvals = [||]; next = -1 });
+  t
+
+let root t = t.root
+
+let attach ?config pager ~root =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> default_config ~page_size:(Pager.page_size pager)
+  in
+  let t = { pager; cfg; root; height = 1 } in
+  (* recover the height from the leftmost path *)
+  let rec descend id h =
+    match Node.decode (Pager.read pager id) with
+    | Node.Leaf _ -> h
+    | Node.Internal n -> descend n.children.(0) (h + 1)
+  in
+  t.height <- descend root 1;
+  t
+
+let raw_read t id = Pager.read t.pager id
+let cached_read t = Pager.Cache.create t.pager
+
+let load read id = Node.decode (read id)
+
+(* Quiet page access for introspection: reads pages without perturbing the
+   experiment's counters. *)
+let quiet_read t id =
+  let s = t.pager |> Pager.stats in
+  let before = Storage.Stats.snapshot s in
+  let b = Pager.read t.pager id in
+  s.reads <- before.reads;
+  b
+
+(* --- overflow value chains ------------------------------------------- *)
+
+let chunk_capacity t = page_size t - 6
+
+let write_overflow t data =
+  let cap = chunk_capacity t in
+  let len = String.length data in
+  let nchunks = max 1 ((len + cap - 1) / cap) in
+  let next = ref 0xFFFFFFFF in
+  (* write chunks back to front so each knows its successor *)
+  for i = nchunks - 1 downto 0 do
+    let off = i * cap in
+    let clen = min cap (len - off) in
+    let page = Bytes.make (page_size t) '\000' in
+    Bu.put_u32 page 0 !next;
+    Bu.put_u16 page 4 clen;
+    Bytes.blit_string data off page 6 clen;
+    let id = Pager.alloc t.pager in
+    Pager.write t.pager id page;
+    next := id
+  done;
+  !next
+
+let read_overflow read head length =
+  let buf = Buffer.create length in
+  let rec go id =
+    if id <> 0xFFFFFFFF && id >= 0 then begin
+      let b = read id in
+      let next = Bu.get_u32 b 0 in
+      let clen = Bu.get_u16 b 4 in
+      Buffer.add_subbytes buf b 6 clen;
+      go next
+    end
+  in
+  go head;
+  Buffer.contents buf
+
+let free_overflow t head =
+  let rec go id =
+    if id <> 0xFFFFFFFF && id >= 0 then begin
+      let b = quiet_read t id in
+      let next = Bu.get_u32 b 0 in
+      Pager.free t.pager id;
+      go next
+    end
+  in
+  go head
+
+let make_value t v =
+  if String.length v > t.cfg.overflow_threshold then
+    Node.Overflow { head = write_overflow t v; length = String.length v }
+  else Node.Inline v
+
+let resolve_value read = function
+  | Node.Inline s -> s
+  | Node.Overflow { head; length } -> read_overflow read head length
+
+let free_value t = function
+  | Node.Inline _ -> ()
+  | Node.Overflow { head; _ } -> free_overflow t head
+
+(* --- array helpers ---------------------------------------------------- *)
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+(* first index with a.(i) >= key, or length *)
+let lower_bound a key =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare a.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* first index with a.(i) > key, or length *)
+let upper_bound a key =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare a.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* child to descend into for [key] *)
+let child_index (n : Node.internal) key = upper_bound n.ikeys key
+
+(* --- capacity --------------------------------------------------------- *)
+
+let nkeys = function
+  | Node.Leaf l -> Array.length l.lkeys
+  | Node.Internal n -> Array.length n.ikeys
+
+let fits t node =
+  Node.size ~front_coding:t.cfg.front_coding node <= page_size t
+  && match t.cfg.max_entries with None -> true | Some m -> nkeys node <= m
+
+let min_entries t =
+  match t.cfg.max_entries with Some m -> max 1 (m / 2) | None -> 1
+
+let underfull t node =
+  let size_low =
+    Node.size ~front_coding:t.cfg.front_coding node < page_size t / 3
+  in
+  match t.cfg.max_entries with
+  | Some _ -> nkeys node < min_entries t
+  | None -> size_low
+
+(* can give one entry away without itself underflowing *)
+let can_spare t node =
+  let n = nkeys node in
+  n >= 2
+  &&
+  match t.cfg.max_entries with
+  | Some _ -> n - 1 >= min_entries t
+  | None ->
+      (* approximate: dropping the largest entry keeps us above the floor *)
+      Node.size ~front_coding:t.cfg.front_coding node * (n - 1) / n
+      >= page_size t / 3
+
+(* --- split ------------------------------------------------------------ *)
+
+(* Entry sizes as serialized in the original node; splitting at [s]
+   uncompresses entry [s] (it becomes the first of the right node). *)
+let entry_sizes ~front_coding node =
+  let sizes keys payload =
+    let n = Array.length keys in
+    let e = Array.make n 0 in
+    let p = Array.make n 0 in
+    let prev = ref "" in
+    for i = 0 to n - 1 do
+      let pl =
+        if front_coding then min (Bu.common_prefix_len !prev keys.(i)) 0xFFFF
+        else 0
+      in
+      p.(i) <- pl;
+      e.(i) <- 4 + (String.length keys.(i) - pl) + payload i;
+      prev := keys.(i)
+    done;
+    (e, p)
+  in
+  match node with
+  | Node.Leaf { lkeys; lvals; _ } ->
+      sizes lkeys (fun i -> Node.inline_size lvals.(i))
+  | Node.Internal { ikeys; _ } -> sizes ikeys (fun _ -> 4)
+
+let choose_split t node =
+  let fc = t.cfg.front_coding in
+  let e, p = entry_sizes ~front_coding:fc node in
+  let n = Array.length e in
+  assert (n >= 2);
+  let total = Array.fold_left ( + ) 0 e in
+  let best = ref 1 and best_cost = ref max_int in
+  let left = ref e.(0) in
+  for s = 1 to n - 1 do
+    let l = Node.header_size + !left in
+    let r = Node.header_size + (total - !left) + p.(s) in
+    let cost = max l r in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best := s
+    end;
+    left := !left + e.(s)
+  done;
+  !best
+
+(* --- insert ------------------------------------------------------------ *)
+
+(* Returns [Some (separator, new_right_page)] when the child split. *)
+let rec insert_at t id key value =
+  match load (raw_read t) id with
+  | Node.Leaf l ->
+      let i = lower_bound l.lkeys key in
+      let l =
+        if i < Array.length l.lkeys && l.lkeys.(i) = key then begin
+          free_value t l.lvals.(i);
+          let lvals = Array.copy l.lvals in
+          lvals.(i) <- value;
+          { l with lvals }
+        end
+        else
+          {
+            l with
+            lkeys = array_insert l.lkeys i key;
+            lvals = array_insert l.lvals i value;
+          }
+      in
+      if fits t (Leaf l) then begin
+        store t id (Leaf l);
+        None
+      end
+      else begin
+        let s = choose_split t (Leaf l) in
+        let right_id = Pager.alloc t.pager in
+        let left : Node.leaf =
+          {
+            lkeys = Array.sub l.lkeys 0 s;
+            lvals = Array.sub l.lvals 0 s;
+            next = right_id;
+          }
+        in
+        let right : Node.leaf =
+          {
+            lkeys = Array.sub l.lkeys s (Array.length l.lkeys - s);
+            lvals = Array.sub l.lvals s (Array.length l.lvals - s);
+            next = l.next;
+          }
+        in
+        store t id (Leaf left);
+        store t right_id (Leaf right);
+        Some (right.lkeys.(0), right_id)
+      end
+  | Node.Internal n -> (
+      let ci = child_index n key in
+      match insert_at t n.children.(ci) key value with
+      | None -> None
+      | Some (sep, new_child) ->
+          let n : Node.internal =
+            {
+              ikeys = array_insert n.ikeys ci sep;
+              children = array_insert n.children (ci + 1) new_child;
+            }
+          in
+          if fits t (Internal n) then begin
+            store t id (Internal n);
+            None
+          end
+          else begin
+            let s = choose_split t (Internal n) in
+            let sep_up = n.ikeys.(s) in
+            let right_id = Pager.alloc t.pager in
+            let left : Node.internal =
+              {
+                ikeys = Array.sub n.ikeys 0 s;
+                children = Array.sub n.children 0 (s + 1);
+              }
+            in
+            let right : Node.internal =
+              {
+                ikeys = Array.sub n.ikeys (s + 1) (Array.length n.ikeys - s - 1);
+                children =
+                  Array.sub n.children (s + 1) (Array.length n.children - s - 1);
+              }
+            in
+            store t id (Internal left);
+            store t right_id (Internal right);
+            Some (sep_up, right_id)
+          end)
+
+let insert t ~key ~value =
+  let value = make_value t value in
+  match insert_at t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+      let new_root = Pager.alloc t.pager in
+      store t new_root
+        (Internal { ikeys = [| sep |]; children = [| t.root; right |] });
+      t.root <- new_root;
+      t.height <- t.height + 1
+
+(* --- batched insert ------------------------------------------------------ *)
+
+(* Split an over-full leaf into as many fitting leaves as needed; the
+   first reuses [id], the rest are fresh pages chained in between.
+   Returns the separators/pages to add to the parent. *)
+let multiway_split_leaf t id (l : Node.leaf) =
+  let n = Array.length l.lkeys in
+  let fits_prefix start len =
+    let node =
+      Node.Leaf
+        {
+          lkeys = Array.sub l.lkeys start len;
+          lvals = Array.sub l.lvals start len;
+          next = -1;
+        }
+    in
+    fits t node
+  in
+  (* greedy partition into maximal fitting runs *)
+  let rec partition start acc =
+    if start >= n then List.rev acc
+    else begin
+      let len = ref 1 in
+      while start + !len < n && fits_prefix start (!len + 1) do incr len done;
+      partition (start + !len) ((start, !len) :: acc)
+    end
+  in
+  let parts = partition 0 [] in
+  match parts with
+  | [] | [ _ ] ->
+      store t id (Node.Leaf l);
+      []
+  | first :: rest ->
+      let pages = List.map (fun _ -> Pager.alloc t.pager) rest in
+      let page_of = Array.of_list (id :: pages) in
+      let parts = Array.of_list (first :: rest) in
+      let splits = ref [] in
+      for i = Array.length parts - 1 downto 0 do
+        let start, len = parts.(i) in
+        let next =
+          if i = Array.length parts - 1 then l.next else page_of.(i + 1)
+        in
+        store t page_of.(i)
+          (Node.Leaf
+             {
+               lkeys = Array.sub l.lkeys start len;
+               lvals = Array.sub l.lvals start len;
+               next;
+             });
+        if i > 0 then splits := (l.lkeys.(start), page_of.(i)) :: !splits
+      done;
+      !splits
+
+(* Likewise for an over-full internal node; separators between parts are
+   promoted. *)
+let multiway_split_internal t id (nd : Node.internal) =
+  let nk = Array.length nd.ikeys in
+  let fits_slice kstart klen =
+    fits t
+      (Node.Internal
+         {
+           ikeys = Array.sub nd.ikeys kstart klen;
+           children = Array.sub nd.children kstart (klen + 1);
+         })
+  in
+  (* partition the key range [0, nk) into runs, consuming one promoted
+     key between consecutive runs; every promoted key must be followed by
+     a non-empty run, so the tail is never dropped *)
+  let rec partition kstart acc =
+    let remaining = nk - kstart in
+    let maxfit = ref 1 in
+    while !maxfit < remaining && fits_slice kstart (!maxfit + 1) do
+      incr maxfit
+    done;
+    if !maxfit >= remaining then List.rev ((kstart, remaining) :: acc)
+    else begin
+      (* keep at least one key for the next run after the promotion *)
+      let len = max 1 (min !maxfit (remaining - 2)) in
+      partition (kstart + len + 1) ((kstart, len) :: acc)
+    end
+  in
+  let parts = partition 0 [] in
+  match parts with
+  | [] | [ _ ] ->
+      store t id (Node.Internal nd);
+      []
+  | first :: rest ->
+      let pages = List.map (fun _ -> Pager.alloc t.pager) rest in
+      let page_of = Array.of_list (id :: pages) in
+      let parts = Array.of_list (first :: rest) in
+      let splits = ref [] in
+      for i = Array.length parts - 1 downto 0 do
+        let kstart, klen = parts.(i) in
+        store t page_of.(i)
+          (Node.Internal
+             {
+               ikeys = Array.sub nd.ikeys kstart klen;
+               children = Array.sub nd.children kstart (klen + 1);
+             });
+        if i > 0 then
+          (* the promoted key precedes this part *)
+          splits := (nd.ikeys.(kstart - 1), page_of.(i)) :: !splits
+      done;
+      !splits
+
+let insert_batch t kvs =
+  if kvs <> [] then begin
+    (* stable sort; later occurrences of a key win, as with sequential
+       insertion *)
+    let arr = Array.of_list kvs in
+    let tagged = Array.mapi (fun i (k, v) -> (k, i, v)) arr in
+    Array.sort compare tagged;
+    let deduped = ref [] in
+    Array.iteri
+      (fun i (k, _, v) ->
+        let last =
+          i = Array.length tagged - 1
+          || (match tagged.(i + 1) with k', _, _ -> k' <> k)
+        in
+        if last then deduped := (k, v) :: !deduped)
+      tagged;
+    let entries = List.rev !deduped in
+    (* [go id entries] merges the sorted entries into the subtree rooted
+       at [id]; returns the (separator, page) splits for the parent *)
+    let rec go id entries =
+      if entries = [] then []
+      else
+        match load (raw_read t) id with
+        | Node.Leaf l ->
+            let merged_k = ref [] and merged_v = ref [] in
+            let push k v =
+              merged_k := k :: !merged_k;
+              merged_v := v :: !merged_v
+            in
+            let rec merge i entries =
+              match entries with
+              | [] ->
+                  for j = i to Array.length l.lkeys - 1 do
+                    push l.lkeys.(j) l.lvals.(j)
+                  done
+              | (k, v) :: rest ->
+                  if i >= Array.length l.lkeys then begin
+                    push k (make_value t v);
+                    merge i rest
+                  end
+                  else
+                    let c = String.compare l.lkeys.(i) k in
+                    if c < 0 then begin
+                      push l.lkeys.(i) l.lvals.(i);
+                      merge (i + 1) entries
+                    end
+                    else if c = 0 then begin
+                      free_value t l.lvals.(i);
+                      push k (make_value t v);
+                      merge (i + 1) rest
+                    end
+                    else begin
+                      push k (make_value t v);
+                      merge i rest
+                    end
+            in
+            merge 0 entries;
+            let l =
+              {
+                l with
+                Node.lkeys = Array.of_list (List.rev !merged_k);
+                lvals = Array.of_list (List.rev !merged_v);
+              }
+            in
+            if fits t (Node.Leaf l) then begin
+              store t id (Node.Leaf l);
+              []
+            end
+            else multiway_split_leaf t id l
+        | Node.Internal nd ->
+            (* partition entries over the children and recurse *)
+            let nk = Array.length nd.ikeys in
+            let splits = ref [] in
+            let rec by_child ci entries =
+              if entries <> [] then
+                if ci >= nk then
+                  splits := (ci, go nd.children.(ci) entries) :: !splits
+                else begin
+                  let sep = nd.ikeys.(ci) in
+                  let mine, rest =
+                    List.partition (fun (k, _) -> String.compare k sep < 0) entries
+                  in
+                  if mine <> [] then
+                    splits := (ci, go nd.children.(ci) mine) :: !splits;
+                  by_child (ci + 1) rest
+                end
+            in
+            by_child 0 entries;
+            (* fold the children's splits into this node, rightmost first
+               so indices stay valid *)
+            let ikeys = ref nd.ikeys and children = ref nd.children in
+            List.iter
+              (fun (ci, child_splits) ->
+                List.iteri
+                  (fun j (sep, page) ->
+                    ikeys := array_insert !ikeys (ci + j) sep;
+                    children := array_insert !children (ci + j + 1) page)
+                  child_splits)
+              !splits;
+            let nd = { Node.ikeys = !ikeys; children = !children } in
+            if fits t (Node.Internal nd) then begin
+              store t id (Node.Internal nd);
+              []
+            end
+            else multiway_split_internal t id nd
+    in
+    match go t.root entries with
+    | [] -> ()
+    | splits ->
+        (* the root split (possibly many ways): add levels until a single
+           root fits *)
+        let rec add_level child0 splits =
+          let nd =
+            {
+              Node.ikeys = Array.of_list (List.map fst splits);
+              children = Array.of_list (child0 :: List.map snd splits);
+            }
+          in
+          let id = Pager.alloc t.pager in
+          t.root <- id;
+          t.height <- t.height + 1;
+          if fits t (Node.Internal nd) then store t id (Node.Internal nd)
+          else
+            let up = multiway_split_internal t id nd in
+            if up <> [] then add_level id up
+        in
+        add_level t.root splits
+  end
+
+(* --- delete ------------------------------------------------------------ *)
+
+(* Rebalance child [ci] of internal node [n]; returns the updated parent. *)
+let fix_child t (n : Node.internal) ci : Node.internal =
+  let merge_into_left li ri sep_idx =
+    let left_id = n.children.(li) and right_id = n.children.(ri) in
+    let left = load (raw_read t) left_id
+    and right = load (raw_read t) right_id in
+    let merged =
+      match (left, right) with
+      | Node.Leaf a, Node.Leaf b ->
+          Node.Leaf
+            {
+              lkeys = Array.append a.lkeys b.lkeys;
+              lvals = Array.append a.lvals b.lvals;
+              next = b.next;
+            }
+      | Node.Internal a, Node.Internal b ->
+          Node.Internal
+            {
+              ikeys =
+                Array.concat [ a.ikeys; [| n.ikeys.(sep_idx) |]; b.ikeys ];
+              children = Array.append a.children b.children;
+            }
+      | _ -> failwith "Btree: sibling kind mismatch"
+    in
+    if fits t merged then begin
+      store t left_id merged;
+      Pager.free t.pager right_id;
+      Some
+        {
+          Node.ikeys = array_remove n.ikeys sep_idx;
+          children = array_remove n.children ri;
+        }
+    end
+    else None
+  in
+  let borrow_from_right () =
+    let left_id = n.children.(ci) and right_id = n.children.(ci + 1) in
+    let left = load (raw_read t) left_id
+    and right = load (raw_read t) right_id in
+    if not (can_spare t right) then None
+    else
+      let new_sep =
+        match (left, right) with
+        | Node.Leaf a, Node.Leaf b ->
+            let k = b.lkeys.(0) and v = b.lvals.(0) in
+            store t left_id
+              (Leaf
+                 {
+                   a with
+                   lkeys = Array.append a.lkeys [| k |];
+                   lvals = Array.append a.lvals [| v |];
+                 });
+            store t right_id
+              (Leaf
+                 {
+                   b with
+                   lkeys = array_remove b.lkeys 0;
+                   lvals = array_remove b.lvals 0;
+                 });
+            b.lkeys.(1)
+        | Node.Internal a, Node.Internal b ->
+            store t left_id
+              (Internal
+                 {
+                   ikeys = Array.append a.ikeys [| n.ikeys.(ci) |];
+                   children = Array.append a.children [| b.children.(0) |];
+                 });
+            store t right_id
+              (Internal
+                 {
+                   ikeys = array_remove b.ikeys 0;
+                   children = array_remove b.children 0;
+                 });
+            b.ikeys.(0)
+        | _ -> failwith "Btree: sibling kind mismatch"
+      in
+      let ikeys = Array.copy n.ikeys in
+      ikeys.(ci) <- new_sep;
+      Some { n with ikeys }
+  in
+  let borrow_from_left () =
+    let left_id = n.children.(ci - 1) and right_id = n.children.(ci) in
+    let left = load (raw_read t) left_id
+    and right = load (raw_read t) right_id in
+    if not (can_spare t left) then None
+    else
+      let new_sep =
+        match (left, right) with
+        | Node.Leaf a, Node.Leaf b ->
+            let last = Array.length a.lkeys - 1 in
+            let k = a.lkeys.(last) and v = a.lvals.(last) in
+            store t left_id
+              (Leaf
+                 {
+                   a with
+                   lkeys = Array.sub a.lkeys 0 last;
+                   lvals = Array.sub a.lvals 0 last;
+                 });
+            store t right_id
+              (Leaf
+                 {
+                   b with
+                   lkeys = array_insert b.lkeys 0 k;
+                   lvals = array_insert b.lvals 0 v;
+                 });
+            k
+        | Node.Internal a, Node.Internal b ->
+            let last = Array.length a.ikeys - 1 in
+            let up = a.ikeys.(last) in
+            store t left_id
+              (Internal
+                 {
+                   ikeys = Array.sub a.ikeys 0 last;
+                   children = Array.sub a.children 0 (last + 1);
+                 });
+            store t right_id
+              (Internal
+                 {
+                   ikeys = array_insert b.ikeys 0 n.ikeys.(ci - 1);
+                   children = array_insert b.children 0 a.children.(last + 1);
+                 });
+            up
+        | _ -> failwith "Btree: sibling kind mismatch"
+      in
+      let ikeys = Array.copy n.ikeys in
+      ikeys.(ci - 1) <- new_sep;
+      Some { n with ikeys }
+  in
+  let try_right () =
+    if ci + 1 > Array.length n.ikeys then None
+    else
+      match borrow_from_right () with
+      | Some n -> Some n
+      | None -> merge_into_left ci (ci + 1) ci
+  in
+  let try_left () =
+    if ci = 0 then None
+    else
+      match borrow_from_left () with
+      | Some n -> Some n
+      | None -> merge_into_left (ci - 1) ci (ci - 1)
+  in
+  match try_right () with
+  | Some n -> n
+  | None -> ( match try_left () with Some n -> n | None -> n)
+
+let rec delete_at t id key =
+  match load (raw_read t) id with
+  | Node.Leaf l ->
+      let i = lower_bound l.lkeys key in
+      if i < Array.length l.lkeys && l.lkeys.(i) = key then begin
+        free_value t l.lvals.(i);
+        let l =
+          {
+            l with
+            Node.lkeys = array_remove l.lkeys i;
+            lvals = array_remove l.lvals i;
+          }
+        in
+        store t id (Leaf l);
+        (true, underfull t (Leaf l))
+      end
+      else (false, false)
+  | Node.Internal n ->
+      let ci = child_index n key in
+      let present, child_underflow = delete_at t n.children.(ci) key in
+      if not child_underflow then (present, false)
+      else
+        let n = fix_child t n ci in
+        store t id (Internal n);
+        (present, underfull t (Internal n))
+
+let delete t key =
+  let present, _ = delete_at t t.root key in
+  (* collapse a root that lost all separators *)
+  (match load (quiet_read t) t.root with
+  | Node.Internal { ikeys = [||]; children } ->
+      Pager.free t.pager t.root;
+      t.root <- children.(0);
+      t.height <- t.height - 1
+  | Node.Internal _ | Node.Leaf _ -> ());
+  present
+
+(* --- lookups ------------------------------------------------------------ *)
+
+type entry = { key : string; value : unit -> string }
+
+let rec find_leaf read id key =
+  match load read id with
+  | Node.Leaf l -> (id, l)
+  | Node.Internal n -> find_leaf read n.children.(child_index n key) key
+
+let find t ?read key =
+  let read = match read with Some r -> r | None -> raw_read t in
+  let _, l = find_leaf read t.root key in
+  let i = lower_bound l.lkeys key in
+  if i < Array.length l.lkeys && l.lkeys.(i) = key then
+    Some (resolve_value read l.lvals.(i))
+  else None
+
+let mem t ?read key =
+  let read = match read with Some r -> r | None -> raw_read t in
+  let _, l = find_leaf read t.root key in
+  let i = lower_bound l.lkeys key in
+  i < Array.length l.lkeys && l.lkeys.(i) = key
+
+let make_entry read (l : Node.leaf) i =
+  { key = l.lkeys.(i); value = (fun () -> resolve_value read l.lvals.(i)) }
+
+(* --- scanner ------------------------------------------------------------ *)
+
+module Scanner = struct
+  type tree = t
+
+  type t = {
+    tree : tree;
+    read : int -> Bytes.t;
+    (* decoded-node memo: repeated seeks through the same pages (the
+       parallel algorithm's skip-scan) pay the page read once — via the
+       caller's page cache — and the decode once, here *)
+    memo : (int, Node.t) Hashtbl.t;
+    mutable leaf : Node.leaf option;
+    mutable idx : int;
+  }
+
+  let create tree ~read =
+    { tree; read; memo = Hashtbl.create 32; leaf = None; idx = 0 }
+
+  let load_memo t id =
+    match Hashtbl.find_opt t.memo id with
+    | Some n -> n
+    | None ->
+        let n = load t.read id in
+        Hashtbl.add t.memo id n;
+        n
+
+  (* skip empty leaves until an entry is under the cursor *)
+  let rec normalize t =
+    match t.leaf with
+    | None -> ()
+    | Some l ->
+        if t.idx < Array.length l.lkeys then ()
+        else if l.next < 0 then t.leaf <- None
+        else begin
+          (match load_memo t l.next with
+          | Node.Leaf l' -> t.leaf <- Some l'
+          | Node.Internal _ -> failwith "Btree: leaf chain hit internal node");
+          t.idx <- 0;
+          normalize t
+        end
+
+  let peek t =
+    match t.leaf with
+    | Some l when t.idx < Array.length l.lkeys ->
+        Some (make_entry t.read l t.idx)
+    | Some _ | None -> None
+
+  let seek t key =
+    let rec descend id =
+      match load_memo t id with
+      | Node.Leaf l -> l
+      | Node.Internal n -> descend n.children.(child_index n key)
+    in
+    let l = descend t.tree.root in
+    t.leaf <- Some l;
+    t.idx <- lower_bound l.lkeys key;
+    normalize t;
+    peek t
+
+  let next t =
+    t.idx <- t.idx + 1;
+    normalize t;
+    peek t
+end
+
+let iter t ?read f =
+  let read = match read with Some r -> r | None -> raw_read t in
+  let sc = Scanner.create t ~read in
+  let rec go = function
+    | None -> ()
+    | Some e ->
+        f e;
+        go (Scanner.next sc)
+  in
+  go (Scanner.seek sc "")
+
+let length t =
+  let n = ref 0 in
+  iter t ~read:(quiet_read t) (fun _ -> incr n);
+  !n
+
+let scan_range t ~read ~lo ~hi f =
+  let sc = Scanner.create t ~read in
+  let rec go = function
+    | Some e when String.compare e.key hi < 0 ->
+        f e;
+        go (Scanner.next sc)
+    | Some _ | None -> ()
+  in
+  go (Scanner.seek sc lo)
+
+(* --- multi-interval pruned descent -------------------------------------- *)
+
+let normalize_intervals ivs =
+  let ivs =
+    List.filter (fun (lo, hi) -> String.compare lo hi < 0) ivs
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let rec merge = function
+    | (l1, h1) :: (l2, h2) :: rest when String.compare l2 h1 <= 0 ->
+        merge ((l1, if String.compare h1 h2 >= 0 then h1 else h2) :: rest)
+    | iv :: rest -> iv :: merge rest
+    | [] -> []
+  in
+  merge ivs
+
+let scan_intervals t ~read ivs f =
+  let ivs = Array.of_list (normalize_intervals ivs) in
+  if Array.length ivs > 0 then begin
+    (* does any interval intersect the child range (clo, chi)? bounds are
+       options; [None] means unbounded *)
+    let intersects clo chi =
+      Array.exists
+        (fun (l, h) ->
+          (match chi with None -> true | Some c -> String.compare l c < 0)
+          && match clo with None -> true | Some c -> String.compare h c > 0)
+        ivs
+    in
+    let rec visit id clo chi =
+      match load read id with
+      | Node.Leaf l ->
+          let iv = ref 0 in
+          Array.iteri
+            (fun i k ->
+              while
+                !iv < Array.length ivs && String.compare (snd ivs.(!iv)) k <= 0
+              do
+                incr iv
+              done;
+              if !iv < Array.length ivs && String.compare (fst ivs.(!iv)) k <= 0
+              then f (make_entry read l i))
+            l.lkeys
+      | Node.Internal n ->
+          let nk = Array.length n.ikeys in
+          for i = 0 to nk do
+            let lo = if i = 0 then clo else Some n.ikeys.(i - 1) in
+            let hi = if i = nk then chi else Some n.ikeys.(i) in
+            if intersects lo hi then visit n.children.(i) lo hi
+          done
+    in
+    visit t.root None None
+  end
+
+type visit = { depth : int; page : int; is_leaf : bool; matched : int }
+
+let trace_intervals t ~read ivs =
+  let ivs = Array.of_list (normalize_intervals ivs) in
+  let out = ref [] in
+  if Array.length ivs > 0 then begin
+    let intersects clo chi =
+      Array.exists
+        (fun (l, h) ->
+          (match chi with None -> true | Some c -> String.compare l c < 0)
+          && match clo with None -> true | Some c -> String.compare h c > 0)
+        ivs
+    in
+    let rec visit id depth clo chi =
+      match load read id with
+      | Node.Leaf l ->
+          let iv = ref 0 and matched = ref 0 in
+          Array.iter
+            (fun k ->
+              while
+                !iv < Array.length ivs && String.compare (snd ivs.(!iv)) k <= 0
+              do
+                incr iv
+              done;
+              if !iv < Array.length ivs && String.compare (fst ivs.(!iv)) k <= 0
+              then incr matched)
+            l.lkeys;
+          out := { depth; page = id; is_leaf = true; matched = !matched } :: !out
+      | Node.Internal n ->
+          out := { depth; page = id; is_leaf = false; matched = 0 } :: !out;
+          let nk = Array.length n.ikeys in
+          for i = 0 to nk do
+            let lo = if i = 0 then clo else Some n.ikeys.(i - 1) in
+            let hi = if i = nk then chi else Some n.ikeys.(i) in
+            if intersects lo hi then visit n.children.(i) (depth + 1) lo hi
+          done
+    in
+    visit t.root 0 None None
+  end;
+  List.rev !out
+
+(* --- introspection ------------------------------------------------------- *)
+
+let check t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let leaves_in_order = ref [] in
+  let rec walk id depth lo hi =
+    match load (quiet_read t) id with
+    | Node.Leaf l ->
+        if depth <> t.height then
+          fail "leaf %d at depth %d, expected height %d" id depth t.height;
+        let node = Node.Leaf l in
+        if Node.size ~front_coding:t.cfg.front_coding node > page_size t then
+          fail "leaf %d exceeds page size" id;
+        (match t.cfg.max_entries with
+        | Some m when Array.length l.lkeys > m ->
+            fail "leaf %d has %d entries > max %d" id (Array.length l.lkeys) m
+        | Some _ | None -> ());
+        Array.iteri
+          (fun i k ->
+            if i > 0 && String.compare l.lkeys.(i - 1) k >= 0 then
+              fail "leaf %d keys not strictly sorted at %d" id i;
+            (match lo with
+            | Some b when String.compare k b < 0 ->
+                fail "leaf %d key below separator" id
+            | Some _ | None -> ());
+            match hi with
+            | Some b when String.compare k b >= 0 ->
+                fail "leaf %d key above separator" id
+            | Some _ | None -> ())
+          l.lkeys;
+        leaves_in_order := (id, l.next) :: !leaves_in_order
+    | Node.Internal n ->
+        let node = Node.Internal n in
+        if Node.size ~front_coding:t.cfg.front_coding node > page_size t then
+          fail "internal %d exceeds page size" id;
+        if Array.length n.children <> Array.length n.ikeys + 1 then
+          fail "internal %d arity mismatch" id;
+        Array.iteri
+          (fun i k ->
+            if i > 0 && String.compare n.ikeys.(i - 1) k >= 0 then
+              fail "internal %d separators not sorted" id)
+          n.ikeys;
+        let nk = Array.length n.ikeys in
+        for i = 0 to nk do
+          let clo = if i = 0 then lo else Some n.ikeys.(i - 1) in
+          let chi = if i = nk then hi else Some n.ikeys.(i) in
+          walk n.children.(i) (depth + 1) clo chi
+        done
+  in
+  walk t.root 1 None None;
+  (* the leaf chain must link the leaves exactly in key order *)
+  let leaves = List.rev !leaves_in_order in
+  let rec check_chain = function
+    | (_, next) :: ((id', _) :: _ as rest) ->
+        if next <> id' then fail "leaf chain broken: %d -> %d" next id';
+        check_chain rest
+    | [ (_, next) ] -> if next <> -1 then fail "last leaf has next=%d" next
+    | [] -> ()
+  in
+  check_chain leaves
+
+let fold_nodes t f init =
+  let acc = ref init in
+  let rec walk id =
+    let node = load (quiet_read t) id in
+    acc := f !acc node;
+    match node with
+    | Node.Leaf _ -> ()
+    | Node.Internal n -> Array.iter walk n.children
+  in
+  walk t.root;
+  !acc
+
+let leaf_count t =
+  fold_nodes t
+    (fun acc -> function Node.Leaf _ -> acc + 1 | Node.Internal _ -> acc)
+    0
+
+let node_count t = fold_nodes t (fun acc _ -> acc + 1) 0
+
+type compression_stats = {
+  entries : int;
+  raw_key_bytes : int;
+  stored_key_bytes : int;
+  avg_prefix_len : float;
+}
+
+let compression_stats t =
+  let entries = ref 0 and raw = ref 0 and stored = ref 0 in
+  let account keys =
+    let prev = ref "" in
+    Array.iter
+      (fun k ->
+        let p =
+          if t.cfg.front_coding then Bu.common_prefix_len !prev k else 0
+        in
+        incr entries;
+        raw := !raw + String.length k;
+        stored := !stored + String.length k - p;
+        prev := k)
+      keys
+  in
+  let rec walk id =
+    match load (quiet_read t) id with
+    | Node.Leaf l -> account l.lkeys
+    | Node.Internal n ->
+        account n.ikeys;
+        Array.iter walk n.children
+  in
+  walk t.root;
+  {
+    entries = !entries;
+    raw_key_bytes = !raw;
+    stored_key_bytes = !stored;
+    avg_prefix_len =
+      (if !entries = 0 then 0.
+       else float_of_int (!raw - !stored) /. float_of_int !entries);
+  }
+
+let pp_stats ppf t =
+  Format.fprintf ppf "height=%d nodes=%d leaves=%d entries=%d pages=%d"
+    t.height (node_count t) (leaf_count t) (length t)
+    (Pager.page_count t.pager)

@@ -1,0 +1,169 @@
+(** A disk-format B+-tree with variable-length, front-compressed keys.
+
+    This is the single index structure of the paper (Section 3.2): the
+    U-index and several baselines are thin encodings over it.  Keys are
+    arbitrary byte strings ordered by [String.compare]; values are byte
+    strings, spilled transparently to overflow-page chains when large
+    (needed by the directory-style baselines, e.g. CH-trees).
+
+    Node capacity is the page size in bytes — front compression therefore
+    directly increases fanout, which is the paper's storage argument — with
+    an optional maximum entry count to model Experiment 1's "at most
+    [m = 10] records per node".
+
+    All page accesses go through the tree's {!Storage.Pager}, so the
+    pager's {!Storage.Stats} counts exactly the page reads the paper
+    reports.  Read-only operations take an explicit [read] function:
+    pass {!raw_read} to count every access (forward scanning), or a
+    {!Storage.Pager.Cache} reader to count distinct pages only (the
+    parallel retrieval algorithm's "utilize any page already in memory"). *)
+
+module Node : module type of Node
+(** The on-page node layout, exposed for white-box tests and tooling. *)
+
+type config = {
+  max_entries : int option;
+      (** cap on keys per node, in addition to the byte capacity *)
+  front_coding : bool;  (** store key suffixes only (default [true]) *)
+  overflow_threshold : int;
+      (** values longer than this spill to overflow pages *)
+}
+
+val default_config : page_size:int -> config
+
+type t
+
+val create : ?config:config -> Storage.Pager.t -> t
+(** An empty tree whose nodes live on pages of the given pager. *)
+
+val root : t -> int
+(** The root's current page id.  Together with the pager's backing file
+    this is all the state needed to re-open the tree. *)
+
+val attach : ?config:config -> Storage.Pager.t -> root:int -> t
+(** [attach pager ~root] re-opens a tree previously built on this pager's
+    pages (e.g. after {!Storage.Pager.open_file}); the height is recovered
+    by walking to the leftmost leaf.  The configuration must match the one
+    the tree was built with — in particular [front_coding]. *)
+
+val pager : t -> Storage.Pager.t
+val config : t -> config
+
+val height : t -> int
+(** Number of levels; [1] when the root is a leaf. *)
+
+val raw_read : t -> int -> Bytes.t
+(** Reads through the pager, counting every call. *)
+
+val cached_read : t -> Storage.Pager.Cache.t
+(** A fresh per-query cache over this tree's pager. *)
+
+(** {1 Updates} *)
+
+val insert : t -> key:string -> value:string -> unit
+(** Inserts, replacing any existing value for [key]. *)
+
+val insert_batch : t -> (string * string) list -> unit
+(** Batched insertion (Tsur & Gudes [4], used by the paper's Section 3.5
+    "batch" update argument): the batch is sorted and merged into the
+    tree in one pass, so each touched node is read and written once no
+    matter how many of the batch's keys it receives.  Semantically
+    equivalent to inserting the pairs in list order (later duplicates
+    win). *)
+
+val delete : t -> string -> bool
+(** Removes the key; [false] if absent.  Rebalances by borrowing from or
+    merging with siblings. *)
+
+(** {1 Point and range access} *)
+
+val find : t -> ?read:(int -> Bytes.t) -> string -> string option
+(** Exact lookup; resolves overflow values (counting their page reads). *)
+
+val mem : t -> ?read:(int -> Bytes.t) -> string -> bool
+
+type entry = { key : string; value : unit -> string }
+(** A scan result.  [value ()] resolves the payload lazily, reading
+    overflow pages only when called. *)
+
+val iter : t -> ?read:(int -> Bytes.t) -> (entry -> unit) -> unit
+(** All entries in key order. *)
+
+val length : t -> int
+(** Number of entries (O(leaves)); does not touch the stats counters. *)
+
+val scan_range :
+  t -> read:(int -> Bytes.t) -> lo:string -> hi:string -> (entry -> unit) -> unit
+(** Forward scan of [[lo, hi)]: one descent to [lo], then sequential leaf
+    traversal.  Every leaf between the bounds is read — the naive
+    algorithm of Section 3.3. *)
+
+val scan_intervals :
+  t ->
+  read:(int -> Bytes.t) ->
+  (string * string) list ->
+  (entry -> unit) ->
+  unit
+(** [scan_intervals t ~read ivs f] applies [f] to every entry whose key
+    falls in one of the half-open intervals [ivs].  The tree is descended
+    once, visiting only nodes whose key range intersects the interval set —
+    the pruned descent at the heart of the paper's parallel retrieval
+    algorithm (Algorithm 1).  Intervals are normalized (sorted, merged)
+    internally. *)
+
+type visit = {
+  depth : int;  (** 0 at the root *)
+  page : int;
+  is_leaf : bool;
+  matched : int;  (** entries inside the interval set (leaves only) *)
+}
+
+val trace_intervals :
+  t -> read:(int -> Bytes.t) -> (string * string) list -> visit list
+(** The nodes a {!scan_intervals} descent would visit, in visit order —
+    the paper's dynamically-constructed search tree (Fig. 3), for
+    explain-style tooling. *)
+
+(** {1 Positioned scans}
+
+    A scanner supports the paper's skip-scan: sequential advance plus
+    re-seek to an arbitrary key, sharing one page cache so that revisited
+    pages are free. *)
+
+module Scanner : sig
+  type tree := t
+  type t
+
+  val create : tree -> read:(int -> Bytes.t) -> t
+
+  val seek : t -> string -> entry option
+  (** Position at the first entry with key [>=] the argument and return
+      it. *)
+
+  val next : t -> entry option
+  (** Advance to the following entry. *)
+end
+
+(** {1 Introspection (tests, experiments)} *)
+
+val check : t -> unit
+(** Validates structural invariants: sorted unique keys, node sizes within
+    capacity, separator consistency, leaf-chain order and completeness.
+    Raises [Failure] with a diagnostic on violation. *)
+
+val leaf_count : t -> int
+val node_count : t -> int
+(** Internal + leaf nodes (excludes overflow pages). *)
+
+type compression_stats = {
+  entries : int;
+  raw_key_bytes : int;  (** sum of full key lengths *)
+  stored_key_bytes : int;  (** sum of stored suffix lengths *)
+  avg_prefix_len : float;  (** average compressed-away prefix *)
+}
+
+val compression_stats : t -> compression_stats
+(** How much the per-node front compression saves on this tree's leaf and
+    internal keys (Section 4.2's storage-cost argument). *)
+
+val pp_stats : Format.formatter -> t -> unit

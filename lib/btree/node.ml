@@ -1,0 +1,170 @@
+module Bu = Storage.Bytes_util
+
+type value = Inline of string | Overflow of { head : int; length : int }
+
+type leaf = { lkeys : string array; lvals : value array; next : int }
+type internal = { ikeys : string array; children : int array }
+type t = Leaf of leaf | Internal of internal
+
+let header_size = 7
+let overflow_marker = 0xFFFF
+let no_page = 0xFFFFFFFF
+
+let inline_size = function
+  | Inline s -> 2 + String.length s
+  | Overflow _ -> 2 + 8
+
+let prefix_len ~front_coding ~prev key =
+  if front_coding then min (Bu.common_prefix_len prev key) 0xFFFF else 0
+
+let size ~front_coding t =
+  let entry prev key payload =
+    let p = prefix_len ~front_coding ~prev key in
+    4 + (String.length key - p) + payload
+  in
+  match t with
+  | Leaf { lkeys; lvals; _ } ->
+      let total = ref header_size in
+      let prev = ref "" in
+      Array.iteri
+        (fun i k ->
+          total := !total + entry !prev k (inline_size lvals.(i));
+          prev := k)
+        lkeys;
+      !total
+  | Internal { ikeys; _ } ->
+      let total = ref header_size in
+      let prev = ref "" in
+      Array.iter
+        (fun k ->
+          total := !total + entry !prev k 4;
+          prev := k)
+        ikeys;
+      !total
+
+let encode ~front_coding ~page_size t =
+  if size ~front_coding t > page_size then
+    invalid_arg "Node.encode: node exceeds page size";
+  let b = Bytes.make page_size '\000' in
+  let pos = ref header_size in
+  let put_entry prev key write_payload =
+    let p = prefix_len ~front_coding ~prev key in
+    let suffix_len = String.length key - p in
+    Bu.put_u16 b !pos p;
+    Bu.put_u16 b (!pos + 2) suffix_len;
+    Bytes.blit_string key p b (!pos + 4) suffix_len;
+    pos := !pos + 4 + suffix_len;
+    write_payload ()
+  in
+  (match t with
+  | Leaf { lkeys; lvals; next } ->
+      Bytes.set b 0 '\001';
+      Bu.put_u16 b 1 (Array.length lkeys);
+      Bu.put_u32 b 3 (if next < 0 then no_page else next);
+      let prev = ref "" in
+      Array.iteri
+        (fun i k ->
+          put_entry !prev k (fun () ->
+              (match lvals.(i) with
+              | Inline s ->
+                  Bu.put_u16 b !pos (String.length s);
+                  Bytes.blit_string s 0 b (!pos + 2) (String.length s);
+                  pos := !pos + 2 + String.length s
+              | Overflow { head; length } ->
+                  Bu.put_u16 b !pos overflow_marker;
+                  Bu.put_u32 b (!pos + 2) head;
+                  Bu.put_u32 b (!pos + 6) length;
+                  pos := !pos + 10));
+          prev := k)
+        lkeys
+  | Internal { ikeys; children } ->
+      if Array.length children <> Array.length ikeys + 1 then
+        invalid_arg "Node.encode: children/keys arity mismatch";
+      Bytes.set b 0 '\000';
+      Bu.put_u16 b 1 (Array.length ikeys);
+      Bu.put_u32 b 3 children.(0);
+      let prev = ref "" in
+      Array.iteri
+        (fun i k ->
+          put_entry !prev k (fun () ->
+              Bu.put_u32 b !pos children.(i + 1);
+              pos := !pos + 4);
+          prev := k)
+        ikeys);
+  b
+
+let decode b =
+  let kind = Bytes.get b 0 in
+  let nkeys = Bu.get_u16 b 1 in
+  let word3 = Bu.get_u32 b 3 in
+  let pos = ref header_size in
+  let read_key prev =
+    let p = Bu.get_u16 b !pos in
+    let slen = Bu.get_u16 b (!pos + 2) in
+    let key =
+      String.sub prev 0 p ^ Bytes.sub_string b (!pos + 4) slen
+    in
+    pos := !pos + 4 + slen;
+    key
+  in
+  match kind with
+  | '\001' ->
+      let lkeys = Array.make nkeys "" in
+      let lvals = Array.make nkeys (Inline "") in
+      let prev = ref "" in
+      for i = 0 to nkeys - 1 do
+        let k = read_key !prev in
+        lkeys.(i) <- k;
+        prev := k;
+        let vlen = Bu.get_u16 b !pos in
+        if vlen = overflow_marker then begin
+          let head = Bu.get_u32 b (!pos + 2) in
+          let length = Bu.get_u32 b (!pos + 6) in
+          lvals.(i) <- Overflow { head; length };
+          pos := !pos + 10
+        end
+        else begin
+          lvals.(i) <- Inline (Bytes.sub_string b (!pos + 2) vlen);
+          pos := !pos + 2 + vlen
+        end
+      done;
+      let next = if word3 = no_page then -1 else word3 in
+      Leaf { lkeys; lvals; next }
+  | '\000' ->
+      let ikeys = Array.make nkeys "" in
+      let children = Array.make (nkeys + 1) word3 in
+      let prev = ref "" in
+      for i = 0 to nkeys - 1 do
+        let k = read_key !prev in
+        ikeys.(i) <- k;
+        prev := k;
+        children.(i + 1) <- Bu.get_u32 b !pos;
+        pos := !pos + 4
+      done;
+      Internal { ikeys; children }
+  | _ -> invalid_arg "Node.decode: bad node kind byte"
+
+let pp_key ppf k =
+  String.iter
+    (fun c ->
+      if c >= ' ' && c < '\127' then Format.pp_print_char ppf c
+      else Format.fprintf ppf "\\x%02x" (Char.code c))
+    k
+
+let pp ppf = function
+  | Leaf { lkeys; next; _ } ->
+      Format.fprintf ppf "@[<hv 2>Leaf(next=%d,@ keys=[%a])@]" next
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           pp_key)
+        (Array.to_list lkeys)
+  | Internal { ikeys; children } ->
+      Format.fprintf ppf "@[<hv 2>Internal(children=[%a],@ keys=[%a])@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           Format.pp_print_int)
+        (Array.to_list children)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           pp_key)
+        (Array.to_list ikeys)

@@ -1,0 +1,59 @@
+(** On-page layout of B+-tree nodes.
+
+    A node is serialized into one fixed-size page:
+
+    {v
+    byte 0        kind: 0 = internal, 1 = leaf
+    bytes 1-2     number of keys (u16)
+    bytes 3-6     leaf: next-leaf page id | internal: leftmost child id
+    then, per key i (in key order):
+      u16  prefix_len   bytes shared with the previous key in this node
+      u16  suffix_len
+      suffix bytes
+      payload:
+        internal  u32 child page id (child to the right of key i)
+        leaf      u16 value length + value bytes, or the overflow marker
+                  0xFFFF followed by u32 head page id + u32 total length
+    v}
+
+    The per-node front compression of keys (storing only the suffix that
+    differs from the previous key) is the storage mechanism the paper's
+    encoding scheme leans on: long composite keys that share value / class
+    code / path prefixes cost only their distinguishing suffix
+    (Section 3.2).  Compression can be disabled ([front_coding:false]) for
+    the ablation benchmark. *)
+
+type value =
+  | Inline of string
+  | Overflow of { head : int; length : int }
+      (** Large values live in a chain of overflow pages starting at
+          [head]; see {!Btree} for chain management. *)
+
+type leaf = {
+  lkeys : string array;
+  lvals : value array;
+  next : int;  (** page id of the next leaf in key order, [-1] if last *)
+}
+
+type internal = {
+  ikeys : string array;  (** n separator keys *)
+  children : int array;  (** n+1 children; child [i] holds keys [k] with
+                             [ikeys.(i-1) <= k < ikeys.(i)] *)
+}
+
+type t = Leaf of leaf | Internal of internal
+
+val header_size : int
+
+val size : front_coding:bool -> t -> int
+(** Serialized size in bytes, including the header. *)
+
+val encode : front_coding:bool -> page_size:int -> t -> Bytes.t
+(** Raises [Invalid_argument] if the node does not fit. *)
+
+val decode : Bytes.t -> t
+
+val inline_size : value -> int
+(** Size contribution of a leaf payload. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+module Store = Objstore.Store
+module Value = Objstore.Value
+
+let src = Logs.Src.create "uindex.db" ~doc:"U-index database façade"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = { store : Store.t; mutable indexes : Index.t list }
+
+let create store = { store; indexes = [] }
+let store t = t.store
+let indexes t = t.indexes
+
+let add_index t idx =
+  Index.build idx t.store;
+  Log.debug (fun m ->
+      m "registered index (%d entries)" (Index.entry_count idx));
+  t.indexes <- t.indexes @ [ idx ]
+
+let remove_index t idx =
+  t.indexes <- List.filter (fun i -> i != idx) t.indexes
+
+(* Objects whose index entries can change when [oid]'s attributes change:
+   [oid] itself is enough, because every entry involving [oid] contains it
+   as a component and [Index.entry_keys] enumerates chains through every
+   position. *)
+let reindex_around t f oid =
+  let old_keys = List.map (fun idx -> Index.entry_keys idx t.store oid) t.indexes in
+  f ();
+  List.iter2
+    (fun idx old ->
+      let now = Index.entry_keys idx t.store oid in
+      let stale = List.filter (fun k -> not (List.mem k now)) old in
+      let fresh = List.filter (fun k -> not (List.mem k old)) now in
+      Log.debug (fun m ->
+          m "reindex oid %d: -%d +%d entries" oid (List.length stale)
+            (List.length fresh));
+      List.iter (fun k -> ignore (Btree.delete (Index.tree idx) k)) stale;
+      (* clustered fresh entries merge in one batched pass (Section 3.5) *)
+      Btree.insert_batch (Index.tree idx) (List.map (fun k -> (k, "")) fresh))
+    t.indexes old_keys
+
+let insert t ~cls attrs =
+  let oid = Store.insert t.store ~cls attrs in
+  List.iter (fun idx -> Index.index_object idx t.store oid) t.indexes;
+  oid
+
+let delete t oid =
+  List.iter (fun idx -> Index.deindex_object idx t.store oid) t.indexes;
+  Store.delete t.store oid
+
+let set_attr t oid attr v =
+  reindex_around t (fun () -> Store.set_attr t.store oid attr v) oid
+
+let query ?(algo = `Parallel) _t idx q = Exec.run ~algo idx q
+
+let check t =
+  List.iter
+    (fun idx ->
+      Btree.check (Index.tree idx);
+      (* the live entry set must equal a fresh rebuild *)
+      let live = ref [] in
+      Btree.iter (Index.tree idx) (fun e -> live := e.key :: !live);
+      let expected = ref [] in
+      Store.iter t.store (fun o ->
+          expected := Index.entry_keys idx t.store o.oid @ !expected);
+      let live = List.sort_uniq String.compare !live
+      and expected = List.sort_uniq String.compare !expected in
+      if live <> expected then
+        failwith
+          (Printf.sprintf
+             "Db.check: index out of sync (%d live entries, %d expected)"
+             (List.length live) (List.length expected)))
+    t.indexes

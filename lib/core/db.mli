@@ -1,0 +1,38 @@
+(** A database façade: an object store plus a set of U-indexes kept in
+    sync through every mutation (the update algorithms of Section 3.5).
+
+    Mid-path updates — "a president switches companies" — are handled by
+    computing the affected entries against the pre-update state, applying
+    the store mutation, and recomputing: each affected entry is one plain
+    B-tree insert/delete, and because entries of one path prefix are
+    clustered the deletions arrive in key order (the paper's batch
+    observation). *)
+
+module Schema := Oodb_schema.Schema
+module Store := Objstore.Store
+module Value := Objstore.Value
+
+type t
+
+val create : Store.t -> t
+val store : t -> Store.t
+val add_index : t -> Index.t -> unit
+(** Registers the index (building it over the current store content). *)
+
+val remove_index : t -> Index.t -> unit
+(** Stops maintaining the index; its pages are not reclaimed (drop the
+    pager to release them). *)
+
+val indexes : t -> Index.t list
+
+val insert : t -> cls:Schema.class_id -> (string * Value.t) list -> Value.oid
+val delete : t -> Value.oid -> unit
+val set_attr : t -> Value.oid -> string -> Value.t -> unit
+
+val query :
+  ?algo:[ `Forward | `Parallel ] -> t -> Index.t -> Query.t -> Exec.outcome
+(** Runs the query through the given index ([`Parallel] by default). *)
+
+val check : t -> unit
+(** Verifies every index: B-tree invariants hold and the entry set equals
+    what a full rebuild from the store would produce.  For tests. *)

@@ -1,0 +1,134 @@
+module Schema = Oodb_schema.Schema
+module Value = Objstore.Value
+module Stats = Storage.Stats
+module Pager = Storage.Pager
+
+type binding = {
+  value : Value.t;
+  comps : (Schema.class_id * Value.oid) list;
+}
+
+type outcome = {
+  bindings : binding list;
+  page_reads : int;
+  entries_scanned : int;
+}
+
+let head_oids o =
+  List.filter_map
+    (fun b ->
+      match List.rev b.comps with (_, oid) :: _ -> Some oid | [] -> None)
+    o.bindings
+  |> List.sort_uniq compare
+
+let take n l =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n l
+
+let binding_of (d : Ukey.decoded) arity =
+  { value = d.value; comps = take arity d.comps }
+
+let with_read_count tree f =
+  let stats = Pager.stats (Btree.pager tree) in
+  let before = Stats.snapshot stats in
+  let bindings, entries = f () in
+  let delta = Stats.diff ~before ~after:(Stats.snapshot stats) in
+  { bindings = List.rev bindings; page_reads = delta.reads; entries_scanned = entries }
+
+let forward idx query =
+  let plan =
+    Plan.compile ~enc:(Index.encoding idx) ~ty:(Index.attr_ty idx) query
+  in
+  let tree = Index.tree idx in
+  with_read_count tree (fun () ->
+      match Plan.bracket plan with
+      | None -> ([], 0)
+      | Some (lo, hi) ->
+          let sc = Btree.Scanner.create tree ~read:(Btree.raw_read tree) in
+          let below_hi key =
+            match hi with
+            | Some h -> String.compare key h < 0
+            | None -> true
+          in
+          (* the forward algorithm never skips; it scans on, but it must
+             still deduplicate partial-path matches: a binding is emitted
+             only when it differs from the previous one *)
+          let rec go acc n prev = function
+            | Some (e : Btree.entry) when below_hi e.key -> (
+                match Plan.classify plan e.key with
+                | Plan.Accept { d; arity; _ } ->
+                    let b = binding_of d arity in
+                    let acc = if Some b = prev then acc else b :: acc in
+                    go acc (n + 1) (Some b) (Btree.Scanner.next sc)
+                | Plan.Reject _ -> go acc (n + 1) prev (Btree.Scanner.next sc))
+            | Some _ | None -> (acc, n)
+          in
+          go [] 0 None (Btree.Scanner.seek sc lo))
+
+let parallel idx query =
+  let plan =
+    Plan.compile ~enc:(Index.encoding idx) ~ty:(Index.attr_ty idx) query
+  in
+  let tree = Index.tree idx in
+  with_read_count tree (fun () ->
+      let cache = Btree.cached_read tree in
+      let read = Pager.Cache.read cache in
+      let sc = Btree.Scanner.create tree ~read in
+      let upper = Plan.upper plan in
+      let below_hi key =
+        match upper with
+        | Some h -> String.compare key h < 0
+        | None -> true
+      in
+      let rec go acc n cur =
+        match cur with
+        | Some (e : Btree.entry) when below_hi e.key -> (
+            let continue acc n = function
+              | Plan.Seek k ->
+                  (* skip targets are always strictly beyond [e.key] *)
+                  go acc n (Btree.Scanner.seek sc k)
+              | Plan.Advance -> go acc n (Btree.Scanner.next sc)
+              | Plan.Stop -> (acc, n)
+            in
+            match Plan.classify plan e.key with
+            | Plan.Accept { d; arity; next } ->
+                continue (binding_of d arity :: acc) (n + 1) next
+            | Plan.Reject next -> continue acc (n + 1) next)
+        | Some _ | None -> (acc, n)
+      in
+      match Plan.lower plan with
+      | None -> ([], 0)
+      | Some lo -> go [] 0 (Btree.Scanner.seek sc lo))
+
+let run ~algo idx query =
+  match algo with `Forward -> forward idx query | `Parallel -> parallel idx query
+
+let explain idx query =
+  let plan =
+    Plan.compile ~enc:(Index.encoding idx) ~ty:(Index.attr_ty idx) query
+  in
+  match Plan.intervals plan with
+  | None -> None
+  | Some ivs ->
+      let tree = Index.tree idx in
+      let stats = Pager.stats (Btree.pager tree) in
+      let before = Stats.snapshot stats in
+      let read = Pager.Cache.read (Btree.cached_read tree) in
+      let visits = Btree.trace_intervals tree ~read ivs in
+      (* explain must not perturb measurements *)
+      stats.Stats.reads <- before.Stats.reads;
+      Some visits
+
+let pp_explain ppf visits =
+  List.iter
+    (fun (v : Btree.visit) ->
+      Format.fprintf ppf "%s%s page %d%s@."
+        (String.make (2 * v.Btree.depth) ' ')
+        (if v.Btree.is_leaf then "leaf" else "node")
+        v.Btree.page
+        (if v.Btree.is_leaf then Printf.sprintf " (%d matching entries)" v.Btree.matched
+         else ""))
+    visits

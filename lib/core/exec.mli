@@ -1,0 +1,46 @@
+(** Query execution: the two retrieval algorithms of the paper.
+
+    {!forward} is the baseline of Section 3.3: one B-tree descent to the
+    first possibly-relevant entry, then a sequential leaf scan to the last
+    one, filtering as it goes.  Every page in between is read.
+
+    {!parallel} is Algorithm 1 ("parallel scanning of the index"): it
+    follows the plan's candidate positions, seeking across irrelevant runs
+    instead of scanning them, and it serves repeated page visits from a
+    per-query cache — the paper's "utilize any page which is already in
+    memory".  Page reads therefore count {e distinct} pages only. *)
+
+module Schema := Oodb_schema.Schema
+
+type binding = {
+  value : Objstore.Value.t;
+  comps : (Schema.class_id * Objstore.Value.oid) list;
+      (** matched components in ascending code order (path target first);
+          truncated to the query's arity for partial-path queries *)
+}
+
+type outcome = {
+  bindings : binding list;
+  page_reads : int;  (** the paper's "visited nodes" / "page reads" *)
+  entries_scanned : int;
+}
+
+val head_oids : outcome -> Objstore.Value.oid list
+(** The distinct OIDs of the last (head-class) component of each binding —
+    e.g. "the vehicles" for a path query rooted at Vehicle. *)
+
+val forward : Index.t -> Query.t -> outcome
+val parallel : Index.t -> Query.t -> outcome
+
+val run : algo:[ `Forward | `Parallel ] -> Index.t -> Query.t -> outcome
+
+val explain : Index.t -> Query.t -> Btree.visit list option
+(** The search tree the parallel algorithm builds for an enumerable query
+    (the paper's Fig. 3): every B-tree node the pruned descent visits,
+    with depth and per-leaf match counts.  [None] when the query's value
+    predicate is a contiguous range (candidates are generated lazily and
+    no static tree exists).  Reads go through a throwaway cache and do
+    not disturb the pager's statistics. *)
+
+val pp_explain : Format.formatter -> Btree.visit list -> unit
+(** Renders the search tree with one line per node, indented by depth. *)

@@ -1,0 +1,268 @@
+module Bu = Storage.Bytes_util
+module Schema = Oodb_schema.Schema
+module Encoding = Oodb_schema.Encoding
+module Value = Objstore.Value
+
+type vspec =
+  | Vs_enum of string list  (* sorted encoded values *)
+  | Vs_contig of string option * string option  (* encoded incl. bounds *)
+
+(* interval over the component zone (the bytes after the value separator) *)
+type cspec = { clo : string; chi : string }
+
+type t = {
+  enc : Encoding.t;
+  ty : Schema.attr_type;
+  q : Query.t;
+  vspec : vspec;
+  cspecs : cspec list;  (* sorted by [clo], disjoint *)
+}
+
+let query t = t.q
+
+(* --- compilation -------------------------------------------------------- *)
+
+let encode_value v =
+  match v with
+  | Value.Int _ | Value.Str _ -> Value.encode v
+  | Value.Null | Value.Ref _ | Value.Ref_set _ ->
+      invalid_arg "Plan.compile: query value must be Int or Str"
+
+let compile_vspec = function
+  | Query.V_any -> Vs_contig (None, None)
+  | Query.V_eq v -> Vs_enum [ encode_value v ]
+  | Query.V_in vs ->
+      Vs_enum (List.sort_uniq String.compare (List.map encode_value vs))
+  | Query.V_range (lo, hi) ->
+      Vs_contig (Option.map encode_value lo, Option.map encode_value hi)
+
+let rec pat_intervals enc slot = function
+  | Query.P_class c -> (
+      let lo, hi = Encoding.exact_interval enc c in
+      match slot with
+      | Query.S_oid o ->
+          let p = lo ^ Bu.encode_u32 o in
+          [ { clo = p; chi = Ukey.succ_prefix p } ]
+      | Query.S_one_of os ->
+          List.map
+            (fun o ->
+              let p = lo ^ Bu.encode_u32 o in
+              { clo = p; chi = Ukey.succ_prefix p })
+            os
+      | Query.S_any | Query.S_pred _ -> [ { clo = lo; chi = hi } ])
+  | Query.P_subtree c ->
+      let lo, hi = Encoding.subtree_interval enc c in
+      [ { clo = lo; chi = hi } ]
+  | Query.P_union ps -> List.concat_map (pat_intervals enc slot) ps
+
+let normalize_cspecs cs =
+  let cs =
+    List.filter (fun c -> String.compare c.clo c.chi < 0) cs
+    |> List.sort (fun a b -> String.compare a.clo b.clo)
+  in
+  let rec merge = function
+    | a :: b :: rest when String.compare b.clo a.chi <= 0 ->
+        merge
+          ({
+             a with
+             chi = (if String.compare a.chi b.chi >= 0 then a.chi else b.chi);
+           }
+          :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge cs
+
+let compile ~enc ~ty (q : Query.t) =
+  (match ty with
+  | Schema.Int | Schema.String -> ()
+  | Schema.Ref _ | Schema.Ref_set _ ->
+      invalid_arg "Plan.compile: indexed attribute must be Int or String");
+  let comp0 =
+    match q.comps with
+    | c :: _ -> c
+    | [] -> invalid_arg "Plan.compile: query has no components"
+  in
+  {
+    enc;
+    ty;
+    q;
+    vspec = compile_vspec q.value;
+    cspecs = normalize_cspecs (pat_intervals enc comp0.slot comp0.pat);
+  }
+
+(* --- candidate navigation ------------------------------------------------ *)
+
+let sep_char = '\x01'
+
+type where = Group_start | Group_inside of string | Group_past
+
+(* Locate the byte string [k] relative to the value groups of this plan's
+   key space: the value-group floor it belongs to and where inside the
+   group it sits. *)
+let split_floor t k =
+  match t.ty with
+  | Schema.Int ->
+      if String.length k < 8 then
+        (k ^ String.make (8 - String.length k) '\x00', Group_start)
+      else
+        let vb = String.sub k 0 8 in
+        if String.length k = 8 then (vb, Group_start)
+        else if k.[8] < sep_char then (vb, Group_start)
+        else if k.[8] = sep_char then
+          (vb, Group_inside (String.sub k 9 (String.length k - 9)))
+        else (vb, Group_past)
+  | Schema.String -> (
+      match String.index_opt k sep_char with
+      | Some i ->
+          (String.sub k 0 i, Group_inside (String.sub k (i + 1) (String.length k - i - 1)))
+      | None -> (k, Group_start))
+  | Schema.Ref _ | Schema.Ref_set _ -> assert false
+
+(* Least value-group floor strictly above [vb].  For ints this is [vb + 1];
+   for text values no encodable value lies strictly between [vb] and
+   [vb ^ "\x08"] (text bytes are >= 0x08). *)
+let value_above t vb =
+  match t.ty with
+  | Schema.Int ->
+      let x = Bu.decode_int vb 0 in
+      if x = max_int then None else Some (Bu.encode_int (x + 1))
+  | Schema.String -> Some (vb ^ "\x08")
+  | Schema.Ref _ | Schema.Ref_set _ -> assert false
+
+(* smallest admissible encoded value >= floor (or > floor when [strict]) *)
+let next_value t ~strict floor =
+  match t.vspec with
+  | Vs_enum vs ->
+      List.find_opt
+        (fun v ->
+          let c = String.compare v floor in
+          if strict then c > 0 else c >= 0)
+        vs
+  | Vs_contig (lo, hi) -> (
+      let floor = if strict then value_above t floor else Some floor in
+      match floor with
+      | None -> None
+      | Some floor ->
+          let v =
+            match lo with
+            | Some l when String.compare floor l < 0 -> l
+            | Some _ | None -> floor
+          in
+          (match hi with
+          | Some h when String.compare v h > 0 -> None
+          | Some _ | None -> Some v))
+
+(* smallest admissible component-zone position >= [r] within one value
+   group; [r = None] means the group start *)
+let next_in_group t r =
+  match t.cspecs with
+  | [] -> None
+  | first :: _ -> (
+      match r with
+      | None -> Some first.clo
+      | Some r ->
+          List.find_map
+            (fun c ->
+              if String.compare r c.clo <= 0 then Some c.clo
+              else if String.compare r c.chi < 0 then Some r
+              else None)
+            t.cspecs)
+
+let rec candidate_from t vb where =
+  let strict = where = Group_past in
+  match next_value t ~strict vb with
+  | None -> None
+  | Some v -> (
+      let rem =
+        match where with
+        | Group_inside r when v = vb -> Some r
+        | Group_inside _ | Group_start | Group_past -> None
+      in
+      match next_in_group t rem with
+      | Some pos -> Some (v ^ "\x01" ^ pos)
+      | None -> candidate_from t v Group_past)
+
+let next_candidate t k =
+  let vb, where = split_floor t k in
+  candidate_from t vb where
+
+let lower t = next_candidate t ""
+
+let last_chi t =
+  match List.rev t.cspecs with c :: _ -> Some c.chi | [] -> None
+
+let upper t =
+  match last_chi t with
+  | None -> Some "" (* no admissible component zone: empty bracket *)
+  | Some chi -> (
+      match t.vspec with
+      | Vs_enum [] -> Some ""
+      | Vs_enum vs ->
+          let last = List.fold_left (fun _ v -> v) "" vs in
+          Some (last ^ "\x01" ^ chi)
+      | Vs_contig (_, Some hi) -> Some (hi ^ "\x01" ^ chi)
+      | Vs_contig (_, None) -> None)
+
+let bracket t =
+  match lower t with None -> None | Some lo -> Some (lo, upper t)
+
+let intervals t =
+  match t.vspec with
+  | Vs_contig _ -> None
+  | Vs_enum vs ->
+      Some
+        (List.concat_map
+           (fun v ->
+             List.map
+               (fun c -> (v ^ "\x01" ^ c.clo, v ^ "\x01" ^ c.chi))
+               t.cspecs)
+           vs)
+
+(* --- classification ------------------------------------------------------ *)
+
+type next = Seek of string | Advance | Stop
+
+type verdict =
+  | Accept of { d : Ukey.decoded; arity : int; next : next }
+  | Reject of next
+
+let seek_or_stop = function Some k -> Seek k | None -> Stop
+
+let skip_from t prefix =
+  match Ukey.succ_prefix prefix with
+  | s -> seek_or_stop (next_candidate t s)
+  | exception Invalid_argument _ -> Stop
+
+let classify t key =
+  match Ukey.decode ~enc:t.enc ~ty:t.ty key with
+  | exception Invalid_argument _ -> Reject Advance
+  | d ->
+      if not (Query.value_matches t.q.value d.value) then
+        Reject (seek_or_stop (next_candidate t key))
+      else begin
+        let schema = Encoding.schema t.enc in
+        let rec check i qcomps dcomps offs =
+          match (qcomps, dcomps, offs) with
+          | [], [], [] -> Accept { d; arity = i; next = Advance }
+          | [], _ :: _, (_, _, _) :: _ ->
+              (* partial-path query (paper's query 4): the query matched a
+                 proper prefix of the entry; skip the rest of this prefix
+                 group so each binding is produced once *)
+              let _, _, last_end = List.nth d.comp_offsets (i - 1) in
+              Accept
+                { d; arity = i; next = skip_from t (String.sub key 0 last_end) }
+          | qc :: qrest, (cls, oid) :: drest, (_, oid_start, cend) :: orest ->
+              let open Query in
+              if not (pat_matches schema qc.pat cls) then
+                if i = 0 then Reject (seek_or_stop (next_candidate t key))
+                else Reject (skip_from t (String.sub key 0 oid_start))
+              else if not (slot_matches qc.slot oid) then
+                Reject (skip_from t (String.sub key 0 cend))
+              else check (i + 1) qrest drest orest
+          | _ :: _, [], _ | _, _ :: _, [] | _, [], _ :: _ ->
+              (* the entry has fewer components than the query asks for *)
+              Reject Advance
+        in
+        check 0 t.q.comps d.comps d.comp_offsets
+      end

@@ -1,0 +1,40 @@
+(** The textual query format of Section 3.4.
+
+    The paper writes queries as
+    [(attr-value, class-code1, val1, class-code2, val2, ...)], with Unix-
+    style shorthands: [*] on a class for its whole subtree, [\[..|..\]]
+    for alternation, [\[lo-hi\]] for value ranges, [?] for a value to be
+    found.  This module parses that format — using class {e names} rather
+    than raw codes — into {!Query.t}:
+
+    {v
+    (Red, Bus* ?)                                exact value, subtree
+    (50, Employee*, Company* @12, Vehicle* ?)    path with a bound OID slot
+    ([Blue-Red], [Automobile* | Truck] ?)        range + alternation
+    ({Red, Blue}, Vehicle* ?)                    value enumeration
+    ( *, JapaneseAutoCompany* ? )                any value (star = wildcard)
+    v}
+
+    Grammar (whitespace-insensitive):
+
+    {v
+    query   ::= '(' value (',' comp)* ')'
+    value   ::= '*' | scalar | '[' scalar '-' scalar ']'
+              | '[' scalar '-' ']' | '[' '-' scalar ']'
+              | '{' scalar (',' scalar)* '}'
+    scalar  ::= integer | word | '"' chars '"'
+    comp    ::= pat slot?
+    pat     ::= NAME '*'? | '[' pat ('|' pat)* ']'
+    slot    ::= '?' | '_' | '@' integer | '@' '{' integer (',' integer)* '}'
+    v} *)
+
+exception Parse_error of string
+(** Carries a human-readable message with the offending position. *)
+
+val parse : Oodb_schema.Schema.t -> string -> Query.t
+(** Raises {!Parse_error} on malformed input or unknown class names. *)
+
+val to_syntax : Oodb_schema.Schema.t -> Query.t -> string
+(** Prints a query back into the parsable format.  [S_pred] slots — which
+    have no textual form — print as ['?'].  For queries without [S_pred],
+    [parse schema (to_syntax schema q)] reproduces [q]. *)

@@ -1,0 +1,102 @@
+module Schema = Oodb_schema.Schema
+module Value = Objstore.Value
+
+type value_pred =
+  | V_any
+  | V_eq of Value.t
+  | V_in of Value.t list
+  | V_range of Value.t option * Value.t option
+
+type class_pat =
+  | P_class of Schema.class_id
+  | P_subtree of Schema.class_id
+  | P_union of class_pat list
+
+type slot =
+  | S_any
+  | S_oid of Value.oid
+  | S_one_of of Value.oid list
+  | S_pred of (Value.oid -> bool)
+
+type comp = { pat : class_pat; slot : slot }
+type t = { value : value_pred; comps : comp list }
+
+let comp ?(slot = S_any) pat = { pat; slot }
+
+let subtree_minus schema root ~except =
+  let rec go c =
+    if List.mem c except then []
+    else
+      let touched =
+        List.exists (fun e -> Schema.is_subclass schema ~sub:e ~super:c) except
+      in
+      if not touched then [ P_subtree c ]
+      else P_class c :: List.concat_map go (Schema.children schema c)
+  in
+  match go root with
+  | [] -> invalid_arg "Query.subtree_minus: nothing remains of the subtree"
+  | [ p ] -> p
+  | ps -> P_union ps
+let class_hierarchy ~value pat = { value; comps = [ comp pat ] }
+let path ~value comps = { value; comps }
+
+let value_matches pred v =
+  match pred with
+  | V_any -> true
+  | V_eq w -> Value.compare v w = 0
+  | V_in ws -> List.exists (fun w -> Value.compare v w = 0) ws
+  | V_range (lo, hi) ->
+      (match lo with Some l -> Value.compare v l >= 0 | None -> true)
+      && (match hi with Some h -> Value.compare v h <= 0 | None -> true)
+
+let rec pat_matches schema pat cls =
+  match pat with
+  | P_class c -> c = cls
+  | P_subtree c -> Schema.is_subclass schema ~sub:cls ~super:c
+  | P_union ps -> List.exists (fun p -> pat_matches schema p cls) ps
+
+let slot_matches slot oid =
+  match slot with
+  | S_any -> true
+  | S_oid o -> o = oid
+  | S_one_of os -> List.mem oid os
+  | S_pred f -> f oid
+
+let pp_value_pred ppf = function
+  | V_any -> Format.pp_print_string ppf "*"
+  | V_eq v -> Value.pp ppf v
+  | V_in vs ->
+      Format.fprintf ppf "in{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Value.pp)
+        vs
+  | V_range (lo, hi) ->
+      let pp_bound ppf = function
+        | Some v -> Value.pp ppf v
+        | None -> Format.pp_print_string ppf "_"
+      in
+      Format.fprintf ppf "[%a-%a]" pp_bound lo pp_bound hi
+
+let rec pp_pat schema ppf = function
+  | P_class c -> Format.pp_print_string ppf (Schema.name schema c)
+  | P_subtree c -> Format.fprintf ppf "%s*" (Schema.name schema c)
+  | P_union ps ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '|')
+           (pp_pat schema))
+        ps
+
+let pp_slot ppf = function
+  | S_any -> Format.pp_print_string ppf "_"
+  | S_oid o -> Format.fprintf ppf "@%d" o
+  | S_one_of os -> Format.fprintf ppf "@{%d oids}" (List.length os)
+  | S_pred _ -> Format.pp_print_string ppf "<pred>"
+
+let pp schema ppf t =
+  Format.fprintf ppf "(%a" pp_value_pred t.value;
+  List.iter
+    (fun c -> Format.fprintf ppf ", %a %a" (pp_pat schema) c.pat pp_slot c.slot)
+    t.comps;
+  Format.fprintf ppf ")"

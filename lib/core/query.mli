@@ -1,0 +1,61 @@
+(** The query language of Section 3.4.
+
+    A query has the paper's general format
+
+    {v (attr-value, class-code_1, val_1, class-code_2, val_2, ...) v}
+
+    where the attribute value may be exact, a range or an enumeration, the
+    class codes may be exact classes, whole subtrees (["C5A*"]) or unions,
+    and each path slot may be free, bound to an OID, or a predicate.
+    Components are listed in ascending code order, i.e. path-target first,
+    exactly as they appear inside index keys; a class-hierarchy query has
+    one component. *)
+
+module Schema := Oodb_schema.Schema
+module Value := Objstore.Value
+
+type value_pred =
+  | V_any
+  | V_eq of Value.t
+  | V_in of Value.t list
+  | V_range of Value.t option * Value.t option
+      (** inclusive bounds; [None] = unbounded *)
+
+type class_pat =
+  | P_class of Schema.class_id  (** exactly this class *)
+  | P_subtree of Schema.class_id  (** the class and its descendants *)
+  | P_union of class_pat list
+
+type slot =
+  | S_any
+  | S_oid of Value.oid
+  | S_one_of of Value.oid list
+  | S_pred of (Value.oid -> bool)
+      (** arbitrary restriction, e.g. the result of a prior select
+          (Section 3.3, path query 3) *)
+
+type comp = { pat : class_pat; slot : slot }
+
+type t = { value : value_pred; comps : comp list }
+
+val comp : ?slot:slot -> class_pat -> comp
+(** [slot] defaults to [S_any]. *)
+
+val subtree_minus :
+  Schema.t -> Schema.class_id -> except:Schema.class_id list -> class_pat
+(** The subtree of a class with some sub-subtrees carved out — the
+    paper's query 4, "vehicles which are not compact automobiles".
+    Produces the smallest pattern: whole surviving subtrees stay
+    [P_subtree], classes on the boundary become [P_class].  Raises
+    [Invalid_argument] when nothing remains. *)
+
+val class_hierarchy : value:value_pred -> class_pat -> t
+(** A single-component query. *)
+
+val path : value:value_pred -> comp list -> t
+
+val value_matches : value_pred -> Value.t -> bool
+val pat_matches : Schema.t -> class_pat -> Schema.class_id -> bool
+val slot_matches : slot -> Value.oid -> bool
+
+val pp : Schema.t -> Format.formatter -> t -> unit

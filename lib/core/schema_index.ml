@@ -1,0 +1,122 @@
+module Schema = Oodb_schema.Schema
+module Code = Oodb_schema.Code
+module Encoding = Oodb_schema.Encoding
+module Stats = Storage.Stats
+module Pager = Storage.Pager
+
+(* entry tags: each relation gets its own key region, and within a region
+   keys are serialized codes, so code clustering applies *)
+let tag_class = "\x10"
+let tag_sup = "\x11" (* child -> parent *)
+let tag_ref_from = "\x12" (* source -> (attr, target) *)
+let tag_ref_to = "\x13" (* target -> (attr, source) *)
+
+type t = { tree : Btree.t; enc : Encoding.t }
+
+let create ?config pager enc = { tree = Btree.create ?config pager; enc }
+
+let ser t cls = Code.serialize (Encoding.code t.enc cls)
+
+let sep = "\x01"
+
+let class_key t cls = tag_class ^ ser t cls
+
+let sup_key t cls parent = tag_sup ^ ser t cls ^ sep ^ ser t parent
+
+let ref_from_key t src attr dst =
+  tag_ref_from ^ ser t src ^ sep ^ attr ^ sep ^ ser t dst
+
+let ref_to_key t dst attr src =
+  tag_ref_to ^ ser t dst ^ sep ^ attr ^ sep ^ ser t src
+
+let index_class t cls =
+  let schema = Encoding.schema t.enc in
+  let add key = Btree.insert t.tree ~key ~value:"" in
+  add (class_key t cls);
+  (match Schema.parent schema cls with
+  | Some p -> add (sup_key t cls p)
+  | None -> ());
+  List.iter
+    (fun (attr, ty) ->
+      match ty with
+      | Schema.Ref dst | Schema.Ref_set dst ->
+          add (ref_from_key t cls attr dst);
+          add (ref_to_key t dst attr cls)
+      | Schema.Int | Schema.String -> ())
+    (Schema.own_attrs schema cls)
+
+let build t =
+  let schema = Encoding.schema t.enc in
+  List.iter (fun cls -> index_class t cls) (Schema.all_classes schema)
+
+let note_class_added = index_class
+
+let with_reads t f =
+  let stats = Pager.stats (Btree.pager t.tree) in
+  let before = Stats.snapshot stats in
+  let r = f () in
+  (r, (Stats.diff ~before ~after:(Stats.snapshot stats)).Stats.reads)
+
+(* scan all keys with the given prefix, reporting their suffixes *)
+let scan_prefix t prefix =
+  let out = ref [] in
+  Btree.scan_range t.tree ~read:(Btree.raw_read t.tree) ~lo:prefix
+    ~hi:(Storage.Bytes_util.succ_prefix prefix) (fun e ->
+      out :=
+        String.sub e.Btree.key (String.length prefix)
+          (String.length e.Btree.key - String.length prefix)
+        :: !out);
+  List.rev !out
+
+let class_of_ser_exn t s =
+  match Encoding.class_of_serialized t.enc s with
+  | Some c -> c
+  | None -> failwith "Schema_index: unknown code in index entry"
+
+let subtree t cls =
+  with_reads t (fun () ->
+      let lo, hi = Encoding.subtree_interval t.enc cls in
+      let out = ref [] in
+      Btree.scan_range t.tree ~read:(Btree.raw_read t.tree) ~lo:(tag_class ^ lo)
+        ~hi:(tag_class ^ hi) (fun e ->
+          let ser = String.sub e.Btree.key 1 (String.length e.Btree.key - 1) in
+          out := class_of_ser_exn t ser :: !out);
+      List.rev !out)
+
+let children t cls =
+  let depth = Code.depth (Encoding.code t.enc cls) in
+  let all, reads = subtree t cls in
+  ( List.filter
+      (fun c -> Code.depth (Encoding.code t.enc c) = depth + 1)
+      all,
+    reads )
+
+let parent t cls =
+  with_reads t (fun () ->
+      match scan_prefix t (tag_sup ^ ser t cls ^ sep) with
+      | [ p ] -> Some (class_of_ser_exn t p)
+      | [] -> None
+      | _ -> failwith "Schema_index: multiple SUP parents")
+
+let split_attr_code suffix =
+  match String.index_opt suffix '\x01' with
+  | Some i ->
+      ( String.sub suffix 0 i,
+        String.sub suffix (i + 1) (String.length suffix - i - 1) )
+  | None -> failwith "Schema_index: malformed REF entry"
+
+let refs_from t cls =
+  with_reads t (fun () ->
+      scan_prefix t (tag_ref_from ^ ser t cls ^ sep)
+      |> List.map (fun suffix ->
+             let attr, code = split_attr_code suffix in
+             (attr, class_of_ser_exn t code)))
+
+let refs_to t cls =
+  with_reads t (fun () ->
+      scan_prefix t (tag_ref_to ^ ser t cls ^ sep)
+      |> List.map (fun suffix ->
+             let attr, code = split_attr_code suffix in
+             (attr, class_of_ser_exn t code)))
+
+let entry_count t = Btree.length t.tree

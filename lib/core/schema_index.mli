@@ -1,0 +1,45 @@
+(** Schema information stored in the index itself (Section 4.1).
+
+    "By using the name-encoding scheme above, schema information can be
+    stored in the same index and retrieved easily.  For example, the
+    relations SUP or REF may be stored in the index and that information
+    is also clustered."
+
+    This module materialises that claim: class existence, SUP edges and
+    REF edges become entries of the same kind of key-compressed B+-tree
+    the U-index uses, keyed by serialized class codes — so a whole
+    subtree of the class hierarchy is one contiguous range scan, and a
+    class's REF neighbourhood is clustered around its code.  Every query
+    reports its page reads, like the object indexes. *)
+
+module Schema := Oodb_schema.Schema
+module Encoding := Oodb_schema.Encoding
+
+type t
+
+val create : ?config:Btree.config -> Storage.Pager.t -> Encoding.t -> t
+(** An empty schema index over the encoding. *)
+
+val build : t -> unit
+(** Loads every class, SUP edge and REF edge of the encoding's schema
+    currently encoded.  Idempotent. *)
+
+val note_class_added : t -> Schema.class_id -> unit
+(** Incremental maintenance after schema evolution: indexes the class
+    (which must already have a code) together with its SUP edge and its
+    own REF attributes. *)
+
+val subtree : t -> Schema.class_id -> Schema.class_id list * int
+(** Pre-order classes of the subtree, from one clustered range scan;
+    returns [(classes, page_reads)]. *)
+
+val children : t -> Schema.class_id -> Schema.class_id list * int
+val parent : t -> Schema.class_id -> Schema.class_id option * int
+
+val refs_from : t -> Schema.class_id -> (string * Schema.class_id) list * int
+(** REF attributes declared on the class: [(attr, target)]. *)
+
+val refs_to : t -> Schema.class_id -> (string * Schema.class_id) list * int
+(** Who references this class: [(attr, source)]. *)
+
+val entry_count : t -> int

@@ -1,0 +1,146 @@
+module Schema = Oodb_schema.Schema
+
+type oid = Value.oid
+
+type obj = {
+  oid : oid;
+  cls : Schema.class_id;
+  mutable attrs : (string * Value.t) list;
+}
+
+type t = {
+  schema : Schema.t;
+  objects : (oid, obj) Hashtbl.t;
+  extents : (Schema.class_id, oid list ref) Hashtbl.t;
+  (* (target oid, attribute) -> referrer oids *)
+  referrers : (oid * string, oid list ref) Hashtbl.t;
+  mutable next_oid : oid;
+}
+
+let create schema =
+  {
+    schema;
+    objects = Hashtbl.create 256;
+    extents = Hashtbl.create 16;
+    referrers = Hashtbl.create 256;
+    next_oid = 1;
+  }
+
+let schema t = t.schema
+let get t oid = Hashtbl.find t.objects oid
+let mem t oid = Hashtbl.mem t.objects oid
+let class_of t oid = (get t oid).cls
+let count t = Hashtbl.length t.objects
+let iter t f = Hashtbl.iter (fun _ o -> f o) t.objects
+
+let attr t oid a =
+  match List.assoc_opt a (get t oid).attrs with
+  | Some v -> v
+  | None -> Value.Null
+
+let multi_find tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add tbl key r;
+      r
+
+let add_referrer t ~target ~via ~source =
+  let r = multi_find t.referrers (target, via) in
+  r := source :: !r
+
+let remove_referrer t ~target ~via ~source =
+  match Hashtbl.find_opt t.referrers (target, via) with
+  | Some r -> r := List.filter (fun o -> o <> source) !r
+  | None -> ()
+
+let ref_targets = function
+  | Value.Ref o -> [ o ]
+  | Value.Ref_set os -> os
+  | Value.Null | Value.Int _ | Value.Str _ -> []
+
+let check_value t cls a v =
+  let ty = Schema.attr_type_exn t.schema cls a in
+  let fail expect =
+    invalid_arg
+      (Format.asprintf "Store: attribute %S of %s expects %s, got %a" a
+         (Schema.name t.schema cls) expect Value.pp v)
+  in
+  let check_target c o =
+    match Hashtbl.find_opt t.objects o with
+    | None -> invalid_arg (Printf.sprintf "Store: reference to unknown oid %d" o)
+    | Some target ->
+        if not (Schema.is_subclass t.schema ~sub:target.cls ~super:c) then
+          invalid_arg
+            (Printf.sprintf "Store: oid %d is a %s, not a %s" o
+               (Schema.name t.schema target.cls)
+               (Schema.name t.schema c))
+  in
+  match (ty, v) with
+  | _, Value.Null -> ()
+  | Schema.Int, Value.Int _ -> ()
+  | Schema.String, Value.Str _ -> ()
+  | Schema.Ref c, Value.Ref o -> check_target c o
+  | Schema.Ref_set c, Value.Ref_set os -> List.iter (check_target c) os
+  | Schema.Int, _ -> fail "an int"
+  | Schema.String, _ -> fail "a string"
+  | Schema.Ref _, _ -> fail "a single reference"
+  | Schema.Ref_set _, _ -> fail "a reference set"
+
+let insert t ~cls attrs =
+  List.iter (fun (a, v) -> check_value t cls a v) attrs;
+  let oid = t.next_oid in
+  t.next_oid <- oid + 1;
+  let o = { oid; cls; attrs } in
+  Hashtbl.add t.objects oid o;
+  let e = multi_find t.extents cls in
+  e := oid :: !e;
+  List.iter
+    (fun (a, v) ->
+      List.iter (fun tgt -> add_referrer t ~target:tgt ~via:a ~source:oid)
+        (ref_targets v))
+    attrs;
+  oid
+
+let set_attr t oid a v =
+  let o = get t oid in
+  check_value t o.cls a v;
+  (match List.assoc_opt a o.attrs with
+  | Some old ->
+      List.iter
+        (fun tgt -> remove_referrer t ~target:tgt ~via:a ~source:oid)
+        (ref_targets old)
+  | None -> ());
+  o.attrs <- (a, v) :: List.remove_assoc a o.attrs;
+  List.iter (fun tgt -> add_referrer t ~target:tgt ~via:a ~source:oid)
+    (ref_targets v)
+
+let delete t oid =
+  let o = get t oid in
+  List.iter
+    (fun (a, v) ->
+      List.iter
+        (fun tgt -> remove_referrer t ~target:tgt ~via:a ~source:oid)
+        (ref_targets v))
+    o.attrs;
+  (match Hashtbl.find_opt t.extents o.cls with
+  | Some e -> e := List.filter (fun x -> x <> oid) !e
+  | None -> ());
+  Hashtbl.remove t.objects oid
+
+let extent t ?(deep = true) cls =
+  let classes = if deep then Schema.subtree t.schema cls else [ cls ] in
+  List.concat_map
+    (fun c ->
+      match Hashtbl.find_opt t.extents c with
+      | Some e -> List.rev !e
+      | None -> [])
+    classes
+
+let referrers t oid ~via =
+  match Hashtbl.find_opt t.referrers (oid, via) with
+  | Some r -> List.rev !r
+  | None -> []
+
+let follow t oid a = ref_targets (attr t oid a)

@@ -1,0 +1,57 @@
+(** The object heap: typed object instances behind OIDs.
+
+    This backs index construction and maintenance, and serves as the
+    ground truth that query results are verified against in tests.  It
+    keeps class extents (for building indexes) and reverse-reference lists
+    (for the paper's mid-path update case: when a company replaces its
+    president, the affected path-index entries are found by walking the
+    referrers, Section 3.5). *)
+
+module Schema := Oodb_schema.Schema
+
+type oid = Value.oid
+
+type obj = {
+  oid : oid;
+  cls : Schema.class_id;
+  mutable attrs : (string * Value.t) list;
+}
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+val insert : t -> cls:Schema.class_id -> (string * Value.t) list -> oid
+(** Allocates an OID and stores the object.  Every attribute must be
+    declared (possibly inherited) on [cls] with a compatible type; [Ref]
+    targets must exist and be instances of (a subclass of) the declared
+    target class. *)
+
+val get : t -> oid -> obj
+(** Raises [Not_found]. *)
+
+val mem : t -> oid -> bool
+val class_of : t -> oid -> Schema.class_id
+val attr : t -> oid -> string -> Value.t
+(** [Null] when the attribute is unset. *)
+
+val set_attr : t -> oid -> string -> Value.t -> unit
+(** Type-checked like {!insert}; updates reverse-reference lists. *)
+
+val delete : t -> oid -> unit
+(** Removes the object.  Dangling references from other objects are left
+    in place (as in the paper, index maintenance is driven explicitly). *)
+
+val extent : t -> ?deep:bool -> Schema.class_id -> oid list
+(** Instances of the class; with [~deep:true] (default) of its whole
+    subtree. *)
+
+val referrers : t -> oid -> via:string -> oid list
+(** Objects whose attribute [via] references the given object. *)
+
+val follow : t -> oid -> string -> oid list
+(** Dereferences a [Ref] (one OID) or [Ref_set] (many); [[]] on [Null]. *)
+
+val count : t -> int
+val iter : t -> (obj -> unit) -> unit

@@ -1,0 +1,27 @@
+(** Attribute values of database objects. *)
+
+type oid = int
+(** Object identifiers; encoded on 4 bytes in index keys, as in the
+    paper's experiments. *)
+
+type t =
+  | Null
+  | Int of int
+  | Str of string
+  | Ref of oid          (** single-valued reference (m:1) *)
+  | Ref_set of oid list (** multi-valued reference *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val encode : t -> string
+(** Order-preserving key encoding of an indexable value ([Int] or [Str]).
+    Raises [Invalid_argument] on [Null], [Ref] and [Ref_set]: references
+    are traversed, not indexed as key bytes. *)
+
+val decode : ty:Oodb_schema.Schema.attr_type -> string -> int -> t * int
+(** [decode ~ty s off] reads the value back from a key, returning it
+    together with the offset of the separator byte that follows it in the
+    key format ([Int] is 8 fixed bytes; [Str] runs to the next [0x01]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+module Imap = Map.Make (Int)
+
+let toposort ~nodes ~edges =
+  let rank = List.mapi (fun i n -> (n, i)) nodes |> List.to_seq |> Imap.of_seq in
+  let in_deg = ref (List.fold_left (fun m n -> Imap.add n 0 m) Imap.empty nodes)
+  and succs = ref Imap.empty in
+  List.iter
+    (fun (a, b) ->
+      if Imap.mem a rank && Imap.mem b rank && a <> b then begin
+        succs := Imap.update a (fun l -> Some (b :: Option.value l ~default:[])) !succs;
+        in_deg := Imap.update b (fun d -> Some (Option.value d ~default:0 + 1)) !in_deg
+      end)
+    edges;
+  (* Kahn's algorithm with a rank-ordered frontier for stability *)
+  let module Pq = Set.Make (struct
+    type t = int * int (* rank, node *)
+
+    let compare = compare
+  end) in
+  let frontier = ref Pq.empty in
+  Imap.iter
+    (fun n d -> if d = 0 then frontier := Pq.add (Imap.find n rank, n) !frontier)
+    !in_deg;
+  let out = ref [] in
+  while not (Pq.is_empty !frontier) do
+    let ((_, n) as e) = Pq.min_elt !frontier in
+    frontier := Pq.remove e !frontier;
+    out := n :: !out;
+    List.iter
+      (fun m ->
+        let d = Imap.find m !in_deg - 1 in
+        in_deg := Imap.add m d !in_deg;
+        if d = 0 then frontier := Pq.add (Imap.find m rank, m) !frontier)
+      (Option.value (Imap.find_opt n !succs) ~default:[])
+  done;
+  let sorted = List.rev !out in
+  if List.length sorted = List.length nodes then Ok sorted
+  else
+    (* the leftover nodes all sit on or behind a cycle *)
+    let placed = List.fold_left (fun s n -> Imap.add n () s) Imap.empty sorted in
+    Error (List.filter (fun n -> not (Imap.mem n placed)) nodes)
+
+let is_acyclic ~nodes ~edges =
+  match toposort ~nodes ~edges with Ok _ -> true | Error _ -> false
+
+let partition_acyclic edges =
+  let nodes =
+    List.concat_map (fun (a, b) -> [ a; b ]) edges |> List.sort_uniq compare
+  in
+  let groups = ref [] in
+  List.iter
+    (fun e ->
+      let rec place = function
+        | g :: rest ->
+            if is_acyclic ~nodes ~edges:(e :: !g) then g := e :: !g
+            else place rest
+        | [] ->
+            let g = ref [ e ] in
+            groups := !groups @ [ g ]
+      in
+      place !groups)
+    edges;
+  List.map (fun g -> List.rev !g) !groups

@@ -1,0 +1,21 @@
+(** Small graph utilities for the encoding scheme.
+
+    The [COD] encoding requires the schema graph to be acyclic
+    (Section 3); REF relationships can create cycles (e.g. the paper's
+    OWN/USE example, Section 4.3), which are handled by partitioning the
+    REF edges into several acyclic groups — each group gets its own
+    encoding, and a query is routed to the group containing the
+    referencing attribute it mentions. *)
+
+val toposort :
+  nodes:int list -> edges:(int * int) list -> (int list, int list) result
+(** [toposort ~nodes ~edges] orders [nodes] so every edge [(a, b)] has [a]
+    before [b]; ties are broken by the input order of [nodes] (stable).
+    On a cycle, returns [Error cycle_nodes]. *)
+
+val is_acyclic : nodes:int list -> edges:(int * int) list -> bool
+
+val partition_acyclic : (int * int) list -> (int * int) list list
+(** Greedily partitions edges into groups, each of which is acyclic (the
+    paper's graph-duplication strategy).  Input order is preserved inside
+    each group. *)

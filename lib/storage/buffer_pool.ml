@@ -1,0 +1,92 @@
+(* LRU via a doubly-linked list threaded through a hashtable. *)
+
+type node = {
+  page_id : int;
+  mutable data : Bytes.t;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  pager : Pager.t;
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity pager =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    pager;
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.page_id
+
+let read t id =
+  match Hashtbl.find_opt t.table id with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      if t.head != Some n then begin
+        unlink t n;
+        push_front t n
+      end;
+      Bytes.copy n.data
+  | None ->
+      t.misses <- t.misses + 1;
+      let data = Pager.read t.pager id in
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let n = { page_id = id; data; prev = None; next = None } in
+      Hashtbl.replace t.table id n;
+      push_front t n;
+      Bytes.copy data
+
+let invalidate t id =
+  match Hashtbl.find_opt t.table id with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table id
+  | None -> ()
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let resident t = Hashtbl.length t.table

@@ -1,0 +1,35 @@
+(** A fixed-capacity LRU buffer pool over a {!Pager}.
+
+    The paper counts raw page reads (no buffering between queries, a
+    per-query cache within one: Section 3.3's "utilize any page which is
+    already in memory").  Real systems put an LRU pool under the index;
+    this module provides that layer so experiments can also report
+    steady-state hit rates (ablation A6).
+
+    Reads through the pool count against the underlying pager only on a
+    miss; hits are served from the pool.  The pool is read-only: writers
+    must go straight to the pager, and call {!invalidate} for pages they
+    changed (or {!flush} after a batch). *)
+
+type t
+
+val create : capacity:int -> Pager.t -> t
+(** [capacity] is the number of pages held (must be positive). *)
+
+val read : t -> int -> Bytes.t
+(** Serves from the pool, falling back to (and counting) a pager read. *)
+
+val invalidate : t -> int -> unit
+(** Drops one page from the pool (after an in-place update or free). *)
+
+val flush : t -> unit
+(** Empties the pool. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any access. *)
+
+val resident : t -> int
+(** Pages currently held. *)

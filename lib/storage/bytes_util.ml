@@ -1,0 +1,49 @@
+let put_u16 = Bytes.set_uint16_be
+let get_u16 = Bytes.get_uint16_be
+
+let put_u32 b off v =
+  Bytes.set_int32_be b off (Int32.of_int v)
+
+let get_u32 b off =
+  Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+(* Offset-binary: flipping the sign bit of the two's-complement 64-bit
+   image makes unsigned byte order agree with signed integer order. *)
+let encode_int x =
+  let v = Int64.logxor (Int64.of_int x) Int64.min_int in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  Bytes.unsafe_to_string b
+
+let decode_int s off =
+  let v = Bytes.get_int64_be (Bytes.unsafe_of_string s) off in
+  Int64.to_int (Int64.logxor v Int64.min_int)
+
+let encode_u32 x =
+  let b = Bytes.create 4 in
+  put_u32 b 0 x;
+  Bytes.unsafe_to_string b
+
+let decode_u32 s off = get_u32 (Bytes.unsafe_of_string s) off
+
+let succ_prefix p =
+  (* drop trailing 0xff bytes, then increment the last remaining byte *)
+  let rec go i =
+    if i < 0 then invalid_arg "Bytes_util.succ_prefix: prefix is all 0xff"
+    else if p.[i] = '\xff' then go (i - 1)
+    else String.sub p 0 i ^ String.make 1 (Char.chr (Char.code p.[i] + 1))
+  in
+  go (String.length p - 1)
+
+let common_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let check_text s =
+  String.iter
+    (fun c ->
+      if Char.code c < 0x08 then
+        invalid_arg "Bytes_util.check_text: byte below 0x08 in text component")
+    s;
+  s

@@ -1,0 +1,50 @@
+(** Order-preserving binary encodings and low-level byte helpers.
+
+    All index keys in this project are byte strings compared with
+    [String.compare] (i.e. unsigned byte-wise lexicographic order).  The
+    encoders here guarantee that the byte order of the encodings matches the
+    natural order of the encoded values, which is what lets a single B-tree
+    serve as a composite-key index. *)
+
+val put_u16 : Bytes.t -> int -> int -> unit
+(** [put_u16 b off v] writes [v] (0..65535) big-endian at [off]. *)
+
+val get_u16 : Bytes.t -> int -> int
+(** [get_u16 b off] reads a big-endian unsigned 16-bit value. *)
+
+val put_u32 : Bytes.t -> int -> int -> unit
+(** [put_u32 b off v] writes [v] (0..2^32-1) big-endian at [off]. *)
+
+val get_u32 : Bytes.t -> int -> int
+(** [get_u32 b off] reads a big-endian unsigned 32-bit value. *)
+
+val encode_int : int -> string
+(** [encode_int x] is an 8-byte order-preserving encoding of [x]: for any
+    [a], [b], [compare a b] equals [String.compare (encode_int a)
+    (encode_int b)].  Works over the full OCaml [int] range, negative
+    included. *)
+
+val decode_int : string -> int -> int
+(** [decode_int s off] inverts {!encode_int} at offset [off]. *)
+
+val encode_u32 : int -> string
+(** [encode_u32 x] is a 4-byte big-endian encoding of [x] (0..2^32-1);
+    order-preserving over that range.  Used for OIDs and page references
+    (both 4 bytes in the paper's experiments). *)
+
+val decode_u32 : string -> int -> int
+(** [decode_u32 s off] inverts {!encode_u32} at offset [off]. *)
+
+val succ_prefix : string -> string
+(** [succ_prefix p] is the smallest byte string greater than every string
+    that starts with [p] (trailing [0xff] bytes dropped, last byte
+    incremented).  Raises [Invalid_argument] when [p] is all [0xff]. *)
+
+val common_prefix_len : string -> string -> int
+(** [common_prefix_len a b] is the length of the longest common prefix of
+    [a] and [b]. *)
+
+val check_text : string -> string
+(** [check_text s] returns [s] if every byte of [s] is [>= 0x08], else
+    raises [Invalid_argument].  Textual key components must stay above the
+    control bytes the key encoders reserve as separators. *)

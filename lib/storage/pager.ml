@@ -1,0 +1,171 @@
+type backend =
+  | Memory of { mutable pages : Bytes.t option array }
+  | File of { fd : Unix.file_descr; mutable live_map : bool array }
+
+type t = {
+  page_size : int;
+  mutable backend : backend;
+  mutable used : int;  (* high-water mark *)
+  mutable free_list : int list;
+  mutable live : int;
+  mutable closed : bool;
+  stats : Stats.t;
+}
+
+let make ~page_size backend =
+  if page_size < 64 then invalid_arg "Pager.create: page_size < 64";
+  {
+    page_size;
+    backend;
+    used = 0;
+    free_list = [];
+    live = 0;
+    closed = false;
+    stats = Stats.create ();
+  }
+
+let create ?(page_size = 1024) () =
+  make ~page_size (Memory { pages = Array.make 64 None })
+
+let create_file ?(page_size = 1024) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  make ~page_size (File { fd; live_map = Array.make 64 false })
+
+let open_file ?(page_size = 1024) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len mod page_size <> 0 then begin
+    Unix.close fd;
+    invalid_arg "Pager.open_file: file length is not a multiple of page_size"
+  end;
+  let used = len / page_size in
+  let t =
+    make ~page_size (File { fd; live_map = Array.make (max 64 used) true })
+  in
+  t.used <- used;
+  t.live <- used;
+  t
+
+let close t =
+  (match t.backend with
+  | File { fd; _ } -> if not t.closed then Unix.close fd
+  | Memory _ -> ());
+  t.closed <- true
+
+let check_open t = if t.closed then invalid_arg "Pager: store is closed"
+
+let page_size t = t.page_size
+let stats t = t.stats
+
+let grow_array a default =
+  let n = Array.length a in
+  let b = Array.make (2 * n) default in
+  Array.blit a 0 b 0 n;
+  b
+
+let is_live t id =
+  id >= 0 && id < t.used
+  &&
+  match t.backend with
+  | Memory m -> m.pages.(id) <> None
+  | File f -> f.live_map.(id)
+
+let pwrite_page fd ~page_size id b =
+  ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
+  let rec go off =
+    if off < page_size then
+      let n = Unix.write fd b off (page_size - off) in
+      go (off + n)
+  in
+  go 0
+
+let pread_page fd ~page_size id =
+  ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
+  let b = Bytes.create page_size in
+  let rec go off =
+    if off < page_size then begin
+      let n = Unix.read fd b off (page_size - off) in
+      if n = 0 then
+        (* short file: the page was allocated but never written *)
+        Bytes.fill b off (page_size - off) '\000'
+      else go (off + n)
+    end
+  in
+  go 0;
+  b
+
+let alloc t =
+  check_open t;
+  t.stats.allocs <- t.stats.allocs + 1;
+  t.live <- t.live + 1;
+  let id =
+    match t.free_list with
+    | id :: rest ->
+        t.free_list <- rest;
+        id
+    | [] ->
+        let id = t.used in
+        t.used <- t.used + 1;
+        id
+  in
+  (match t.backend with
+  | Memory m ->
+      if id >= Array.length m.pages then m.pages <- grow_array m.pages None;
+      m.pages.(id) <- Some (Bytes.make t.page_size '\000')
+  | File f ->
+      if id >= Array.length f.live_map then
+        f.live_map <- grow_array f.live_map false;
+      f.live_map.(id) <- true;
+      pwrite_page f.fd ~page_size:t.page_size id (Bytes.make t.page_size '\000'));
+  id
+
+let check_live t id =
+  check_open t;
+  if id < 0 || id >= t.used then invalid_arg "Pager: page id out of range";
+  if not (is_live t id) then invalid_arg "Pager: page not allocated"
+
+let read t id =
+  check_live t id;
+  t.stats.reads <- t.stats.reads + 1;
+  match t.backend with
+  | Memory m -> (
+      match m.pages.(id) with
+      | Some b -> Bytes.copy b
+      | None -> assert false)
+  | File f -> pread_page f.fd ~page_size:t.page_size id
+
+let write t id b =
+  if Bytes.length b <> t.page_size then
+    invalid_arg "Pager.write: wrong page size";
+  check_live t id;
+  t.stats.writes <- t.stats.writes + 1;
+  match t.backend with
+  | Memory m -> m.pages.(id) <- Some (Bytes.copy b)
+  | File f -> pwrite_page f.fd ~page_size:t.page_size id b
+
+let free t id =
+  check_live t id;
+  (match t.backend with
+  | Memory m -> m.pages.(id) <- None
+  | File f -> f.live_map.(id) <- false);
+  t.live <- t.live - 1;
+  t.free_list <- id :: t.free_list
+
+let page_count t = t.live
+
+module Cache = struct
+  type pager = t
+  type nonrec t = { pager : pager; seen : (int, Bytes.t) Hashtbl.t }
+
+  let create pager = { pager; seen = Hashtbl.create 64 }
+
+  let read t id =
+    match Hashtbl.find_opt t.seen id with
+    | Some b -> b
+    | None ->
+        let b = read t.pager id in
+        Hashtbl.add t.seen id b;
+        b
+
+  let distinct_reads t = Hashtbl.length t.seen
+end

@@ -1,0 +1,76 @@
+(** A paged store with page-read accounting.
+
+    Two backends share one interface:
+
+    - {!create}: pages in memory.  The paper's reported metric (page
+      reads) depends only on which pages an algorithm touches, so the
+      experiments run on this backend — deterministic and fast;
+    - {!create_file}: pages in an ordinary file (the paper's "index files
+      were stored in page files"), read and written with positioned I/O.
+      Allocation metadata is kept in memory; the file is storage, not a
+      crash-safe database.
+
+    Reads are counted on every {!read} call.  Retrieval algorithms that
+    want buffer-pool semantics ("utilize any page which is already in
+    memory", Section 3.3) keep their own per-query cache and therefore
+    call {!read} at most once per page; see {!Cache}. *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** [create ~page_size ()] makes an empty in-memory store.  [page_size]
+    defaults to 1024 bytes, the size used throughout the paper's second
+    experiment. *)
+
+val create_file : ?page_size:int -> string -> t
+(** [create_file path] makes an empty file-backed store, truncating
+    [path] if it exists.  Raises [Unix.Unix_error] on I/O failure. *)
+
+val open_file : ?page_size:int -> string -> t
+(** [open_file path] re-attaches to an existing page file: every page up
+    to the file's length is considered live.  Free-list state is not
+    persisted, so pages freed in a previous session are simply not
+    reused.  Raises [Invalid_argument] if the file length is not a
+    multiple of the page size. *)
+
+val close : t -> unit
+(** Releases the backing file (no-op for the memory backend).  Further
+    access raises. *)
+
+val page_size : t -> int
+
+val stats : t -> Stats.t
+(** The live counters of this pager (shared, mutable). *)
+
+val alloc : t -> int
+(** [alloc t] allocates a fresh zeroed page and returns its id.  Reuses
+    freed pages first.  Counts as one alloc (not a read). *)
+
+val read : t -> int -> Bytes.t
+(** [read t id] returns the current contents of page [id] as a fresh copy
+    and increments the read counter.  Raises [Invalid_argument] on an
+    unallocated id. *)
+
+val write : t -> int -> Bytes.t -> unit
+(** [write t id b] replaces page [id] with [b] (must be exactly
+    [page_size t] long) and increments the write counter. *)
+
+val free : t -> int -> unit
+(** [free t id] returns page [id] to the allocator. *)
+
+val page_count : t -> int
+(** Number of live (allocated, not freed) pages: the structure's storage
+    footprint in pages. *)
+
+(** A per-query page cache.  [Cache.read] fetches each page from the
+    underlying pager at most once, so the pager's read counter counts
+    distinct pages — the paper's accounting for the parallel retrieval
+    algorithm. *)
+module Cache : sig
+  type pager := t
+  type t
+
+  val create : pager -> t
+  val read : t -> int -> Bytes.t
+  val distinct_reads : t -> int
+end

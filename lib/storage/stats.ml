@@ -1,0 +1,21 @@
+type t = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+let create () = { reads = 0; writes = 0; allocs = 0 }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.allocs <- 0
+
+let snapshot t = { reads = t.reads; writes = t.writes; allocs = t.allocs }
+
+let diff ~before ~after =
+  {
+    reads = after.reads - before.reads;
+    writes = after.writes - before.writes;
+    allocs = after.allocs - before.allocs;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "{reads=%d; writes=%d; allocs=%d}" t.reads t.writes
+    t.allocs

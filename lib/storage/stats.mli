@@ -1,0 +1,23 @@
+(** Page-access accounting.
+
+    The paper's experimental metric is the number of index pages read per
+    query ("visited nodes" in Table 1, "page reads" in Figures 5–8).  Every
+    pager carries a [Stats.t]; retrieval algorithms reset it before a query
+    and read it after. *)
+
+type t = {
+  mutable reads : int;   (** pages fetched *)
+  mutable writes : int;  (** pages written back *)
+  mutable allocs : int;  (** pages allocated *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val snapshot : t -> t
+(** An independent copy, for before/after deltas. *)
+
+val diff : before:t -> after:t -> t
+(** Field-wise [after - before]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,196 @@
+module Schema = Oodb_schema.Schema
+module Encoding = Oodb_schema.Encoding
+module Store = Objstore.Store
+module Value = Objstore.Value
+module Index = Uindex.Index
+
+(* --- experiment 1 ---------------------------------------------------------- *)
+
+type exp1 = {
+  ext : Paper_schema.extended;
+  store : Store.t;
+  ch_color : Index.t;
+  path_age : Index.t;
+}
+
+(* "we used a small node size m = 10" *)
+let exp1_config =
+  { (Btree.default_config ~page_size:1024) with max_entries = Some 10 }
+
+let exp1 ?(n_vehicles = 12_000) ?(n_companies = 600) ?(n_employees = 200)
+    ~seed () =
+  let ext = Paper_schema.extended () in
+  let b = ext.b in
+  let rng = Rng.create seed in
+  let store = Store.create b.schema in
+  let employees =
+    Array.init n_employees (fun i ->
+        Store.insert store ~cls:b.employee
+          [
+            ("name", Value.Str (Printf.sprintf "Emp%04d" i));
+            ("age", Value.Int (20 + Rng.int rng 51));
+          ])
+  in
+  let company_classes =
+    [| b.auto_company; b.truck_company; b.japanese_auto_company |]
+  in
+  let companies =
+    Array.init n_companies (fun i ->
+        Store.insert store
+          ~cls:(Rng.pick rng company_classes)
+          [
+            ("name", Value.Str (Printf.sprintf "Co%04d" i));
+            ("president", Value.Ref (Rng.pick rng employees));
+          ])
+  in
+  let vehicle_classes = Paper_schema.vehicle_leaf_classes ext in
+  for i = 0 to n_vehicles - 1 do
+    ignore
+      (Store.insert store
+         ~cls:(Rng.pick rng vehicle_classes)
+         [
+           ("name", Value.Str (Printf.sprintf "V%05d" i));
+           ("color", Value.Str (Rng.pick rng Paper_schema.colors));
+           ("weight", Value.Int (500 + Rng.int rng 39_500));
+           ("manufactured_by", Value.Ref (Rng.pick rng companies));
+         ])
+  done;
+  let ch_color =
+    Index.create_class_hierarchy ~config:exp1_config
+      (Storage.Pager.create ())
+      b.enc ~root:b.vehicle ~attr:"color"
+  in
+  Index.build ch_color store;
+  let path_age =
+    Index.create_path ~config:exp1_config
+      (Storage.Pager.create ())
+      b.enc ~head:b.vehicle
+      ~refs:[ "manufactured_by"; "president" ]
+      ~attr:"age"
+  in
+  Index.build path_age store;
+  { ext; store; ch_color; path_age }
+
+(* --- path workloads ---------------------------------------------------------- *)
+
+type path_db = {
+  e1 : exp1;
+  nix : Baselines.Nix.t;
+  bk_path : Baselines.Path_index.t;
+  bk_nested : Baselines.Path_index.t;
+}
+
+let path_db ?n_vehicles ?n_companies ?n_employees ~seed () =
+  let e1 = exp1 ?n_vehicles ?n_companies ?n_employees ~seed () in
+  let b = e1.ext.b in
+  let schema = b.schema in
+  let nix =
+    Baselines.Nix.create
+      (Storage.Pager.create ())
+      ~classes:(Schema.all_classes schema)
+  in
+  let bk_path =
+    Baselines.Path_index.create (Storage.Pager.create ()) Baselines.Path_index.Path
+  in
+  let bk_nested =
+    Baselines.Path_index.create (Storage.Pager.create ())
+      Baselines.Path_index.Nested
+  in
+  List.iter
+    (fun v ->
+      match Store.follow e1.store v "manufactured_by" with
+      | [ c ] -> (
+          match Store.follow e1.store c "president" with
+          | [ p ] -> (
+              match Store.attr e1.store p "age" with
+              | Value.Int _ as age ->
+                  Baselines.Nix.insert_chain nix ~value:age
+                    [
+                      (Store.class_of e1.store p, p);
+                      (Store.class_of e1.store c, c);
+                      (Store.class_of e1.store v, v);
+                    ];
+                  Baselines.Path_index.insert bk_path ~value:age ~head:v
+                    ~inner:[ c; p ];
+                  Baselines.Path_index.insert bk_nested ~value:age ~head:v
+                    ~inner:[]
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    (Store.extent e1.store ~deep:true b.vehicle);
+  { e1; nix; bk_path; bk_nested }
+
+(* --- experiment 2 ---------------------------------------------------------- *)
+
+type exp2_config = {
+  n_objects : int;
+  n_classes : int;
+  distinct_keys : int;
+  page_size : int;
+  seed : int;
+}
+
+let default_exp2 ~n_classes ~distinct_keys =
+  {
+    n_objects = 150_000;
+    n_classes;
+    distinct_keys;
+    page_size = 1024;
+    seed = 20260706;
+  }
+
+type exp2 = {
+  cfg : exp2_config;
+  schema : Schema.t;
+  enc : Encoding.t;
+  root : Schema.class_id;
+  classes : Schema.class_id array;
+  entries : (int * Schema.class_id * int) array;
+  uindex : Index.t;
+  cg : Baselines.Cg_tree.t;
+}
+
+let hierarchy ~n_classes =
+  let s = Schema.create () in
+  let root = Schema.add_class s ~name:"C0" ~attrs:[ ("k", Schema.Int) ] in
+  (* breadth-first creation with branching factor 3 *)
+  let q = Queue.create () in
+  Queue.add root q;
+  let made = ref 1 in
+  while !made < n_classes do
+    let parent = Queue.pop q in
+    let n_children = min 3 (n_classes - !made) in
+    for _ = 1 to n_children do
+      let c =
+        Schema.add_class s ~parent ~name:(Printf.sprintf "C%d" !made) ~attrs:[]
+      in
+      incr made;
+      Queue.add c q
+    done
+  done;
+  let pre_order = Array.of_list (Schema.subtree s root) in
+  (s, root, pre_order)
+
+let exp2 cfg =
+  let schema, root, classes = hierarchy ~n_classes:cfg.n_classes in
+  let enc = Encoding.assign schema in
+  let rng = Rng.create cfg.seed in
+  let unique = cfg.distinct_keys >= cfg.n_objects in
+  let entries =
+    Array.init cfg.n_objects (fun i ->
+        let key = if unique then i else Rng.int rng cfg.distinct_keys in
+        let cls = Rng.pick rng classes in
+        (key, cls, i + 1))
+  in
+  let upager = Storage.Pager.create ~page_size:cfg.page_size () in
+  let uindex = Index.create_class_hierarchy upager enc ~root ~attr:"k" in
+  Array.iter
+    (fun (k, cls, oid) ->
+      Index.insert_entry uindex ~value:(Value.Int k) [ (cls, oid) ])
+    entries;
+  let cpager = Storage.Pager.create ~page_size:cfg.page_size () in
+  let cg = Baselines.Cg_tree.create cpager in
+  Array.iter
+    (fun (k, cls, oid) -> Baselines.Cg_tree.insert cg ~value:(Value.Int k) ~cls oid)
+    entries;
+  { cfg; schema; enc; root; classes; entries; uindex; cg }

@@ -1,0 +1,79 @@
+(** Random database generation for the paper's two experiments
+    (Section 5).  The authors' actual data is not published; these
+    generators reproduce every stated parameter (sizes, distributions,
+    page and field widths) from a seed. *)
+
+module Schema := Oodb_schema.Schema
+module Encoding := Oodb_schema.Encoding
+
+(** {1 Experiment 1 — the vehicle database}
+
+    12,000 vehicle records over the extended Fig. 1 hierarchy, plus
+    companies and employees for the path and combined queries; B-tree
+    nodes hold at most [m = 10] records. *)
+
+type exp1 = {
+  ext : Paper_schema.extended;
+  store : Objstore.Store.t;
+  ch_color : Uindex.Index.t;  (** class-hierarchy index on Vehicle.color *)
+  path_age : Uindex.Index.t;
+      (** path index Vehicle.manufactured_by.president.age *)
+}
+
+val exp1 : ?n_vehicles:int -> ?n_companies:int -> ?n_employees:int ->
+  seed:int -> unit -> exp1
+
+(** {1 Experiment 2 — U-index vs CG-trees}
+
+    150,000 objects uniform over an 8- or 40-class hierarchy; 4-byte
+    OIDs; 8-byte integer keys with 100 / 1,000 / 150,000 distinct values;
+    1,024-byte pages. *)
+
+type exp2_config = {
+  n_objects : int;
+  n_classes : int;
+  distinct_keys : int;  (** [= n_objects] for the unique-key case *)
+  page_size : int;
+  seed : int;
+}
+
+val default_exp2 : n_classes:int -> distinct_keys:int -> exp2_config
+
+type exp2 = {
+  cfg : exp2_config;
+  schema : Schema.t;
+  enc : Encoding.t;
+  root : Schema.class_id;
+  classes : Schema.class_id array;  (** pre-order (= code order) *)
+  entries : (int * Schema.class_id * int) array;  (** (key, class, oid) *)
+  uindex : Uindex.Index.t;
+  cg : Baselines.Cg_tree.t;
+}
+
+val exp2 : exp2_config -> exp2
+(** Generates the data and builds both structures (each on its own
+    pager). *)
+
+val hierarchy : n_classes:int -> Schema.t * Schema.class_id * Schema.class_id array
+(** The class hierarchy used by experiment 2: a root with branching
+    factor 3, [n_classes] classes in total; the returned array is in
+    pre-order. *)
+
+(** {1 Path workloads — U-index vs NIX vs nested/path indexes}
+
+    The Section 4.4 comparison: one Vehicle→Company→Employee database
+    indexed four ways. *)
+
+type path_db = {
+  e1 : exp1;
+  nix : Baselines.Nix.t;
+  bk_path : Baselines.Path_index.t;  (** Bertino–Kim path index *)
+  bk_nested : Baselines.Path_index.t;  (** Bertino–Kim nested index *)
+}
+
+val path_db :
+  ?n_vehicles:int -> ?n_companies:int -> ?n_employees:int -> seed:int ->
+  unit -> path_db
+(** Builds {!exp1} and additionally loads the same path instantiations
+    into a NIX, a path index and a nested index (each on its own
+    pager). *)

@@ -1,0 +1,166 @@
+module Value = Objstore.Value
+module Stats = Storage.Stats
+module Pager = Storage.Pager
+module Query = Uindex.Query
+module Exec = Uindex.Exec
+module Index = Uindex.Index
+
+(* --- experiment 1: Table 1 ------------------------------------------------- *)
+
+type t1_row = {
+  id : string;
+  descr : string;
+  results : int;
+  parallel : int;
+  forward : int;
+}
+
+let run_row idx id descr q =
+  let p = Exec.parallel idx q and f = Exec.forward idx q in
+  assert (List.length p.bindings = List.length f.bindings);
+  {
+    id;
+    descr;
+    results = List.length p.bindings;
+    parallel = p.page_reads;
+    forward = f.page_reads;
+  }
+
+let color_variants = [ ("", None); ("a", Some [ "Red" ]); ("b", Some [ "Red"; "Blue" ]); ("c", Some [ "Red"; "Blue"; "Green" ]) ]
+
+let value_pred_of = function
+  | None -> Query.V_any
+  | Some [ c ] -> Query.V_eq (Value.Str c)
+  | Some cs -> Query.V_in (List.map (fun c -> Value.Str c) cs)
+
+let descr_of_colors = function
+  | None -> "all colors"
+  | Some cs -> String.concat "+" cs
+
+let table1 (e : Datagen.exp1) =
+  let b = e.ext.b in
+  let ch_rows base_id descr pat =
+    List.map
+      (fun (suffix, colors) ->
+        run_row e.ch_color (base_id ^ suffix)
+          (Printf.sprintf "%s, %s" descr (descr_of_colors colors))
+          (Query.class_hierarchy ~value:(value_pred_of colors) pat))
+      color_variants
+  in
+  let q1 = ch_rows "1" "all Buses (subtree)" (P_subtree e.ext.bus) in
+  let q2 =
+    ch_rows "2" "all PassengerBuses (subtree)" (P_subtree e.ext.passenger_bus)
+  in
+  let q3 = ch_rows "3" "Automobiles (subtree)" (P_subtree b.automobile) in
+  let q4 =
+    ch_rows "4" "Compact or Service automobiles"
+      (P_union [ P_subtree b.compact; P_subtree e.ext.service_auto ])
+  in
+  let partial value =
+    Query.path ~value
+      [ Query.comp (P_subtree b.employee); Query.comp (P_subtree b.company) ]
+  in
+  let q5 =
+    [
+      run_row e.path_age "5a" "companies with president age = 50"
+        (partial (V_eq (Int 50)));
+      run_row e.path_age "5b" "companies with president age > 50"
+        (partial (V_range (Some (Int 51), Some (Int 70))));
+    ]
+  in
+  let combined head_pat =
+    Query.path
+      ~value:(V_range (Some (Int 51), Some (Int 70)))
+      [
+        Query.comp (P_subtree b.employee);
+        Query.comp (P_subtree b.auto_company);
+        Query.comp head_pat;
+      ]
+  in
+  let q6 =
+    [
+      run_row e.path_age "6a"
+        "Automobiles by AutoCompanies, president age > 50"
+        (combined (P_subtree b.automobile));
+      run_row e.path_age "6b" "Trucks by AutoCompanies, president age > 50"
+        (combined (P_subtree b.truck));
+    ]
+  in
+  q1 @ q2 @ q3 @ q4 @ q5 @ q6
+
+let render_table1 rows =
+  Table.render
+    ~header:[ "query"; "description"; "results"; "parallel"; "forward" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.id;
+             r.descr;
+             string_of_int r.results;
+             string_of_int r.parallel;
+             string_of_int r.forward;
+           ])
+         rows)
+
+(* --- experiment 2: figures 5-8 --------------------------------------------- *)
+
+type query_kind = Exact | Range of float
+
+let measured stats f =
+  Stats.reset stats;
+  let results = f () in
+  (stats.Stats.reads, results)
+
+let u_query (_e : Datagen.exp2) ~lo ~hi ~sets =
+  let value =
+    if lo = hi then Query.V_eq (Value.Int lo)
+    else Query.V_range (Some (Value.Int lo), Some (Value.Int hi))
+  in
+  Query.class_hierarchy ~value (Querygen.union_of_classes sets)
+
+let u_page_reads (e : Datagen.exp2) q =
+  let o = Exec.parallel e.uindex q in
+  (o.page_reads, List.length o.bindings)
+
+let cg_page_reads (e : Datagen.exp2) ~kind ~lo ~hi ~sets =
+  let stats = Pager.stats (Baselines.Cg_tree.pager e.cg) in
+  measured stats (fun () ->
+      match kind with
+      | Exact -> List.length (Baselines.Cg_tree.exact e.cg ~value:(Value.Int lo) ~sets)
+      | Range _ ->
+          List.length
+            (Baselines.Cg_tree.range e.cg ~lo:(Value.Int lo) ~hi:(Value.Int hi)
+               ~sets))
+
+let bounds_of rng (e : Datagen.exp2) = function
+  | Exact ->
+      let v = Querygen.exact_value rng ~distinct_keys:e.cfg.distinct_keys in
+      (v, v)
+  | Range frac ->
+      Querygen.range_bounds rng ~distinct_keys:e.cfg.distinct_keys ~frac
+
+let figure_series (e : Datagen.exp2) ~kind ~set_counts ~reps ~seed =
+  let point placement structure k =
+    let rng = Rng.create (seed + k + (1000 * Hashtbl.hash (placement, structure))) in
+    let total = ref 0 in
+    for _ = 1 to reps do
+      let sets = Querygen.pick_sets rng placement ~classes:e.classes ~k in
+      let lo, hi = bounds_of rng e kind in
+      let reads =
+        match structure with
+        | `U -> fst (u_page_reads e (u_query e ~lo ~hi ~sets))
+        | `Cg -> fst (cg_page_reads e ~kind ~lo ~hi ~sets)
+      in
+      total := !total + reads
+    done;
+    float_of_int !total /. float_of_int reps
+  in
+  [
+    ( "B-tree (near sets)",
+      List.map (fun k -> (k, point Querygen.Near `U k)) set_counts );
+    ( "B-tree (non-near sets)",
+      List.map (fun k -> (k, point Querygen.Distant `U k)) set_counts );
+    ( "CG-tree",
+      List.map (fun k -> (k, point Querygen.Random `Cg k)) set_counts );
+  ]

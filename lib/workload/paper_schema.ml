@@ -1,0 +1,169 @@
+module Schema = Oodb_schema.Schema
+module Encoding = Oodb_schema.Encoding
+module Store = Objstore.Store
+module Value = Objstore.Value
+
+type t = {
+  schema : Schema.t;
+  enc : Encoding.t;
+  employee : Schema.class_id;
+  company : Schema.class_id;
+  city : Schema.class_id;
+  division : Schema.class_id;
+  vehicle : Schema.class_id;
+  auto_company : Schema.class_id;
+  truck_company : Schema.class_id;
+  japanese_auto_company : Schema.class_id;
+  automobile : Schema.class_id;
+  compact : Schema.class_id;
+  truck : Schema.class_id;
+}
+
+let colors = [| "Red"; "Blue"; "Green"; "White"; "Black" |]
+
+let base () =
+  let s = Schema.create () in
+  (* declaration order matches the paper's C1..C5 via the topological
+     tie-break *)
+  let employee = Schema.add_class s ~name:"Employee" ~attrs:[ ("age", Schema.Int); ("name", Schema.String) ] in
+  let company =
+    Schema.add_class s ~name:"Company"
+      ~attrs:[ ("name", Schema.String); ("president", Schema.Ref employee) ]
+  in
+  let city = Schema.add_class s ~name:"City" ~attrs:[ ("name", Schema.String) ] in
+  let division =
+    Schema.add_class s ~name:"Division"
+      ~attrs:
+        [
+          ("name", Schema.String);
+          ("belongs_to", Schema.Ref company);
+          ("located_in", Schema.Ref city);
+        ]
+  in
+  let vehicle =
+    Schema.add_class s ~name:"Vehicle"
+      ~attrs:
+        [
+          ("name", Schema.String);
+          ("color", Schema.String);
+          ("weight", Schema.Int);
+          ("manufactured_by", Schema.Ref company);
+        ]
+  in
+  let auto_company = Schema.add_class s ~parent:company ~name:"AutoCompany" ~attrs:[] in
+  let truck_company = Schema.add_class s ~parent:company ~name:"TruckCompany" ~attrs:[] in
+  let japanese_auto_company =
+    Schema.add_class s ~parent:auto_company ~name:"JapaneseAutoCompany" ~attrs:[]
+  in
+  let automobile = Schema.add_class s ~parent:vehicle ~name:"Automobile" ~attrs:[] in
+  let compact = Schema.add_class s ~parent:automobile ~name:"CompactAutomobile" ~attrs:[] in
+  let truck = Schema.add_class s ~parent:vehicle ~name:"Truck" ~attrs:[] in
+  let enc = Encoding.assign s in
+  {
+    schema = s;
+    enc;
+    employee;
+    company;
+    city;
+    division;
+    vehicle;
+    auto_company;
+    truck_company;
+    japanese_auto_company;
+    automobile;
+    compact;
+    truck;
+  }
+
+type extended = {
+  b : t;
+  foreign_auto : Schema.class_id;
+  service_auto : Schema.class_id;
+  heavy_truck : Schema.class_id;
+  light_truck : Schema.class_id;
+  bus : Schema.class_id;
+  military_bus : Schema.class_id;
+  tourist_bus : Schema.class_id;
+  passenger_bus : Schema.class_id;
+}
+
+let extended () =
+  let b = base () in
+  let s = b.schema in
+  let add ?parent name =
+    let id = Schema.add_class s ?parent ~name ~attrs:[] in
+    Encoding.assign_new_class b.enc id;
+    id
+  in
+  let foreign_auto = add ~parent:b.automobile "ForeignAuto" in
+  let service_auto = add ~parent:b.automobile "ServiceAuto" in
+  let heavy_truck = add ~parent:b.truck "HeavyTruck" in
+  let light_truck = add ~parent:b.truck "LightTruck" in
+  let bus = add ~parent:b.vehicle "Bus" in
+  let military_bus = add ~parent:bus "MilitaryBus" in
+  let tourist_bus = add ~parent:bus "TouristBus" in
+  let passenger_bus = add ~parent:bus "PassengerBus" in
+  {
+    b;
+    foreign_auto;
+    service_auto;
+    heavy_truck;
+    light_truck;
+    bus;
+    military_bus;
+    tourist_bus;
+    passenger_bus;
+  }
+
+let vehicle_leaf_classes e =
+  [|
+    e.b.vehicle;
+    e.b.automobile;
+    e.b.compact;
+    e.foreign_auto;
+    e.service_auto;
+    e.b.truck;
+    e.heavy_truck;
+    e.light_truck;
+    e.bus;
+    e.military_bus;
+    e.tourist_bus;
+    e.passenger_bus;
+  |]
+
+type example1 = {
+  store : Store.t;
+  v1 : int; v2 : int; v3 : int; v4 : int; v5 : int; v6 : int;
+  c1 : int; c2 : int; c3 : int;
+  e1 : int; e2 : int; e3 : int;
+}
+
+let example1 b =
+  let st = Store.create b.schema in
+  let emp name age =
+    Store.insert st ~cls:b.employee
+      [ ("name", Value.Str name); ("age", Value.Int age) ]
+  in
+  let e1 = emp "Elena" 50 and e2 = emp "Enzo" 60 and e3 = emp "Eiji" 45 in
+  let comp cls name president =
+    Store.insert st ~cls
+      [ ("name", Value.Str name); ("president", Value.Ref president) ]
+  in
+  let c1 = comp b.japanese_auto_company "Subaru" e3
+  and c2 = comp b.auto_company "Fiat" e1
+  and c3 = comp b.auto_company "Renault" e2 in
+  let veh cls name color maker =
+    Store.insert st ~cls
+      [
+        ("name", Value.Str name);
+        ("color", Value.Str color);
+        ("manufactured_by", Value.Ref maker);
+      ]
+  in
+  let v1 = veh b.vehicle "Legacy" "White" c1
+  and v2 = veh b.automobile "Tipo" "White" c2
+  and v3 = veh b.automobile "Panda" "Red" c2
+  and v4 = veh b.compact "R5" "Red" c3
+  and v5 = veh b.compact "Justy" "Blue" c1
+  and v6 = veh b.compact "Uno" "White" c2 in
+  { store = st; v1; v2; v3; v4; v5; v6; c1; c2; c3; e1; e2; e3 }

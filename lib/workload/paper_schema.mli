@@ -1,0 +1,68 @@
+(** The paper's running example: the Fig. 1 vehicle/company/employee
+    schema, its Section 5 extensions, and the Example 1 instance
+    database. *)
+
+module Schema := Oodb_schema.Schema
+module Encoding := Oodb_schema.Encoding
+module Store := Objstore.Store
+
+type t = {
+  schema : Schema.t;
+  enc : Encoding.t;
+  (* hierarchy roots *)
+  employee : Schema.class_id;
+  company : Schema.class_id;
+  city : Schema.class_id;
+  division : Schema.class_id;
+  vehicle : Schema.class_id;
+  (* company subclasses *)
+  auto_company : Schema.class_id;
+  truck_company : Schema.class_id;
+  japanese_auto_company : Schema.class_id;
+  (* vehicle subclasses (Fig. 1) *)
+  automobile : Schema.class_id;
+  compact : Schema.class_id;
+  truck : Schema.class_id;
+}
+
+val base : unit -> t
+(** Fig. 1 as in Section 2: Vehicle {v name color manufactured_by v},
+    Company {v name president v}, Employee {v age v}, Division, City,
+    with the REF edges of the paper.  Codes are assigned; the REF
+    topology forces Employee < Company < City' ... exactly one valid
+    family of orders (the paper's C1..C5 up to renaming). *)
+
+type extended = {
+  b : t;
+  (* the nine extra classes of the first experiment (Section 5) *)
+  foreign_auto : Schema.class_id;
+  service_auto : Schema.class_id;
+  heavy_truck : Schema.class_id;
+  light_truck : Schema.class_id;
+  bus : Schema.class_id;
+  military_bus : Schema.class_id;
+  tourist_bus : Schema.class_id;
+  passenger_bus : Schema.class_id;
+}
+
+val extended : unit -> extended
+(** [base] plus the Section 5 additions: ForeignAuto, ServiceAuto under
+    Automobile; HeavyTruck, LightTruck under Truck; Bus with MilitaryBus,
+    TouristBus, PassengerBus. *)
+
+val vehicle_leaf_classes : extended -> Schema.class_id array
+(** The classes vehicles are instantiated from in Experiment 1 (every
+    class of the Vehicle hierarchy). *)
+
+(** The Example 1 instance database (Section 3.2). *)
+type example1 = {
+  store : Store.t;
+  v1 : int; v2 : int; v3 : int; v4 : int; v5 : int; v6 : int;
+  c1 : int; c2 : int; c3 : int;
+  e1 : int; e2 : int; e3 : int;
+}
+
+val example1 : t -> example1
+
+val colors : string array
+(** The color domain used by the experiments. *)

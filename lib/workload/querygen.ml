@@ -1,0 +1,27 @@
+type placement = Near | Distant | Random
+
+let pick_sets rng placement ~classes ~k =
+  let n = Array.length classes in
+  if k > n then invalid_arg "Querygen.pick_sets: more sets than classes";
+  let indices =
+    match placement with
+    | Near ->
+        let start = Rng.int rng (n - k + 1) in
+        List.init k (fun i -> start + i)
+    | Distant ->
+        let stride = max 1 (n / k) in
+        let offset = Rng.int rng (max 1 (n - ((k - 1) * stride))) in
+        List.init k (fun i -> offset + (i * stride))
+    | Random -> Rng.sample_distinct rng k n
+  in
+  List.map (fun i -> classes.(i)) indices
+
+let exact_value rng ~distinct_keys = Rng.int rng distinct_keys
+
+let range_bounds rng ~distinct_keys ~frac =
+  let width = max 1 (int_of_float (frac *. float_of_int distinct_keys)) in
+  let lo = Rng.int rng (max 1 (distinct_keys - width + 1)) in
+  (lo, lo + width - 1)
+
+let union_of_classes sets =
+  Uindex.Query.P_union (List.map (fun c -> Uindex.Query.P_class c) sets)

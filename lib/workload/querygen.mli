@@ -1,0 +1,26 @@
+(** Random query generation for the experiments: which sets (classes) a
+    query touches and which key values it asks for. *)
+
+module Schema := Oodb_schema.Schema
+
+type placement =
+  | Near  (** adjacent in the class hierarchy's pre-order (clustered) *)
+  | Distant  (** spread as far apart as possible *)
+  | Random  (** uniform — used for the CG-tree, where adjacency is
+                irrelevant (Section 5.1) *)
+
+val pick_sets :
+  Rng.t -> placement -> classes:Schema.class_id array -> k:int ->
+  Schema.class_id list
+(** [k] distinct classes placed according to [placement].  For [Distant],
+    when [k > n/2] true separation is impossible (as the paper notes) and
+    the selection degrades gracefully to maximum spread. *)
+
+val exact_value : Rng.t -> distinct_keys:int -> int
+(** A uniform key value. *)
+
+val range_bounds : Rng.t -> distinct_keys:int -> frac:float -> int * int
+(** Inclusive bounds of a range covering [frac] of the key space
+    (e.g. [0.10], [0.02], [0.005], [0.002]). *)
+
+val union_of_classes : Schema.class_id list -> Uindex.Query.class_pat

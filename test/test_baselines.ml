@@ -1,0 +1,399 @@
+(* Tests for the baseline index structures: CH-tree, H-tree, CG-tree,
+   nested/path index, NIX.  The CG-tree — the paper's experimental
+   comparator — additionally gets a randomized test against a reference
+   model. *)
+
+module Value = Objstore.Value
+module Rng = Workload.Rng
+
+let sorted = List.sort compare
+
+(* a reference model: (value, cls) -> oid list *)
+module Model = struct
+  type t = (int * int, int list ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let insert m v cls oid =
+    match Hashtbl.find_opt m (v, cls) with
+    | Some r -> r := oid :: !r
+    | None -> Hashtbl.add m (v, cls) (ref [ oid ])
+
+  let remove m v cls oid =
+    match Hashtbl.find_opt m (v, cls) with
+    | Some r ->
+        let rec remove_one = function
+          | o :: rest when o = oid -> rest
+          | o :: rest -> o :: remove_one rest
+          | [] -> []
+        in
+        r := remove_one !r;
+        if !r = [] then Hashtbl.remove m (v, cls)
+    | None -> ()
+
+  let exact m v sets =
+    List.concat_map
+      (fun cls ->
+        match Hashtbl.find_opt m (v, cls) with
+        | Some r -> List.map (fun o -> (cls, o)) !r
+        | None -> [])
+      sets
+    |> sorted
+
+  let range m lo hi sets =
+    let out = ref [] in
+    Hashtbl.iter
+      (fun (v, cls) r ->
+        if v >= lo && v <= hi && List.mem cls sets then
+          out := List.map (fun o -> (cls, o)) !r @ !out)
+      m;
+    sorted !out
+end
+
+let classes = [ 0; 1; 2; 3; 4 ]
+
+type ops = {
+  insert : value:Value.t -> cls:int -> int -> unit;
+  remove : value:Value.t -> cls:int -> int -> unit;
+  exact : value:Value.t -> sets:int list -> (int * int) list;
+  range : lo:Value.t -> hi:Value.t -> sets:int list -> (int * int) list;
+  check : unit -> unit;
+}
+
+let randomized_against_model ~name ops =
+  let rng = Rng.create 42 in
+  let m = Model.create () in
+  let next_oid = ref 1 in
+  let live = ref [] in
+  for step = 1 to 2000 do
+    let v = Rng.int rng 30 in
+    let cls = Rng.int rng (List.length classes) in
+    if Rng.int rng 100 < 70 || !live = [] then begin
+      let oid = !next_oid in
+      incr next_oid;
+      ops.insert ~value:(Value.Int v) ~cls oid;
+      Model.insert m v cls oid;
+      live := (v, cls, oid) :: !live
+    end
+    else begin
+      let n = Rng.int rng (List.length !live) in
+      let v, cls, oid = List.nth !live n in
+      ops.remove ~value:(Value.Int v) ~cls oid;
+      Model.remove m v cls oid;
+      live := List.filter (fun x -> x <> (v, cls, oid)) !live
+    end;
+    if step mod 100 = 0 then begin
+      ops.check ();
+      let v = Rng.int rng 30 in
+      let sets = [ 0; 2; 4 ] in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "%s exact @%d" name step)
+        (Model.exact m v sets)
+        (sorted (ops.exact ~value:(Value.Int v) ~sets));
+      let lo = Rng.int rng 20 in
+      let hi = lo + Rng.int rng 10 in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "%s range @%d" name step)
+        (Model.range m lo hi sets)
+        (sorted (ops.range ~lo:(Value.Int lo) ~hi:(Value.Int hi) ~sets))
+    end
+  done
+
+let small_config page_size =
+  { (Btree.default_config ~page_size) with max_entries = Some 8 }
+
+let test_ch_tree_random () =
+  let pager = Storage.Pager.create ~page_size:256 () in
+  let t = Baselines.Ch_tree.create ~config:(small_config 256) pager in
+  randomized_against_model ~name:"ch"
+    {
+      insert = Baselines.Ch_tree.insert t;
+      remove = Baselines.Ch_tree.remove t;
+      exact = Baselines.Ch_tree.exact t;
+      range = Baselines.Ch_tree.range t;
+      check = (fun () -> Btree.check (Baselines.Ch_tree.tree t));
+    }
+
+let test_h_tree_random () =
+  let pager = Storage.Pager.create ~page_size:256 () in
+  let t = Baselines.H_tree.create ~config:(small_config 256) pager ~classes in
+  randomized_against_model ~name:"h"
+    {
+      insert = Baselines.H_tree.insert t;
+      remove = Baselines.H_tree.remove t;
+      exact = Baselines.H_tree.exact t;
+      range = Baselines.H_tree.range t;
+      check = (fun () -> ());
+    }
+
+let test_cg_tree_random () =
+  let pager = Storage.Pager.create ~page_size:256 () in
+  let t = Baselines.Cg_tree.create ~config:(small_config 256) pager in
+  randomized_against_model ~name:"cg"
+    {
+      insert = Baselines.Cg_tree.insert t;
+      remove = Baselines.Cg_tree.remove t;
+      exact = Baselines.Cg_tree.exact t;
+      range = Baselines.Cg_tree.range t;
+      check = (fun () -> Baselines.Cg_tree.check t);
+    }
+
+let test_cg_tree_large_runs () =
+  (* oversized runs must chop into continuation pages and survive removal *)
+  let pager = Storage.Pager.create ~page_size:128 () in
+  let t = Baselines.Cg_tree.create pager in
+  for oid = 1 to 200 do
+    Baselines.Cg_tree.insert t ~value:(Value.Int 7) ~cls:0 oid
+  done;
+  Baselines.Cg_tree.check t;
+  let got = Baselines.Cg_tree.exact t ~value:(Value.Int 7) ~sets:[ 0 ] in
+  Alcotest.(check int) "all oids back" 200 (List.length got);
+  for oid = 1 to 150 do
+    Baselines.Cg_tree.remove t ~value:(Value.Int 7) ~cls:0 oid
+  done;
+  Baselines.Cg_tree.check t;
+  let got = Baselines.Cg_tree.exact t ~value:(Value.Int 7) ~sets:[ 0 ] in
+  Alcotest.(check (list (pair int int)))
+    "tail remains"
+    (List.init 50 (fun i -> (0, 151 + i)))
+    (sorted got)
+
+let test_cg_set_grouping () =
+  (* range queries on one set must not pay for the other sets' pages *)
+  let pager = Storage.Pager.create ~page_size:256 () in
+  let t = Baselines.Cg_tree.create pager in
+  for v = 0 to 99 do
+    List.iter
+      (fun cls ->
+        Baselines.Cg_tree.insert t ~value:(Value.Int v) ~cls ((cls * 1000) + v))
+      classes
+  done;
+  Baselines.Cg_tree.check t;
+  let stats = Storage.Pager.stats pager in
+  let reads f =
+    Storage.Stats.reset stats;
+    let r = f () in
+    (r, stats.reads)
+  in
+  let one_set, r1 =
+    reads (fun () ->
+        Baselines.Cg_tree.range t ~lo:(Value.Int 10) ~hi:(Value.Int 60)
+          ~sets:[ 2 ])
+  in
+  let all_sets, r5 =
+    reads (fun () ->
+        Baselines.Cg_tree.range t ~lo:(Value.Int 10) ~hi:(Value.Int 60)
+          ~sets:classes)
+  in
+  Alcotest.(check int) "one set result" 51 (List.length one_set);
+  Alcotest.(check int) "five sets result" 255 (List.length all_sets);
+  if r5 < 2 * r1 then
+    Alcotest.failf "5-set range (%d reads) should cost much more than 1-set (%d)"
+      r5 r1
+
+let test_path_index () =
+  let pager = Storage.Pager.create () in
+  let t = Baselines.Path_index.create pager Path in
+  (* the paper's example: (Age,50) -> vehicles with company/president *)
+  Baselines.Path_index.insert t ~value:(Value.Int 50) ~head:101 ~inner:[ 11; 1 ];
+  Baselines.Path_index.insert t ~value:(Value.Int 50) ~head:102 ~inner:[ 11; 1 ];
+  Baselines.Path_index.insert t ~value:(Value.Int 50) ~head:103 ~inner:[ 12; 2 ];
+  Baselines.Path_index.insert t ~value:(Value.Int 60) ~head:104 ~inner:[ 13; 3 ];
+  Alcotest.(check (list int)) "exact heads" [ 101; 102; 103 ]
+    (Baselines.Path_index.exact t ~value:(Value.Int 50));
+  Alcotest.(check (list int)) "range heads" [ 101; 102; 103; 104 ]
+    (Baselines.Path_index.range t ~lo:(Value.Int 50) ~hi:(Value.Int 60));
+  (* in-path restriction: only company 11 *)
+  Alcotest.(check (list int)) "restricted" [ 101; 102 ]
+    (Baselines.Path_index.exact_restricted t ~value:(Value.Int 50)
+       ~pred:(fun inner -> List.hd inner = 11));
+  Baselines.Path_index.remove t ~value:(Value.Int 50) ~head:102 ~inner:[ 11; 1 ];
+  Alcotest.(check (list int)) "after remove" [ 101; 103 ]
+    (Baselines.Path_index.exact t ~value:(Value.Int 50));
+  (* nested variant drops the inner info *)
+  let n = Baselines.Path_index.create pager Nested in
+  Baselines.Path_index.insert n ~value:(Value.Int 50) ~head:101 ~inner:[ 11; 1 ];
+  Alcotest.(check (list int)) "nested heads" [ 101 ]
+    (Baselines.Path_index.exact n ~value:(Value.Int 50));
+  Alcotest.check_raises "nested has no paths"
+    (Invalid_argument "Path_index.exact_paths: nested variant has no path records")
+    (fun () -> ignore (Baselines.Path_index.exact_paths n ~value:(Value.Int 50)))
+
+let test_nix () =
+  let pager = Storage.Pager.create () in
+  let t = Baselines.Nix.create pager ~classes:[ 0; 1; 2 ] in
+  (* chains target-first: employee(cls 0), company(cls 1), vehicle(cls 2) *)
+  Baselines.Nix.insert_chain t ~value:(Value.Int 50) [ (0, 1); (1, 11); (2, 101) ];
+  Baselines.Nix.insert_chain t ~value:(Value.Int 50) [ (0, 1); (1, 11); (2, 102) ];
+  Baselines.Nix.insert_chain t ~value:(Value.Int 60) [ (0, 2); (1, 12); (2, 103) ];
+  Alcotest.(check (list (pair int int)))
+    "all classes at 50"
+    [ (0, 1); (1, 11); (2, 101); (2, 102) ]
+    (sorted (Baselines.Nix.exact t ~value:(Value.Int 50) ~sets:[ 0; 1; 2 ]));
+  Alcotest.(check (list (pair int int)))
+    "companies in range"
+    [ (1, 11); (1, 12) ]
+    (sorted
+       (Baselines.Nix.range t ~lo:(Value.Int 50) ~hi:(Value.Int 60) ~sets:[ 1 ]));
+  (* auxiliary parent links *)
+  Alcotest.(check (list int)) "employee 1's parents" [ 11; 11 ]
+    (Baselines.Nix.parents t ~cls:0 1);
+  Alcotest.(check (list int)) "company 11's parents" [ 101; 102 ]
+    (Baselines.Nix.parents t ~cls:1 11);
+  Baselines.Nix.remove_chain t ~value:(Value.Int 50) [ (0, 1); (1, 11); (2, 101) ];
+  Alcotest.(check (list (pair int int)))
+    "after removal"
+    [ (0, 1); (1, 11); (2, 102) ]
+    (sorted (Baselines.Nix.exact t ~value:(Value.Int 50) ~sets:[ 0; 1; 2 ]));
+  Alcotest.(check (list int)) "parent link dropped" [ 102 ]
+    (Baselines.Nix.parents t ~cls:1 11)
+
+let test_string_values () =
+  (* the baselines index string attributes too (colors in experiment 1) *)
+  let pager = Storage.Pager.create ~page_size:256 () in
+  let ch = Baselines.Ch_tree.create pager in
+  let colors = [| "Blue"; "Green"; "Red"; "White" |] in
+  Array.iteri
+    (fun i c ->
+      Baselines.Ch_tree.insert ch ~value:(Value.Str c) ~cls:(i mod 2) (100 + i))
+    colors;
+  Alcotest.(check (list (pair int int)))
+    "exact str" [ (0, 102) ]
+    (Baselines.Ch_tree.exact ch ~value:(Value.Str "Red") ~sets:[ 0; 1 ]);
+  Alcotest.(check (list (pair int int)))
+    "range str"
+    [ (0, 100); (1, 101); (0, 102) ]
+    (Baselines.Ch_tree.range ch ~lo:(Value.Str "Blue") ~hi:(Value.Str "Red")
+       ~sets:[ 0; 1 ]);
+  let cg = Baselines.Cg_tree.create (Storage.Pager.create ~page_size:256 ()) in
+  Array.iteri
+    (fun i c ->
+      Baselines.Cg_tree.insert cg ~value:(Value.Str c) ~cls:(i mod 2) (100 + i))
+    colors;
+  Baselines.Cg_tree.check cg;
+  Alcotest.(check (list (pair int int)))
+    "cg range str"
+    [ (0, 100); (0, 102); (1, 101) ]
+    (sorted
+       (Baselines.Cg_tree.range cg ~lo:(Value.Str "Blue") ~hi:(Value.Str "Red")
+          ~sets:[ 0; 1 ]))
+
+let test_empty_structures () =
+  let pager = Storage.Pager.create ~page_size:256 () in
+  let ch = Baselines.Ch_tree.create pager in
+  Alcotest.(check (list (pair int int))) "ch empty" []
+    (Baselines.Ch_tree.exact ch ~value:(Value.Int 5) ~sets:[ 0 ]);
+  Baselines.Ch_tree.remove ch ~value:(Value.Int 5) ~cls:0 7;
+  let cg = Baselines.Cg_tree.create (Storage.Pager.create ~page_size:256 ()) in
+  Alcotest.(check (list (pair int int))) "cg empty" []
+    (Baselines.Cg_tree.range cg ~lo:(Value.Int 0) ~hi:(Value.Int 9) ~sets:[ 0; 1 ]);
+  Baselines.Cg_tree.remove cg ~value:(Value.Int 5) ~cls:0 7;
+  Baselines.Cg_tree.check cg;
+  (* querying sets that never got entries *)
+  Baselines.Cg_tree.insert cg ~value:(Value.Int 5) ~cls:0 7;
+  Alcotest.(check (list (pair int int))) "absent set" []
+    (Baselines.Cg_tree.exact cg ~value:(Value.Int 5) ~sets:[ 3 ])
+
+(* randomized path-index and NIX checks against a simple model *)
+let prop_path_index_model =
+  QCheck.Test.make ~count:30 ~name:"path index behaves like a value multimap"
+    QCheck.(list (tup3 (int_bound 2) (int_bound 15) (int_bound 50)))
+    (fun ops ->
+      let pager = Storage.Pager.create ~page_size:256 () in
+      let t = Baselines.Path_index.create pager Baselines.Path_index.Path in
+      let model : (int, (int * int list) list ref) Hashtbl.t = Hashtbl.create 8 in
+      let get v =
+        match Hashtbl.find_opt model v with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add model v r;
+            r
+      in
+      List.iter
+        (fun (op, v, head) ->
+          let inner = [ head + 1000; head + 2000 ] in
+          if op < 2 then begin
+            Baselines.Path_index.insert t ~value:(Value.Int v) ~head ~inner;
+            let r = get v in
+            r := (head, inner) :: !r
+          end
+          else begin
+            Baselines.Path_index.remove t ~value:(Value.Int v) ~head ~inner;
+            let r = get v in
+            let rec drop = function
+              | x :: rest when x = (head, inner) -> rest
+              | x :: rest -> x :: drop rest
+              | [] -> []
+            in
+            r := drop !r
+          end)
+        ops;
+      Hashtbl.fold
+        (fun v r acc ->
+          acc
+          && List.sort_uniq compare (List.map fst !r)
+             = Baselines.Path_index.exact t ~value:(Value.Int v))
+        model true)
+
+let prop_nix_model =
+  QCheck.Test.make ~count:30 ~name:"nix exact agrees with inserted chains"
+    QCheck.(list (tup3 (int_bound 9) (int_bound 20) bool))
+    (fun ops ->
+      let pager = Storage.Pager.create ~page_size:256 () in
+      let t = Baselines.Nix.create pager ~classes:[ 0; 1; 2 ] in
+      let live = ref [] in
+      List.iter
+        (fun (v, o, add) ->
+          let chain = [ (0, o); (1, o + 100); (2, o + 200) ] in
+          if add || not (List.mem (v, chain) !live) then begin
+            Baselines.Nix.insert_chain t ~value:(Value.Int v) chain;
+            live := (v, chain) :: !live
+          end
+          else begin
+            Baselines.Nix.remove_chain t ~value:(Value.Int v) chain;
+            let rec drop = function
+              | x :: rest when x = (v, chain) -> rest
+              | x :: rest -> x :: drop rest
+              | [] -> []
+            in
+            live := drop !live
+          end)
+        ops;
+      List.for_all
+        (fun v ->
+          let expect =
+            List.filter (fun (v', _) -> v' = v) !live
+            |> List.concat_map (fun (_, ch) -> ch)
+            |> List.sort_uniq compare
+          in
+          sorted (Baselines.Nix.exact t ~value:(Value.Int v) ~sets:[ 0; 1; 2 ])
+          = expect)
+        (List.init 10 Fun.id))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_path_index_model; prop_nix_model ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "randomized-vs-model",
+        [
+          Alcotest.test_case "ch-tree" `Quick test_ch_tree_random;
+          Alcotest.test_case "h-tree" `Quick test_h_tree_random;
+          Alcotest.test_case "cg-tree" `Quick test_cg_tree_random;
+        ] );
+      ( "cg-tree",
+        [
+          Alcotest.test_case "continuation chunks" `Quick test_cg_tree_large_runs;
+          Alcotest.test_case "set grouping" `Quick test_cg_set_grouping;
+        ] );
+      ("path-index", [ Alcotest.test_case "nested & path" `Quick test_path_index ]);
+      ("nix", [ Alcotest.test_case "primary & auxiliary" `Quick test_nix ]);
+      ( "robustness",
+        [
+          Alcotest.test_case "string values" `Quick test_string_values;
+          Alcotest.test_case "empty structures" `Quick test_empty_structures;
+        ] );
+      ("properties", qsuite);
+    ]

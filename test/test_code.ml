@@ -1,0 +1,154 @@
+(* Tests for the COD class-code scheme: ordering, subtree intervals, unit
+   allocation, and fractional insertion (schema evolution). *)
+
+module Code = Oodb_schema.Code
+
+let test_basic () =
+  let v = Code.root "D" in
+  let a = Code.child v "B" in
+  let c = Code.child a "B" in
+  Alcotest.(check int) "depth" 3 (Code.depth c);
+  Alcotest.(check (list string)) "units" [ "D"; "B"; "B" ] (Code.units c);
+  Alcotest.(check bool) "parent" true (Code.parent c = Some a);
+  Alcotest.(check bool) "root parent" true (Code.parent v = None);
+  Alcotest.(check string) "display" "D.B.B" (Code.to_string c)
+
+let test_preorder () =
+  (* a class sorts before its descendants, descendants before the next
+     sibling: the "`$` below `A`" property *)
+  let v = Code.root "D" in
+  let auto = Code.child v "B" in
+  let compact = Code.child auto "B" in
+  let truck = Code.child v "C" in
+  let next_root = Code.root "E" in
+  let expect_lt a b =
+    if Code.compare a b >= 0 then
+      Alcotest.failf "%s should precede %s" (Code.to_string a) (Code.to_string b)
+  in
+  expect_lt v auto;
+  expect_lt auto compact;
+  expect_lt compact truck;
+  expect_lt truck next_root
+
+let test_serialize_roundtrip () =
+  let c = Code.child (Code.child (Code.root "Cz") "AB") "M" in
+  Alcotest.(check bool) "roundtrip" true
+    (Code.equal c (Code.of_serialized (Code.serialize c)));
+  Alcotest.check_raises "no terminator"
+    (Invalid_argument "Code.of_serialized: missing terminator") (fun () ->
+      ignore (Code.of_serialized "AB"))
+
+let test_subtree_interval () =
+  let v = Code.root "D" in
+  let auto = Code.child v "B" in
+  let compact = Code.child auto "B" in
+  let truck = Code.child v "C" in
+  let lo, hi = Code.subtree_interval auto in
+  let inside c =
+    let s = Code.serialize c in
+    lo <= s && s < hi
+  in
+  Alcotest.(check bool) "self inside" true (inside auto);
+  Alcotest.(check bool) "child inside" true (inside compact);
+  Alcotest.(check bool) "sibling outside" false (inside truck);
+  Alcotest.(check bool) "parent outside" false (inside v)
+
+let test_is_ancestor () =
+  let a = Code.root "B" in
+  let b = Code.child a "C" in
+  let c = Code.child b "D" in
+  Alcotest.(check bool) "self" true (Code.is_ancestor ~ancestor:a a);
+  Alcotest.(check bool) "grandchild" true (Code.is_ancestor ~ancestor:a c);
+  Alcotest.(check bool) "not reverse" false (Code.is_ancestor ~ancestor:c a)
+
+let test_unit_of_rank () =
+  let units = List.init 200 Code.unit_of_rank in
+  (* strictly increasing in code order *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if String.compare a b >= 0 then
+          Alcotest.failf "rank units out of order: %S >= %S" a b;
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check units;
+  List.iter
+    (fun u ->
+      ignore (Code.check_unit u);
+      if u.[String.length u - 1] = 'A' then
+        Alcotest.failf "rank unit ends in A: %S" u)
+    units
+
+let test_unit_between () =
+  let check_between u v =
+    let w = Code.unit_between u (Some v) in
+    if not (String.compare u w < 0 && String.compare w v < 0) then
+      Alcotest.failf "between %S %S gave %S" u v w;
+    if w.[String.length w - 1] = 'A' then
+      Alcotest.failf "between %S %S ends in A: %S" u v w;
+    w
+  in
+  ignore (check_between "B" "D");
+  ignore (check_between "B" "C");
+  ignore (check_between "" "B");
+  ignore (check_between "B" "BM");
+  let top = Code.unit_between "B" None in
+  Alcotest.(check bool) "open above" true (String.compare "B" top < 0);
+  Alcotest.check_raises "inverted bounds"
+    (Invalid_argument "Code.unit_between: bounds not ordered") (fun () ->
+      ignore (Code.unit_between "D" (Some "B")))
+
+let prop_unit_between_dense =
+  (* repeated insertion between the same pair keeps producing fresh,
+     correctly ordered units: the code space never runs out (Fig. 4) *)
+  QCheck.Test.make ~count:50 ~name:"unit_between is dense"
+    QCheck.(int_bound 60)
+    (fun n ->
+      let lo = ref "B" and hi = ref "D" in
+      for i = 0 to n do
+        let m = Code.unit_between !lo (Some !hi) in
+        if not (String.compare !lo m < 0 && String.compare m !hi < 0) then
+          QCheck.Test.fail_reportf "not between at step %d" i;
+        if i mod 2 = 0 then lo := m else hi := m
+      done;
+      true)
+
+let prop_codes_sorted_like_serialization =
+  QCheck.Test.make ~count:200 ~name:"Code.compare = serialized byte order"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 4) (int_bound 30))
+        (list_of_size (QCheck.Gen.int_range 1 4) (int_bound 30)))
+    (fun (a, b) ->
+      let mk ranks =
+        match List.map Code.unit_of_rank ranks with
+        | [] -> assert false
+        | u :: rest -> List.fold_left Code.child (Code.root u) rest
+      in
+      let ca = mk a and cb = mk b in
+      let c1 = compare (Code.compare ca cb) 0
+      and c2 = compare (String.compare (Code.serialize ca) (Code.serialize cb)) 0 in
+      (c1 < 0) = (c2 < 0) && (c1 = 0) = (c2 = 0))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_unit_between_dense; prop_codes_sorted_like_serialization ]
+
+let () =
+  Alcotest.run "code"
+    [
+      ( "codes",
+        [
+          Alcotest.test_case "construction" `Quick test_basic;
+          Alcotest.test_case "pre-order" `Quick test_preorder;
+          Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "subtree interval" `Quick test_subtree_interval;
+          Alcotest.test_case "ancestry" `Quick test_is_ancestor;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "rank allocation" `Quick test_unit_of_rank;
+          Alcotest.test_case "fractional insertion" `Quick test_unit_between;
+        ] );
+      ("properties", qsuite);
+    ]

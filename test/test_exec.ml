@@ -1,0 +1,252 @@
+(* Dedicated tests for the executors' cost accounting: the properties the
+   paper's measurements rest on. *)
+
+module Ps = Workload.Paper_schema
+module Dg = Workload.Datagen
+module Qg = Workload.Querygen
+module Value = Objstore.Value
+module Query = Uindex.Query
+module Index = Uindex.Index
+module Exec = Uindex.Exec
+module Stats = Storage.Stats
+module Pager = Storage.Pager
+
+let small = lazy (
+  Dg.exp2 { (Dg.default_exp2 ~n_classes:12 ~distinct_keys:40) with
+            n_objects = 5_000; seed = 8 })
+
+let q_of _d ~lo ~hi ~sets =
+  let value =
+    if lo = hi then Query.V_eq (Value.Int lo)
+    else Query.V_range (Some (Value.Int lo), Some (Value.Int hi))
+  in
+  Query.class_hierarchy ~value (Qg.union_of_classes sets)
+
+let test_parallel_never_worse_on_ch () =
+  (* on single-component (class-hierarchy) queries the parallel algorithm
+     visits a subset of the forward scan's bracket *)
+  let d = Lazy.force small in
+  let rng = Workload.Rng.create 3 in
+  for _ = 1 to 30 do
+    let k = 1 + Workload.Rng.int rng 12 in
+    let sets = Qg.pick_sets rng Qg.Random ~classes:d.classes ~k in
+    let lo = Workload.Rng.int rng 40 in
+    let hi = min 39 (lo + Workload.Rng.int rng 8) in
+    let q = q_of d ~lo ~hi:(max lo hi) ~sets in
+    let p = Exec.parallel d.uindex q and f = Exec.forward d.uindex q in
+    Alcotest.(check (list int)) "same bindings" (Exec.head_oids f)
+      (Exec.head_oids p);
+    (* skipping may touch internal pages the forward scan's single descent
+       never sees (cf. Table 1's queries 5b/6), but it can never exceed
+       forward by more than that internal overhead *)
+    let slack = Btree.height (Index.tree d.uindex) + (f.Exec.page_reads / 4) in
+    if p.Exec.page_reads > f.Exec.page_reads + slack then
+      Alcotest.failf "parallel %d way above forward %d pages" p.Exec.page_reads
+        f.Exec.page_reads;
+    if p.Exec.entries_scanned > f.Exec.entries_scanned then
+      Alcotest.failf "parallel scanned more entries (%d > %d)"
+        p.Exec.entries_scanned f.Exec.entries_scanned
+  done
+
+let test_page_reads_match_stats () =
+  (* the outcome's page_reads equals the pager-stat delta — nothing else
+     reads pages during a query *)
+  let d = Lazy.force small in
+  let stats = Pager.stats (Btree.pager (Index.tree d.uindex)) in
+  let q = q_of d ~lo:5 ~hi:9 ~sets:(Array.to_list d.classes) in
+  let before = Stats.snapshot stats in
+  let o = Exec.parallel d.uindex q in
+  let delta = (Stats.diff ~before ~after:(Stats.snapshot stats)).Stats.reads in
+  Alcotest.(check int) "accounted reads" delta o.Exec.page_reads;
+  Alcotest.(check int) "queries do not write" 0
+    (Stats.diff ~before ~after:(Stats.snapshot stats)).Stats.writes
+
+let test_empty_results_cheap () =
+  let d = Lazy.force small in
+  (* a value beyond the domain: descent only *)
+  let q = q_of d ~lo:999_999 ~hi:999_999 ~sets:[ d.classes.(0) ] in
+  let o = Exec.parallel d.uindex q in
+  Alcotest.(check (list int)) "no results" [] (Exec.head_oids o);
+  if o.Exec.page_reads > Btree.height (Index.tree d.uindex) + 1 then
+    Alcotest.failf "empty exact match read %d pages" o.Exec.page_reads;
+  (* an empty range reads nothing at all *)
+  let q =
+    Query.class_hierarchy
+      ~value:(V_range (Some (Value.Int 9), Some (Value.Int 3)))
+      (P_subtree d.root)
+  in
+  let o = Exec.parallel d.uindex q in
+  Alcotest.(check int) "empty range reads nothing" 0 o.Exec.page_reads
+
+let test_unbounded_range () =
+  let d = Lazy.force small in
+  let all = Array.to_list d.classes in
+  let q =
+    Query.class_hierarchy ~value:(V_range (None, None)) (P_subtree d.root)
+  in
+  let o = Exec.parallel d.uindex q in
+  Alcotest.(check int) "everything" d.cfg.n_objects (List.length o.Exec.bindings);
+  let q = Query.class_hierarchy ~value:V_any (Qg.union_of_classes all) in
+  let o' = Exec.parallel d.uindex q in
+  Alcotest.(check int) "V_any = full range" (List.length o.Exec.bindings)
+    (List.length o'.Exec.bindings)
+
+let test_one_of_slot () =
+  (* S_one_of on an exact-class first component compiles to per-OID point
+     intervals: results are right and reads stay near the tree height *)
+  let d = Lazy.force small in
+  let cls = d.classes.(3) in
+  let matching =
+    Array.to_list d.entries
+    |> List.filter_map (fun (k, c, oid) ->
+           if k = 11 && c = cls then Some oid else None)
+  in
+  QCheck.assume (List.length matching >= 2);
+  let chosen = [ List.nth matching 0; List.nth matching 1; 999_999 ] in
+  let q =
+    {
+      Query.value = V_eq (Value.Int 11);
+      comps = [ Query.comp ~slot:(S_one_of chosen) (P_class cls) ];
+    }
+  in
+  let o = Exec.parallel d.uindex q in
+  Alcotest.(check (list int))
+    "exact oids"
+    (List.sort compare [ List.nth matching 0; List.nth matching 1 ])
+    (Exec.head_oids o);
+  if o.Exec.page_reads > 3 * Btree.height (Index.tree d.uindex) then
+    Alcotest.failf "point intervals read too much: %d pages" o.Exec.page_reads
+
+let test_subtree_minus () =
+  let b = Ps.base () in
+  let ex = Ps.example1 b in
+  let idx =
+    Index.create_class_hierarchy (Storage.Pager.create ()) b.enc
+      ~root:b.vehicle ~attr:"color"
+  in
+  Index.build idx ex.store;
+  (* the paper's query 4: white vehicles that are not compact automobiles *)
+  let pat = Query.subtree_minus b.schema b.vehicle ~except:[ b.compact ] in
+  let o =
+    Exec.parallel idx (Query.class_hierarchy ~value:(V_eq (Str "White")) pat)
+  in
+  Alcotest.(check (list int)) "non-compact whites" [ ex.v1; ex.v2 ]
+    (Exec.head_oids o);
+  (* carving out the root leaves nothing *)
+  Alcotest.check_raises "nothing left"
+    (Invalid_argument "Query.subtree_minus: nothing remains of the subtree")
+    (fun () -> ignore (Query.subtree_minus b.schema b.vehicle ~except:[ b.vehicle ]));
+  (* minimality: untouched subtrees stay as single subtree patterns *)
+  (match Query.subtree_minus b.schema b.vehicle ~except:[ b.truck ] with
+  | Query.P_union ps ->
+      Alcotest.(check bool) "automobile survives whole" true
+        (List.mem (Query.P_subtree b.automobile) ps)
+  | _ -> Alcotest.fail "expected a union")
+
+let test_compression_stats () =
+  let d = Lazy.force small in
+  let cs = Btree.compression_stats (Index.tree d.uindex) in
+  Alcotest.(check bool) "entries counted" true (cs.Btree.entries >= d.cfg.n_objects);
+  if cs.Btree.stored_key_bytes * 2 > cs.Btree.raw_key_bytes then
+    Alcotest.failf "compression too weak: %d stored of %d raw"
+      cs.Btree.stored_key_bytes cs.Btree.raw_key_bytes;
+  Alcotest.(check bool) "avg prefix positive" true (cs.Btree.avg_prefix_len > 1.
+
+  )
+
+let test_explain () =
+  let d = Lazy.force small in
+  let sets = [ d.classes.(2); d.classes.(5) ] in
+  let q =
+    Query.class_hierarchy
+      ~value:(V_in [ Value.Int 7; Value.Int 21 ])
+      (Qg.union_of_classes sets)
+  in
+  (match Exec.explain d.uindex q with
+  | None -> Alcotest.fail "enumerable query should explain"
+  | Some visits ->
+      (* the search tree's matched entries equal the query's results *)
+      let matched =
+        List.fold_left (fun a (v : Btree.visit) -> a + v.Btree.matched) 0 visits
+      in
+      let o = Exec.parallel d.uindex q in
+      Alcotest.(check int) "matches = results" (List.length o.Exec.bindings)
+        matched;
+      (* root first, depths consistent *)
+      (match visits with
+      | v :: _ -> Alcotest.(check int) "starts at root" 0 v.Btree.depth
+      | [] -> Alcotest.fail "no visits");
+      List.iter
+        (fun (v : Btree.visit) ->
+          if v.Btree.is_leaf then
+            Alcotest.(check int)
+              "leaves at tree height"
+              (Btree.height (Index.tree d.uindex) - 1)
+              v.Btree.depth)
+        visits;
+      (* explain must not disturb accounting *)
+      let stats = Pager.stats (Btree.pager (Index.tree d.uindex)) in
+      let before = Stats.snapshot stats in
+      ignore (Exec.explain d.uindex q);
+      Alcotest.(check int) "no reads counted" before.Stats.reads
+        (Stats.snapshot stats).Stats.reads);
+  (* contiguous ranges have no static search tree *)
+  let q =
+    Query.class_hierarchy
+      ~value:(V_range (Some (Value.Int 0), Some (Value.Int 10)))
+      (Qg.union_of_classes sets)
+  in
+  Alcotest.(check bool) "range explains to None" true (Exec.explain d.uindex q = None)
+
+let test_buffer_pool_reuse () =
+  (* repeated identical queries through an LRU pool approach 100% hits *)
+  let d = Lazy.force small in
+  let tree = Index.tree d.uindex in
+  let pool = Storage.Buffer_pool.create ~capacity:2048 (Btree.pager tree) in
+  let read id = Storage.Buffer_pool.read pool id in
+  let q = q_of d ~lo:5 ~hi:9 ~sets:(Array.to_list d.classes) in
+  let plan =
+    Uindex.Plan.compile ~enc:(Index.encoding d.uindex) ~ty:(Index.attr_ty d.uindex) q
+  in
+  let run () =
+    let sc = Btree.Scanner.create tree ~read in
+    let rec go cur n =
+      match cur with
+      | Some (e : Btree.entry) -> (
+          match Uindex.Plan.classify plan e.key with
+          | Uindex.Plan.Accept _ -> go (Btree.Scanner.next sc) (n + 1)
+          | Uindex.Plan.Reject _ -> go (Btree.Scanner.next sc) n)
+      | None -> n
+    in
+    match Uindex.Plan.lower plan with
+    | Some lo -> go (Btree.Scanner.seek sc lo) 0
+    | None -> 0
+  in
+  ignore (run ());
+  let miss0 = Storage.Buffer_pool.misses pool in
+  ignore (run ());
+  Alcotest.(check int) "second run all hits" miss0
+    (Storage.Buffer_pool.misses pool)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "parallel <= forward" `Quick
+            test_parallel_never_worse_on_ch;
+          Alcotest.test_case "page reads = stats delta" `Quick
+            test_page_reads_match_stats;
+          Alcotest.test_case "empty results are cheap" `Quick
+            test_empty_results_cheap;
+          Alcotest.test_case "unbounded ranges" `Quick test_unbounded_range;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "one-of slot intervals" `Quick test_one_of_slot;
+          Alcotest.test_case "subtree minus" `Quick test_subtree_minus;
+          Alcotest.test_case "compression stats" `Quick test_compression_stats;
+          Alcotest.test_case "buffer pool reuse" `Quick test_buffer_pool_reuse;
+          Alcotest.test_case "explain (Fig. 3 search tree)" `Quick test_explain;
+        ] );
+    ]

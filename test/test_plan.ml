@@ -1,0 +1,227 @@
+(* Tests for query compilation: candidate navigation (the partial-key
+   machinery of Algorithm 1), brackets, and classification verdicts. *)
+
+module Schema = Oodb_schema.Schema
+module Encoding = Oodb_schema.Encoding
+module Value = Objstore.Value
+module Query = Uindex.Query
+module Plan = Uindex.Plan
+module Ukey = Uindex.Ukey
+module Ps = Workload.Paper_schema
+
+let setup () =
+  let b = Ps.base () in
+  let code c = Encoding.code b.enc c in
+  (b, code)
+
+let compile b q = Plan.compile ~enc:b.Ps.enc ~ty:Schema.Int q
+
+let compile_str b q = Plan.compile ~enc:b.Ps.enc ~ty:Schema.String q
+
+let test_lower_upper () =
+  let b, code = setup () in
+  let plan =
+    compile b (Query.class_hierarchy ~value:(V_eq (Int 50)) (P_subtree b.vehicle))
+  in
+  let lo = Option.get (Plan.lower plan) in
+  let hi = Option.get (Plan.upper plan) in
+  (* entries with value 50 and vehicle classes lie inside; others outside *)
+  let k50 = Ukey.entry_key ~value:(Value.Int 50) [ (code b.compact, 3) ] in
+  let k49 = Ukey.entry_key ~value:(Value.Int 49) [ (code b.compact, 3) ] in
+  let k_emp = Ukey.entry_key ~value:(Value.Int 50) [ (code b.employee, 3) ] in
+  Alcotest.(check bool) "inside" true (lo <= k50 && k50 < hi);
+  Alcotest.(check bool) "other value outside" true (k49 < lo);
+  Alcotest.(check bool) "other class outside" true (k_emp < lo)
+
+let test_empty_plans () =
+  let b, _ = setup () in
+  let empty_range =
+    compile b
+      (Query.class_hierarchy
+         ~value:(V_range (Some (Int 9), Some (Int 3)))
+         (P_subtree b.vehicle))
+  in
+  Alcotest.(check bool) "inverted range has no bracket" true
+    (Plan.bracket empty_range = None);
+  let empty_in =
+    compile b (Query.class_hierarchy ~value:(V_in []) (P_subtree b.vehicle))
+  in
+  Alcotest.(check bool) "empty V_in" true (Plan.bracket empty_in = None)
+
+let test_next_candidate_jumps_value () =
+  let b, code = setup () in
+  let plan =
+    compile b
+      (Query.class_hierarchy ~value:(V_in [ Int 10; Int 20 ]) (P_subtree b.vehicle))
+  in
+  (* from a position in the 10-group at the very end of the vehicle
+     subtree interval, the next candidate must be the 20-group's start *)
+  ignore code;
+  let _, subtree_hi = Encoding.subtree_interval b.enc b.vehicle in
+  let past = Value.encode (Value.Int 10) ^ "\x01" ^ subtree_hi in
+  let c = Option.get (Plan.next_candidate plan past) in
+  let v20 = Ukey.entry_key ~value:(Value.Int 20) [ (code b.vehicle, 0) ] in
+  Alcotest.(check bool) "candidate <= first 20-entry" true (c <= v20);
+  Alcotest.(check bool) "candidate above old position" true (past < c);
+  (* past the last value: no candidate *)
+  let beyond = Ukey.entry_key ~value:(Value.Int 21) [ (code b.vehicle, 0) ] in
+  Alcotest.(check bool) "exhausted" true (Plan.next_candidate plan beyond = None)
+
+let test_next_candidate_within_group () =
+  let b, code = setup () in
+  let plan =
+    compile b
+      (Query.class_hierarchy ~value:(V_eq (Int 5))
+         (P_union [ P_class b.vehicle; P_class b.truck ]))
+  in
+  (* from an automobile entry (between vehicle and truck in code order),
+     the candidate jumps to the truck interval *)
+  let auto = Ukey.entry_key ~value:(Value.Int 5) [ (code b.automobile, 1) ] in
+  let c = Option.get (Plan.next_candidate plan auto) in
+  let truck0 = Ukey.entry_key ~value:(Value.Int 5) [ (code b.truck, 0) ] in
+  Alcotest.(check bool) "jumps over automobile subtree" true (auto < c && c <= truck0)
+
+let test_candidate_admissible_stays () =
+  let b, code = setup () in
+  let plan =
+    compile b (Query.class_hierarchy ~value:(V_eq (Int 5)) (P_subtree b.vehicle))
+  in
+  let k = Ukey.entry_key ~value:(Value.Int 5) [ (code b.compact, 77) ] in
+  Alcotest.(check (option string)) "admissible key is its own candidate" (Some k)
+    (Plan.next_candidate plan k)
+
+let test_contig_range_candidates () =
+  let b, code = setup () in
+  let plan =
+    compile b
+      (Query.class_hierarchy
+         ~value:(V_range (Some (Int 10), Some (Int 12)))
+         (P_subtree b.truck))
+  in
+  (* below the range: first candidate is at value 10 *)
+  let low = Ukey.entry_key ~value:(Value.Int 3) [ (code b.truck, 1) ] in
+  let c = Option.get (Plan.next_candidate plan low) in
+  let t10 = Ukey.entry_key ~value:(Value.Int 10) [ (code b.truck, 0) ] in
+  Alcotest.(check bool) "clamped to range start" true (c <= t10 && low < c);
+  (* inside, past the truck subtree of value 11: bumps to value 12 *)
+  let _, truck_hi = Encoding.subtree_interval b.enc b.truck in
+  let past11 = Value.encode (Value.Int 11) ^ "\x01" ^ truck_hi in
+  let c = Option.get (Plan.next_candidate plan past11) in
+  let t12 = Ukey.entry_key ~value:(Value.Int 12) [ (code b.truck, 0) ] in
+  Alcotest.(check bool) "bumps to 12" true (past11 < c && c <= t12);
+  (* past the range end: exhausted *)
+  let past12 = Value.encode (Value.Int 12) ^ "\x01" ^ truck_hi in
+  Alcotest.(check bool) "exhausted past hi" true
+    (Plan.next_candidate plan past12 = None)
+
+let test_classify_verdicts () =
+  let b, code = setup () in
+  let plan =
+    compile b
+      (Query.path ~value:(V_eq (Int 50))
+         [
+           Query.comp (P_subtree b.employee);
+           Query.comp ~slot:(S_oid 11) (P_subtree b.company);
+           Query.comp (P_subtree b.vehicle);
+         ])
+  in
+  let key eo co vo =
+    Ukey.entry_key ~value:(Value.Int 50)
+      [ (code b.employee, eo); (code b.auto_company, co); (code b.compact, vo) ]
+  in
+  (match Plan.classify plan (key 1 11 3) with
+  | Plan.Accept { arity; _ } -> Alcotest.(check int) "full arity" 3 arity
+  | Plan.Reject _ -> Alcotest.fail "expected accept");
+  (* wrong slot: skipped forward *)
+  (match Plan.classify plan (key 1 12 3) with
+  | Plan.Reject (Plan.Seek k) ->
+      Alcotest.(check bool) "skip beyond this company run" true (k > key 1 12 0xFFFFFF)
+  | _ -> Alcotest.fail "expected reject-with-seek");
+  (* wrong value: rejected *)
+  let k49 =
+    Ukey.entry_key ~value:(Value.Int 49)
+      [ (code b.employee, 1); (code b.auto_company, 11); (code b.compact, 3) ]
+  in
+  (match Plan.classify plan k49 with
+  | Plan.Reject (Plan.Seek k) -> Alcotest.(check bool) "seek to 50 group" true (k > k49)
+  | _ -> Alcotest.fail "expected reject");
+  (* arity mismatch: plain advance *)
+  let short = Ukey.entry_key ~value:(Value.Int 50) [ (code b.employee, 1) ] in
+  match Plan.classify plan short with
+  | Plan.Reject Plan.Advance -> ()
+  | _ -> Alcotest.fail "expected advance on arity mismatch"
+
+let test_classify_partial_path () =
+  let b, code = setup () in
+  let plan =
+    compile b
+      (Query.path ~value:(V_eq (Int 50))
+         [ Query.comp (P_subtree b.employee); Query.comp (P_subtree b.company) ])
+  in
+  let key =
+    Ukey.entry_key ~value:(Value.Int 50)
+      [ (code b.employee, 1); (code b.company, 2); (code b.vehicle, 3) ]
+  in
+  match Plan.classify plan key with
+  | Plan.Accept { arity; next = Plan.Seek k; d } ->
+      Alcotest.(check int) "prefix arity" 2 arity;
+      Alcotest.(check bool) "skip past shared prefix" true (k > key);
+      Alcotest.(check int) "decoded still full" 3 (List.length d.Ukey.comps)
+  | _ -> Alcotest.fail "expected prefix accept with skip"
+
+let test_string_values () =
+  let b, code = setup () in
+  let plan =
+    compile_str b
+      (Query.class_hierarchy
+         ~value:(V_range (Some (Str "Blue"), Some (Str "Red")))
+         (P_subtree b.vehicle))
+  in
+  let kgreen = Ukey.entry_key ~value:(Value.Str "Green") [ (code b.compact, 1) ] in
+  (match Plan.classify plan kgreen with
+  | Plan.Accept _ -> ()
+  | Plan.Reject _ -> Alcotest.fail "Green should be in Blue..Red");
+  let kwhite = Ukey.entry_key ~value:(Value.Str "White") [ (code b.compact, 1) ] in
+  (match Plan.classify plan kwhite with
+  | Plan.Reject _ -> ()
+  | Plan.Accept _ -> Alcotest.fail "White is outside Blue..Red");
+  (* candidate from a value that exhausted its group: the next candidate
+     is above it (text successor floor) *)
+  let past = Ukey.succ_prefix kgreen in
+  let c = Plan.next_candidate plan past in
+  Alcotest.(check bool) "progresses" true
+    (match c with Some c -> c > kgreen | None -> false)
+
+let test_rejects_bad_queries () =
+  let b, _ = setup () in
+  Alcotest.check_raises "no components"
+    (Invalid_argument "Plan.compile: query has no components") (fun () ->
+      ignore (compile b { Query.value = V_any; comps = [] }));
+  Alcotest.check_raises "ref value"
+    (Invalid_argument "Plan.compile: query value must be Int or Str") (fun () ->
+      ignore
+        (compile b
+           (Query.class_hierarchy ~value:(V_eq (Value.Ref 3)) (P_subtree b.vehicle))))
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "navigation",
+        [
+          Alcotest.test_case "bracket bounds" `Quick test_lower_upper;
+          Alcotest.test_case "empty plans" `Quick test_empty_plans;
+          Alcotest.test_case "value jumps" `Quick test_next_candidate_jumps_value;
+          Alcotest.test_case "class interval jumps" `Quick
+            test_next_candidate_within_group;
+          Alcotest.test_case "admissible fixpoint" `Quick
+            test_candidate_admissible_stays;
+          Alcotest.test_case "contiguous ranges" `Quick test_contig_range_candidates;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "verdicts" `Quick test_classify_verdicts;
+          Alcotest.test_case "partial path" `Quick test_classify_partial_path;
+          Alcotest.test_case "string values" `Quick test_string_values;
+          Alcotest.test_case "bad queries" `Quick test_rejects_bad_queries;
+        ] );
+    ]

@@ -1,0 +1,314 @@
+(* Tests for schema construction, attribute inheritance, the encoding
+   assignment (topological properties), schema evolution and cycle
+   handling. *)
+
+module Schema = Oodb_schema.Schema
+module Code = Oodb_schema.Code
+module Encoding = Oodb_schema.Encoding
+module Graph = Oodb_schema.Graph
+module Ps = Workload.Paper_schema
+
+let test_construction () =
+  let s = Schema.create () in
+  let a = Schema.add_class s ~name:"A" ~attrs:[ ("x", Schema.Int) ] in
+  let b = Schema.add_class s ~parent:a ~name:"B" ~attrs:[ ("y", Schema.String) ] in
+  Alcotest.(check string) "name" "A" (Schema.name s a);
+  Alcotest.(check bool) "find" true (Schema.find s "B" = Some b);
+  Alcotest.(check bool) "parent" true (Schema.parent s b = Some a);
+  Alcotest.(check (list int)) "children" [ b ] (Schema.children s a);
+  Alcotest.(check (list int)) "roots" [ a ] (Schema.roots s);
+  Alcotest.(check (list int)) "subtree preorder" [ a; b ] (Schema.subtree s a);
+  Alcotest.(check bool) "subclass refl" true (Schema.is_subclass s ~sub:a ~super:a);
+  Alcotest.(check bool) "subclass" true (Schema.is_subclass s ~sub:b ~super:a);
+  Alcotest.(check bool) "not super" false (Schema.is_subclass s ~sub:a ~super:b)
+
+let test_inheritance () =
+  let s = Schema.create () in
+  let a = Schema.add_class s ~name:"A" ~attrs:[ ("x", Schema.Int) ] in
+  let b = Schema.add_class s ~parent:a ~name:"B" ~attrs:[ ("y", Schema.String) ] in
+  Alcotest.(check bool) "inherited" true (Schema.attr_type s b "x" = Some Schema.Int);
+  Alcotest.(check bool) "own" true (Schema.attr_type s b "y" = Some Schema.String);
+  Alcotest.(check bool) "not upward" true (Schema.attr_type s a "y" = None);
+  Alcotest.check_raises "shadowing rejected"
+    (Invalid_argument "Schema: attribute \"x\" already defined on B or above")
+    (fun () -> Schema.add_attr s b "x" Schema.String)
+
+let test_duplicate_class () =
+  let s = Schema.create () in
+  ignore (Schema.add_class s ~name:"A" ~attrs:[]);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Schema: duplicate class name \"A\"") (fun () ->
+      ignore (Schema.add_class s ~name:"A" ~attrs:[]))
+
+let test_refs () =
+  let s = Schema.create () in
+  let a = Schema.add_class s ~name:"A" ~attrs:[] in
+  let b =
+    Schema.add_class s ~name:"B"
+      ~attrs:[ ("one", Schema.Ref a); ("many", Schema.Ref_set a) ]
+  in
+  let c = Schema.add_class s ~parent:b ~name:"C" ~attrs:[] in
+  Alcotest.(check int) "edges" 2 (List.length (Schema.ref_edges s));
+  (* refs are inherited *)
+  let refs = Schema.refs s c in
+  Alcotest.(check int) "inherited refs" 2 (List.length refs);
+  Alcotest.(check bool) "multiplicities" true
+    (List.mem ("one", a, `One) refs && List.mem ("many", a, `Many) refs)
+
+(* --- encoding ---------------------------------------------------------------- *)
+
+let test_paper_encoding_order () =
+  (* the REF topology forces the paper's C1..C5 order *)
+  let b = Ps.base () in
+  let code c = Encoding.code b.enc c in
+  let lt x y = Code.compare (code x) (code y) < 0 in
+  Alcotest.(check bool) "Employee < Company" true (lt b.employee b.company);
+  Alcotest.(check bool) "Company < Vehicle" true (lt b.company b.vehicle);
+  Alcotest.(check bool) "Company < Division" true (lt b.company b.division);
+  Alcotest.(check bool) "City < Division" true (lt b.city b.division);
+  (* subclasses extend their parents *)
+  Alcotest.(check bool) "Automobile under Vehicle" true
+    (Code.is_ancestor ~ancestor:(code b.vehicle) (code b.automobile));
+  Alcotest.(check bool) "Compact under Automobile" true
+    (Code.is_ancestor ~ancestor:(code b.automobile) (code b.compact));
+  (* pre-order = code order across the whole schema *)
+  let pre = List.concat_map (Schema.subtree b.schema) (Schema.roots b.schema) in
+  let sorted_by_code =
+    List.sort (fun x y -> Code.compare (code x) (code y)) pre
+  in
+  Alcotest.(check bool) "pre-order = code order" true (pre = sorted_by_code)
+
+let test_encoding_lookup () =
+  let b = Ps.base () in
+  let c = Encoding.code b.enc b.compact in
+  Alcotest.(check bool) "by code" true
+    (Encoding.class_of_code b.enc c = Some b.compact);
+  Alcotest.(check bool) "by serialized" true
+    (Encoding.class_of_serialized b.enc (Code.serialize c) = Some b.compact);
+  Alcotest.(check bool) "unknown" true
+    (Encoding.class_of_serialized b.enc "nonsense\x02" = None)
+
+let test_path_encodable () =
+  let b = Ps.base () in
+  Alcotest.(check bool) "vehicle->company->employee" true
+    (Encoding.path_is_encodable b.enc [ b.vehicle; b.company; b.employee ]);
+  Alcotest.(check bool) "reverse is not" false
+    (Encoding.path_is_encodable b.enc [ b.employee; b.company; b.vehicle ])
+
+let test_intervals_disjoint () =
+  let b = Ps.base () in
+  let subtree_ivs =
+    List.map (fun r -> Encoding.subtree_interval b.enc r) (Schema.roots b.schema)
+  in
+  let sorted = List.sort compare subtree_ivs in
+  let rec disjoint = function
+    | (_, hi) :: ((lo2, _) :: _ as rest) ->
+        if hi > lo2 then Alcotest.fail "root subtrees overlap";
+        disjoint rest
+    | [ _ ] | [] -> ()
+  in
+  disjoint sorted;
+  (* an exact interval sits inside the subtree interval, before children *)
+  let slo, shi = Encoding.subtree_interval b.enc b.vehicle in
+  let elo, ehi = Encoding.exact_interval b.enc b.vehicle in
+  Alcotest.(check bool) "exact inside subtree" true (slo <= elo && ehi <= shi);
+  let clo, _ = Encoding.exact_interval b.enc b.automobile in
+  Alcotest.(check bool) "own entries before children" true (ehi <= clo)
+
+let test_evolution_child () =
+  let b = Ps.base () in
+  let n0 = Schema.class_count b.schema in
+  let sports =
+    Schema.add_class b.schema ~parent:b.automobile ~name:"SportsCar" ~attrs:[]
+  in
+  Encoding.assign_new_class b.enc sports;
+  Alcotest.(check int) "one more class" (n0 + 1) (Schema.class_count b.schema);
+  let code = Encoding.code b.enc sports in
+  Alcotest.(check bool) "under automobile" true
+    (Code.is_ancestor ~ancestor:(Encoding.code b.enc b.automobile) code);
+  Alcotest.(check bool) "distinct from compact" false
+    (Code.equal code (Encoding.code b.enc b.compact));
+  Alcotest.check_raises "double assignment"
+    (Invalid_argument "Encoding.assign_new_class: class already encoded")
+    (fun () -> Encoding.assign_new_class b.enc sports)
+
+let test_evolution_new_root_constrained () =
+  let b = Ps.base () in
+  (* a new root that references Company must code after Company's root *)
+  let dealer =
+    Schema.add_class b.schema ~name:"Dealer"
+      ~attrs:[ ("franchise_of", Schema.Ref b.company) ]
+  in
+  Encoding.assign_new_class b.enc dealer;
+  Alcotest.(check bool) "after company" true
+    (Code.compare (Encoding.code b.enc b.company) (Encoding.code b.enc dealer) < 0);
+  (* and one that is referenced by Vehicle-hierarchy classes must come
+     before Vehicle *)
+  let engine = Schema.add_class b.schema ~name:"Engine" ~attrs:[] in
+  Schema.add_attr b.schema b.vehicle "engine" (Schema.Ref engine);
+  Encoding.assign_new_class b.enc engine;
+  Alcotest.(check bool) "before vehicle" true
+    (Code.compare (Encoding.code b.enc engine) (Encoding.code b.enc b.vehicle) < 0)
+
+let test_cycle_detection () =
+  let s = Schema.create () in
+  let a = Schema.add_class s ~name:"A" ~attrs:[] in
+  let b = Schema.add_class s ~name:"B" ~attrs:[ ("to_a", Schema.Ref a) ] in
+  Schema.add_attr s a "to_b" (Schema.Ref b);
+  (match Encoding.assign s with
+  | exception Encoding.Cycle cyc ->
+      Alcotest.(check (list string)) "cycle members" [ "A"; "B" ]
+        (List.sort compare cyc)
+  | _ -> Alcotest.fail "expected Cycle");
+  (* partitioning the edges yields acyclic groups, each encodable *)
+  let groups =
+    Graph.partition_acyclic
+      (List.map (fun (src, _, dst) -> (src, dst)) (Schema.ref_edges s))
+  in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  List.iter (fun g -> ignore (Encoding.assign ~ref_edges:g s)) groups
+
+let test_graph_toposort () =
+  Alcotest.(check bool) "simple order" true
+    (Graph.toposort ~nodes:[ 1; 2; 3 ] ~edges:[ (3, 1); (1, 2) ] = Ok [ 3; 1; 2 ]);
+  (* stability: unconstrained nodes keep input order *)
+  Alcotest.(check bool) "stable" true
+    (Graph.toposort ~nodes:[ 5; 4; 3 ] ~edges:[] = Ok [ 5; 4; 3 ]);
+  (match Graph.toposort ~nodes:[ 1; 2 ] ~edges:[ (1, 2); (2, 1) ] with
+  | Error cyc -> Alcotest.(check (list int)) "cycle nodes" [ 1; 2 ] (List.sort compare cyc)
+  | Ok _ -> Alcotest.fail "expected cycle");
+  Alcotest.(check bool) "acyclic check" true
+    (Graph.is_acyclic ~nodes:[ 1; 2 ] ~edges:[ (1, 2) ]);
+  Alcotest.(check bool) "cyclic check" false
+    (Graph.is_acyclic ~nodes:[ 1; 2 ] ~edges:[ (1, 2); (2, 1) ])
+
+let prop_random_schema_preorder =
+  (* random forests: code order always equals pre-order *)
+  QCheck.Test.make ~count:60 ~name:"random schema: code order = pre-order"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_bound 100))
+    (fun parents ->
+      let s = Schema.create () in
+      let ids =
+        List.mapi
+          (fun i p ->
+            let parent =
+              if i = 0 || p mod (i + 1) = i then None else Some (p mod i)
+            in
+            Schema.add_class s ?parent ~name:(Printf.sprintf "K%d" i) ~attrs:[])
+          parents
+      in
+      ignore ids;
+      let enc = Encoding.assign s in
+      let pre = List.concat_map (Schema.subtree s) (Schema.roots s) in
+      let by_code =
+        List.sort
+          (fun a b -> Code.compare (Encoding.code enc a) (Encoding.code enc b))
+          pre
+      in
+      pre = by_code)
+
+let prop_incremental_evolution =
+  (* classes added one by one after the initial assignment must slot into
+     the code order without disturbing it: pre-order = code order at every
+     step (the Fig. 4 guarantee) *)
+  QCheck.Test.make ~count:40 ~name:"incremental evolution keeps pre-order"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 10) (int_bound 100))
+        (list_of_size (QCheck.Gen.int_range 1 25) (int_bound 1000)))
+    (fun (initial, additions) ->
+      let s = Schema.create () in
+      List.iteri
+        (fun i p ->
+          let parent = if i = 0 then None else Some (p mod i) in
+          ignore (Schema.add_class s ?parent ~name:(Printf.sprintf "I%d" i) ~attrs:[]))
+        initial;
+      let enc = Encoding.assign s in
+      let check_order () =
+        let pre = List.concat_map (Schema.subtree s) (Schema.roots s) in
+        let by_code =
+          List.sort
+            (fun a b -> Code.compare (Encoding.code enc a) (Encoding.code enc b))
+            pre
+        in
+        pre = by_code
+      in
+      List.for_all
+        (fun p ->
+          let n = Schema.class_count s in
+          let parent = if p mod 4 = 0 then None else Some (p mod n) in
+          let id =
+            Schema.add_class s ?parent ~name:(Printf.sprintf "A%d" n) ~attrs:[]
+          in
+          Encoding.assign_new_class enc id;
+          check_order ())
+        additions)
+
+let prop_interval_nesting =
+  (* interval algebra over random schemas: exact intervals are disjoint
+     across classes; subtree intervals nest exactly along ancestry; every
+     exact interval sits inside its own subtree interval *)
+  QCheck.Test.make ~count:60 ~name:"interval nesting & disjointness"
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 30) (int_bound 100))
+    (fun parents ->
+      let s = Schema.create () in
+      List.iteri
+        (fun i p ->
+          let parent = if i = 0 || p mod 3 = 0 then None else Some (p mod i) in
+          ignore
+            (Schema.add_class s ?parent ~name:(Printf.sprintf "N%d" i) ~attrs:[]))
+        parents;
+      let enc = Encoding.assign s in
+      let classes = Schema.all_classes s in
+      let inside (lo1, hi1) (lo2, hi2) = lo2 <= lo1 && hi1 <= hi2 in
+      let disjoint (lo1, hi1) (lo2, hi2) = hi1 <= lo2 || hi2 <= lo1 in
+      List.for_all
+        (fun a ->
+          let ea = Encoding.exact_interval enc a
+          and sa = Encoding.subtree_interval enc a in
+          inside ea sa
+          && List.for_all
+               (fun b ->
+                 if a = b then true
+                 else
+                   let eb = Encoding.exact_interval enc b
+                   and sb = Encoding.subtree_interval enc b in
+                   disjoint ea eb
+                   &&
+                   if Schema.is_subclass s ~sub:b ~super:a then inside sb sa
+                   else if Schema.is_subclass s ~sub:a ~super:b then inside sa sb
+                   else disjoint sa sb)
+               classes)
+        classes)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_schema_preorder; prop_incremental_evolution; prop_interval_nesting ]
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "inheritance" `Quick test_inheritance;
+          Alcotest.test_case "duplicate class" `Quick test_duplicate_class;
+          Alcotest.test_case "refs" `Quick test_refs;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "paper order" `Quick test_paper_encoding_order;
+          Alcotest.test_case "lookup" `Quick test_encoding_lookup;
+          Alcotest.test_case "path encodable" `Quick test_path_encodable;
+          Alcotest.test_case "intervals" `Quick test_intervals_disjoint;
+        ] );
+      ( "evolution",
+        [
+          Alcotest.test_case "new subclass" `Quick test_evolution_child;
+          Alcotest.test_case "new constrained root" `Quick
+            test_evolution_new_root_constrained;
+          Alcotest.test_case "cycles" `Quick test_cycle_detection;
+        ] );
+      ("graph", [ Alcotest.test_case "toposort" `Quick test_graph_toposort ]);
+      ("properties", qsuite);
+    ]

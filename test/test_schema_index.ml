@@ -1,0 +1,119 @@
+(* Tests for Section 4.1: schema relations (SUP/REF) stored in the same
+   kind of index, clustered by code. *)
+
+module Ps = Workload.Paper_schema
+module Schema = Oodb_schema.Schema
+module Encoding = Oodb_schema.Encoding
+module Si = Uindex.Schema_index
+
+let setup () =
+  let b = Ps.base () in
+  let si = Si.create (Storage.Pager.create ()) b.enc in
+  Si.build si;
+  (b, si)
+
+let sorted = List.sort compare
+
+let test_subtree () =
+  let b, si = setup () in
+  let got, reads = Si.subtree si b.vehicle in
+  Alcotest.(check (list int)) "vehicle subtree"
+    (Schema.subtree b.schema b.vehicle)
+    got;
+  Alcotest.(check bool) "read something" true (reads > 0);
+  let got, _ = Si.subtree si b.company in
+  Alcotest.(check (list int)) "company subtree"
+    (Schema.subtree b.schema b.company)
+    got
+
+let test_children_parent () =
+  let b, si = setup () in
+  let got, _ = Si.children si b.vehicle in
+  Alcotest.(check (list int)) "children" (Schema.children b.schema b.vehicle)
+    got;
+  Alcotest.(check bool) "parent of compact" true
+    (fst (Si.parent si b.compact) = Some b.automobile);
+  Alcotest.(check bool) "root has no parent" true (fst (Si.parent si b.vehicle) = None)
+
+let test_refs () =
+  let b, si = setup () in
+  let from, _ = Si.refs_from si b.vehicle in
+  Alcotest.(check (list (pair string int)))
+    "vehicle refs"
+    [ ("manufactured_by", b.company) ]
+    from;
+  let target, _ = Si.refs_to si b.company in
+  Alcotest.(check (list (pair string int)))
+    "who points at company"
+    (sorted
+       [ ("manufactured_by", b.vehicle); ("belongs_to", b.division) ])
+    (sorted target);
+  let target, _ = Si.refs_to si b.employee in
+  Alcotest.(check (list (pair string int)))
+    "who points at employee"
+    [ ("president", b.company) ]
+    target
+
+let test_evolution () =
+  let b, si = setup () in
+  let n0 = Si.entry_count si in
+  let sports =
+    Schema.add_class b.schema ~parent:b.automobile ~name:"SportsCar"
+      ~attrs:[ ("sponsor", Schema.Ref b.company) ]
+  in
+  Encoding.assign_new_class b.enc sports;
+  Si.note_class_added si sports;
+  Alcotest.(check bool) "entries grew" true (Si.entry_count si > n0);
+  let got, _ = Si.subtree si b.automobile in
+  Alcotest.(check (list int)) "subtree includes new class"
+    (Schema.subtree b.schema b.automobile)
+    got;
+  Alcotest.(check bool) "parent link" true
+    (fst (Si.parent si sports) = Some b.automobile);
+  let target, _ = Si.refs_to si b.company in
+  Alcotest.(check bool) "new ref indexed" true
+    (List.mem ("sponsor", sports) target)
+
+let test_clustering () =
+  (* the whole point: a subtree query's page reads stay near the B-tree
+     height even in a larger schema, because the entries are clustered *)
+  let s = Schema.create () in
+  let root = Schema.add_class s ~name:"R" ~attrs:[] in
+  let rec grow parent depth =
+    if depth < 6 then
+      for i = 0 to 2 do
+        let c =
+          Schema.add_class s ~parent
+            ~name:(Printf.sprintf "C%d_%d_%d" depth i (Schema.class_count s))
+            ~attrs:[]
+        in
+        grow c (depth + 1)
+      done
+  in
+  grow root 0;
+  let enc = Encoding.assign s in
+  let si = Si.create (Storage.Pager.create ()) enc in
+  Si.build si;
+  (* a small, deep subtree *)
+  let leafish =
+    List.find
+      (fun c -> List.length (Schema.subtree s c) = 4)
+      (Schema.all_classes s)
+  in
+  let got, reads = Si.subtree si leafish in
+  Alcotest.(check int) "small subtree" 4 (List.length got);
+  if reads > 6 then
+    Alcotest.failf "subtree scan not clustered: %d page reads" reads
+
+let () =
+  Alcotest.run "schema_index"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "subtree" `Quick test_subtree;
+          Alcotest.test_case "children & parent" `Quick test_children_parent;
+          Alcotest.test_case "refs" `Quick test_refs;
+          Alcotest.test_case "evolution" `Quick test_evolution;
+          Alcotest.test_case "clustering" `Quick test_clustering;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* Tests for the composite-key encoding of U-index entries: clustering
+   order, decode roundtrips, and the prefix-successor. *)
+
+module Code = Oodb_schema.Code
+module Schema = Oodb_schema.Schema
+module Encoding = Oodb_schema.Encoding
+module Value = Objstore.Value
+module Ukey = Uindex.Ukey
+module Ps = Workload.Paper_schema
+
+let setup () =
+  let b = Ps.base () in
+  let code c = Encoding.code b.enc c in
+  (b, code)
+
+let test_entry_ordering () =
+  let b, code = setup () in
+  (* within one value, a class's entries precede its subclasses', which
+     precede the next sibling's: Section 3.2.1's clustering *)
+  let k cls oid = Ukey.entry_key ~value:(Value.Str "Red") [ (code cls, oid) ] in
+  let veh = k b.vehicle 1 in
+  let auto = k b.automobile 2 in
+  let compact = k b.compact 3 in
+  let truck = k b.truck 4 in
+  Alcotest.(check bool) "vehicle < automobile" true (veh < auto);
+  Alcotest.(check bool) "automobile < compact" true (auto < compact);
+  Alcotest.(check bool) "compact < truck" true (compact < truck);
+  (* values group first *)
+  let blue = Ukey.entry_key ~value:(Value.Str "Blue") [ (code b.truck, 9) ] in
+  Alcotest.(check bool) "Blue group before Red" true (blue < veh)
+
+let test_path_entry_ordering () =
+  let b, code = setup () in
+  let k eoid coid void =
+    Ukey.entry_key ~value:(Value.Int 50)
+      [ (code b.employee, eoid); (code b.company, coid); (code b.vehicle, void) ]
+  in
+  (* same employee+company clusters, vehicles vary last *)
+  Alcotest.(check bool) "vehicle varies last" true (k 1 2 3 < k 1 2 4);
+  Alcotest.(check bool) "company groups" true (k 1 2 9 < k 1 3 1);
+  Alcotest.(check bool) "employee groups" true (k 1 9 9 < k 2 1 1)
+
+let test_component_order_enforced () =
+  let b, code = setup () in
+  Alcotest.check_raises "descending rejected"
+    (Invalid_argument "Ukey.entry_key: components not in ascending code order")
+    (fun () ->
+      ignore
+        (Ukey.entry_key ~value:(Value.Int 1)
+           [ (code b.vehicle, 1); (code b.employee, 2) ]));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Ukey.entry_key: no components") (fun () ->
+      ignore (Ukey.entry_key ~value:(Value.Int 1) []))
+
+let test_decode_roundtrip () =
+  let b, code = setup () in
+  let comps =
+    [ (code b.employee, 7); (code b.company, 11); (code b.compact, 123456) ]
+  in
+  let key = Ukey.entry_key ~value:(Value.Int 50) comps in
+  let d = Ukey.decode ~enc:b.enc ~ty:Schema.Int key in
+  Alcotest.(check bool) "value" true (d.Ukey.value = Value.Int 50);
+  Alcotest.(check (list (pair int int)))
+    "components"
+    [ (b.employee, 7); (b.company, 11); (b.compact, 123456) ]
+    d.Ukey.comps;
+  (* string-valued keys *)
+  let key = Ukey.entry_key ~value:(Value.Str "Red") [ (code b.truck, 5) ] in
+  let d = Ukey.decode ~enc:b.enc ~ty:Schema.String key in
+  Alcotest.(check bool) "str value" true (d.Ukey.value = Value.Str "Red");
+  Alcotest.(check (list (pair int int))) "str comps" [ (b.truck, 5) ] d.Ukey.comps
+
+let test_decode_offsets () =
+  let b, code = setup () in
+  let comps = [ (code b.employee, 1); (code b.vehicle, 2) ] in
+  let key = Ukey.entry_key ~value:(Value.Int 9) comps in
+  let d = Ukey.decode ~enc:b.enc ~ty:Schema.Int key in
+  List.iter2
+    (fun (cs, os, oe) (c, _) ->
+      (* the code region really serializes back to the component's class *)
+      let ser = String.sub key cs (os - 1 - cs) in
+      Alcotest.(check bool) "code slice" true
+        (Encoding.class_of_serialized b.enc ser = Some c);
+      Alcotest.(check int) "oid is 4 bytes" 4 (oe - os))
+    d.Ukey.comp_offsets d.Ukey.comps;
+  (* the final offset ends the key *)
+  let _, _, last_end = List.nth d.Ukey.comp_offsets 1 in
+  Alcotest.(check int) "covers whole key" (String.length key) last_end
+
+let test_decode_malformed () =
+  let b, _ = setup () in
+  let raises s =
+    match Ukey.decode ~enc:b.enc ~ty:Schema.Int s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "expected decode failure"
+  in
+  raises "";
+  raises "short";
+  raises (Value.encode (Value.Int 5));
+  raises (Value.encode (Value.Int 5) ^ "\x01");
+  raises (Value.encode (Value.Int 5) ^ "\x01ZZ\x02\x01\x00\x00")
+
+let prop_roundtrip =
+  let b, code = setup () in
+  QCheck.Test.make ~count:500 ~name:"entry_key/decode roundtrip"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 0xFFFFFF))
+    (fun (v, oid) ->
+      let comps =
+        [ (code b.employee, oid); (code b.company, oid + 1); (code b.vehicle, oid + 2) ]
+      in
+      let key = Ukey.entry_key ~value:(Value.Int v) comps in
+      let d = Ukey.decode ~enc:b.enc ~ty:Schema.Int key in
+      d.Ukey.value = Value.Int v
+      && d.Ukey.comps
+         = [ (b.employee, oid); (b.company, oid + 1); (b.vehicle, oid + 2) ])
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ]
+
+let () =
+  Alcotest.run "ukey"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "class clustering" `Quick test_entry_ordering;
+          Alcotest.test_case "path clustering" `Quick test_path_entry_ordering;
+          Alcotest.test_case "component order" `Quick test_component_order_enforced;
+          Alcotest.test_case "decode roundtrip" `Quick test_decode_roundtrip;
+          Alcotest.test_case "decode offsets" `Quick test_decode_offsets;
+          Alcotest.test_case "malformed keys" `Quick test_decode_malformed;
+        ] );
+      ("properties", qsuite);
+    ]

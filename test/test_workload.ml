@@ -1,0 +1,189 @@
+(* Tests for the experiment machinery: generators are deterministic and
+   well-formed, the experiment structures agree with each other on query
+   results, and the paper's headline comparative shapes hold on a scaled-
+   down configuration. *)
+
+module Dg = Workload.Datagen
+module Ex = Workload.Experiment
+module Qg = Workload.Querygen
+module Rng = Workload.Rng
+module Value = Objstore.Value
+module Query = Uindex.Query
+module Exec = Uindex.Exec
+
+let small_cfg =
+  { (Dg.default_exp2 ~n_classes:12 ~distinct_keys:50) with n_objects = 4_000; seed = 5 }
+
+let small = lazy (Dg.exp2 small_cfg)
+
+let test_rng_determinism () =
+  let a = Rng.create 9 and b = Rng.create 9 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let xs = Rng.sample_distinct (Rng.create 3) 10 40 in
+  Alcotest.(check int) "distinct count" 10 (List.length (List.sort_uniq compare xs));
+  Alcotest.(check (list int)) "sorted" (List.sort compare xs) xs;
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Rng.sample_distinct: k > bound") (fun () ->
+      ignore (Rng.sample_distinct (Rng.create 1) 5 3))
+
+let test_hierarchy_shape () =
+  let s, root, pre = Dg.hierarchy ~n_classes:40 in
+  Alcotest.(check int) "class count" 40 (Oodb_schema.Schema.class_count s);
+  Alcotest.(check int) "pre-order covers all" 40 (Array.length pre);
+  Alcotest.(check int) "root first" root pre.(0)
+
+let test_exp2_builds_consistently () =
+  let d = Lazy.force small in
+  Alcotest.(check int) "all entries indexed" small_cfg.n_objects
+    (Uindex.Index.entry_count d.uindex);
+  Alcotest.(check int) "cg holds them too" small_cfg.n_objects
+    (Baselines.Cg_tree.entry_count d.cg);
+  Btree.check (Uindex.Index.tree d.uindex);
+  Baselines.Cg_tree.check d.cg;
+  (* same seed -> identical data *)
+  let d2 = Dg.exp2 small_cfg in
+  Alcotest.(check bool) "deterministic" true (d.entries = d2.entries)
+
+let u_oids d ~lo ~hi ~sets =
+  let value =
+    if lo = hi then Query.V_eq (Value.Int lo)
+    else Query.V_range (Some (Value.Int lo), Some (Value.Int hi))
+  in
+  let q = Query.class_hierarchy ~value (Qg.union_of_classes sets) in
+  Exec.head_oids (Exec.parallel d.Dg.uindex q)
+
+let cg_oids d ~lo ~hi ~sets =
+  (if lo = hi then Baselines.Cg_tree.exact d.Dg.cg ~value:(Value.Int lo) ~sets
+   else Baselines.Cg_tree.range d.Dg.cg ~lo:(Value.Int lo) ~hi:(Value.Int hi) ~sets)
+  |> List.map snd |> List.sort_uniq compare
+
+let reference_oids d ~lo ~hi ~sets =
+  Array.to_list d.Dg.entries
+  |> List.filter_map (fun (k, cls, oid) ->
+         if k >= lo && k <= hi && List.mem cls sets then Some oid else None)
+  |> List.sort_uniq compare
+
+let test_structures_agree () =
+  let d = Lazy.force small in
+  let rng = Rng.create 77 in
+  for _ = 1 to 40 do
+    let k = 1 + Rng.int rng (Array.length d.classes) in
+    let sets = Qg.pick_sets rng Qg.Random ~classes:d.classes ~k in
+    let lo = Rng.int rng 50 in
+    let hi = min 49 (lo + Rng.int rng 10) in
+    let lo, hi = (min lo hi, max lo hi) in
+    let expect = reference_oids d ~lo ~hi ~sets in
+    Alcotest.(check (list int)) "U = reference" expect (u_oids d ~lo ~hi ~sets);
+    Alcotest.(check (list int)) "CG = reference" expect (cg_oids d ~lo ~hi ~sets)
+  done
+
+let test_placements () =
+  let d = Lazy.force small in
+  let rng = Rng.create 4 in
+  let near = Qg.pick_sets rng Qg.Near ~classes:d.classes ~k:4 in
+  (* near sets are contiguous in pre-order *)
+  let indices =
+    List.map
+      (fun c ->
+        let rec find i = if d.classes.(i) = c then i else find (i + 1) in
+        find 0)
+      near
+  in
+  let sorted = List.sort compare indices in
+  Alcotest.(check bool) "contiguous" true
+    (List.mapi (fun i x -> x - i) sorted |> List.sort_uniq compare |> List.length = 1);
+  let distant = Qg.pick_sets rng Qg.Distant ~classes:d.classes ~k:4 in
+  Alcotest.(check int) "distant distinct" 4
+    (List.length (List.sort_uniq compare distant));
+  Alcotest.check_raises "too many sets"
+    (Invalid_argument "Querygen.pick_sets: more sets than classes") (fun () ->
+      ignore (Qg.pick_sets rng Qg.Near ~classes:d.classes ~k:99))
+
+let test_range_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 50 do
+    let lo, hi = Qg.range_bounds rng ~distinct_keys:1000 ~frac:0.02 in
+    Alcotest.(check int) "width" 20 (hi - lo + 1);
+    Alcotest.(check bool) "in domain" true (lo >= 0 && hi < 1000)
+  done
+
+(* scaled-down versions of the paper's headline comparisons *)
+let test_figure_shapes () =
+  let d = Lazy.force small in
+  let series kind =
+    Ex.figure_series d ~kind ~set_counts:[ 1; 6; 12 ] ~reps:20 ~seed:3
+  in
+  let get name s = List.assoc name s in
+  (* exact match: the U-index beats CG-trees and is insensitive to the
+     number of sets (paper conclusion, Figure 5) *)
+  let s = series Ex.Exact in
+  let u = get "B-tree (near sets)" s and cg = get "CG-tree" s in
+  let at k l = List.assoc k l in
+  if at 12 u > 2.0 *. at 1 u then
+    Alcotest.failf "U exact-match grew too much with sets: %.1f -> %.1f" (at 1 u)
+      (at 12 u);
+  if at 12 cg < at 12 u then
+    Alcotest.failf "CG should not beat U on exact match at many sets (%f vs %f)"
+      (at 12 cg) (at 12 u);
+  (* wide ranges with one set: CG (set grouping) must win *)
+  let s = series (Ex.Range 0.2) in
+  let u = get "B-tree (near sets)" s and cg = get "CG-tree" s in
+  if at 1 cg > at 1 u then
+    Alcotest.failf "CG should win 1-set wide ranges (%f vs %f)" (at 1 cg) (at 1 u)
+
+let test_table1_smoke () =
+  let e = Dg.exp1 ~n_vehicles:1_500 ~n_companies:80 ~n_employees:40 ~seed:2 () in
+  let rows = Ex.table1 e in
+  Alcotest.(check int) "20 queries" 20 (List.length rows);
+  List.iter
+    (fun r ->
+      if r.Ex.parallel <= 0 then Alcotest.failf "query %s read no pages" r.Ex.id;
+      if r.Ex.parallel > r.Ex.forward + 30 then
+        Alcotest.failf "query %s: parallel (%d) way above forward (%d)" r.Ex.id
+          r.Ex.parallel r.Ex.forward)
+    rows;
+  let find id = List.find (fun r -> r.Ex.id = id) rows in
+  (* paper conclusion 1: subtree retrieval cheaper than full class tree *)
+  if (find "2").Ex.parallel > (find "1").Ex.parallel then
+    Alcotest.fail "PassengerBus subtree should cost less than all Buses";
+  (* paper conclusion 3: the parallel algorithm beats forward scanning on
+     multi-value multi-class queries *)
+  if (find "4b").Ex.parallel >= (find "4b").Ex.forward then
+    Alcotest.fail "parallel should beat forward on query 4b"
+
+let test_render () =
+  let s = Workload.Table.render ~header:[ "a"; "b" ] ~rows:[ [ "1"; "22" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "has rule" true (String.length s > 10);
+  let out =
+    Workload.Table.render_series ~title:"t" ~x_label:"x"
+      ~series:[ ("s1", [ (1, 2.0); (2, 4.5) ]); ("s2", [ (1, 0.1) ]) ]
+  in
+  Alcotest.(check bool) "missing cell dashed" true
+    (String.length out > 0
+    && String.split_on_char '\n' out
+       |> List.exists (fun l -> String.length l > 0 && l.[String.length l - 1] = '-'))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "hierarchy shape" `Quick test_hierarchy_shape;
+          Alcotest.test_case "exp2 build" `Quick test_exp2_builds_consistently;
+          Alcotest.test_case "set placements" `Quick test_placements;
+          Alcotest.test_case "range bounds" `Quick test_range_bounds;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "U = CG = reference" `Quick test_structures_agree;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "figure shapes" `Slow test_figure_shapes;
+          Alcotest.test_case "table 1 smoke" `Slow test_table1_smoke;
+          Alcotest.test_case "table rendering" `Quick test_render;
+        ] );
+    ]
