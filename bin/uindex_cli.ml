@@ -4,6 +4,8 @@
      codes        print the encoded paper schema
      demo         build the Example 1 database and run the Section 3.3 queries
      query        run one query against a freshly generated vehicle database
+     build        persist a generated index to a page file (crash-safe)
+     recover      replay a page file's journal and verify the index
      bench-table1 regenerate Table 1 (small/full size)
      shootout     page-read comparison of U-index vs CG-tree on one config *)
 
@@ -207,6 +209,93 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a textual query (Section 3.4 syntax).")
     Term.(const run $ n $ seed $ qstr $ algo $ explain)
 
+(* --- build: persist an index to a page file ------------------------------- *)
+
+let build_cmd =
+  let run file n_vehicles seed page_size sync_each =
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    let b = e.ext.b in
+    let pager = Storage.Pager.create_file ~page_size file in
+    let ch =
+      Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+    in
+    if sync_each then
+      (* one durable commit per object: every prefix of the build is a
+         state `recover` can restore *)
+      Objstore.Store.iter e.store (fun o ->
+          Index.index_object ch e.store o.Objstore.Store.oid;
+          Index.sync ch)
+    else Index.build ch e.store;
+    Index.sync ch;
+    Printf.printf "%s: %d entries in %d pages (%d physical writes)\n" file
+      (Index.entry_count ch)
+      (Storage.Pager.page_count pager)
+      (Storage.Pager.physical_writes pager);
+    Storage.Pager.close pager
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Page file to create (truncated).")
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let page_size =
+    Arg.(value & opt int 1024 & info [ "page-size" ] ~doc:"Page size in bytes.")
+  in
+  let sync_each =
+    Arg.(
+      value & flag
+      & info [ "sync" ]
+          ~doc:
+            "Commit after every indexed object instead of once at the end \
+             (slow; exercises the journal).")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Build the Vehicle.color class-hierarchy index on a file-backed \
+          pager and commit it.")
+    Term.(const run $ file $ n $ seed $ page_size $ sync_each)
+
+(* --- recover: journal replay + integrity check ----------------------------- *)
+
+let recover_cmd =
+  let run file =
+    if not (Sys.file_exists file) then (
+      Printf.eprintf "uindex-cli: no such file: %s\n" file;
+      exit 1);
+    (match Storage.Pager.recover file with
+    | true -> print_endline "journal: committed transaction replayed"
+    | false -> print_endline "journal: none (file already consistent)");
+    match
+      let pager = Storage.Pager.open_file file in
+      let t = Btree.reattach pager in
+      let r = Btree.check_invariants t in
+      Format.printf "tree ok: %a@." Btree.pp_invariant_report r;
+      Storage.Pager.close pager
+    with
+    | () -> ()
+    | exception (Invalid_argument msg | Failure msg) ->
+        Printf.eprintf "uindex-cli: %s: %s\n" file msg;
+        exit 1
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Page file written by $(b,build).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Replay any interrupted commit on FILE, reattach the index tree, \
+          and verify its invariants.")
+    Term.(const run $ file)
+
 (* --- bench-table1 ---------------------------------------------------------- *)
 
 let table1_cmd =
@@ -268,4 +357,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "uindex-cli" ~doc)
-          [ codes_cmd; demo_cmd; query_cmd; run_cmd; table1_cmd; shootout_cmd ]))
+          [
+            codes_cmd;
+            demo_cmd;
+            query_cmd;
+            run_cmd;
+            build_cmd;
+            recover_cmd;
+            table1_cmd;
+            shootout_cmd;
+          ]))

@@ -63,6 +63,20 @@ let attach ?config pager ~root =
   t.height <- descend root 1;
   t
 
+(* The root page id is the only state outside the pager; persist it in the
+   pager's header metadata so a reopened file is self-describing. *)
+let meta_tag = "BT1"
+
+let sync t =
+  Pager.set_meta t.pager (meta_tag ^ Bu.encode_u32 t.root);
+  Pager.sync t.pager
+
+let reattach ?config pager =
+  let m = Pager.meta pager in
+  if String.length m <> 7 || String.sub m 0 3 <> meta_tag then
+    invalid_arg "Btree.reattach: pager metadata does not name a tree root";
+  attach ?config pager ~root:(Bu.decode_u32 m 3)
+
 let raw_read t id = Pager.read t.pager id
 let cached_read t = Pager.Cache.create t.pager
 
@@ -979,15 +993,50 @@ let trace_intervals t ~read ivs =
 
 (* --- introspection ------------------------------------------------------- *)
 
-let check t =
+type invariant_report = {
+  height : int;
+  nodes : int;
+  leaves : int;
+  entries : int;
+  min_fill : float;
+  avg_fill : float;
+}
+
+let pp_invariant_report ppf r =
+  Format.fprintf ppf
+    "height=%d nodes=%d leaves=%d entries=%d min_fill=%.2f avg_fill=%.2f"
+    r.height r.nodes r.leaves r.entries r.min_fill r.avg_fill
+
+let check_invariants t =
   let fail fmt = Format.kasprintf failwith fmt in
   let leaves_in_order = ref [] in
+  let nodes = ref 0 and leaves = ref 0 and entries = ref 0 in
+  let min_fill = ref 1.0 and fill_sum = ref 0.0 in
+  (* fill factor: fraction of the page used, or of the entry cap when the
+     tree models the paper's fixed-arity nodes *)
+  let account id node nkeys =
+    incr nodes;
+    let fill =
+      match t.cfg.max_entries with
+      | Some m -> float_of_int nkeys /. float_of_int m
+      | None ->
+          float_of_int (Node.size ~front_coding:t.cfg.front_coding node)
+          /. float_of_int (page_size t)
+    in
+    fill_sum := !fill_sum +. fill;
+    if id <> t.root && fill < !min_fill then min_fill := fill
+  in
   let rec walk id depth lo hi =
     match load (quiet_read t) id with
     | Node.Leaf l ->
         if depth <> t.height then
           fail "leaf %d at depth %d, expected height %d" id depth t.height;
         let node = Node.Leaf l in
+        account id node (Array.length l.lkeys);
+        incr leaves;
+        entries := !entries + Array.length l.lkeys;
+        if id <> t.root && Array.length l.lkeys = 0 then
+          fail "non-root leaf %d is empty" id;
         if Node.size ~front_coding:t.cfg.front_coding node > page_size t then
           fail "leaf %d exceeds page size" id;
         (match t.cfg.max_entries with
@@ -1010,6 +1059,7 @@ let check t =
         leaves_in_order := (id, l.next) :: !leaves_in_order
     | Node.Internal n ->
         let node = Node.Internal n in
+        account id node (Array.length n.ikeys);
         if Node.size ~front_coding:t.cfg.front_coding node > page_size t then
           fail "internal %d exceeds page size" id;
         if Array.length n.children <> Array.length n.ikeys + 1 then
@@ -1028,7 +1078,7 @@ let check t =
   in
   walk t.root 1 None None;
   (* the leaf chain must link the leaves exactly in key order *)
-  let leaves = List.rev !leaves_in_order in
+  let leaves_chain = List.rev !leaves_in_order in
   let rec check_chain = function
     | (_, next) :: ((id', _) :: _ as rest) ->
         if next <> id' then fail "leaf chain broken: %d -> %d" next id';
@@ -1036,7 +1086,17 @@ let check t =
     | [ (_, next) ] -> if next <> -1 then fail "last leaf has next=%d" next
     | [] -> ()
   in
-  check_chain leaves
+  check_chain leaves_chain;
+  {
+    height = t.height;
+    nodes = !nodes;
+    leaves = !leaves;
+    entries = !entries;
+    min_fill = (if !nodes <= 1 then 1.0 else !min_fill);
+    avg_fill = (if !nodes = 0 then 0. else !fill_sum /. float_of_int !nodes);
+  }
+
+let check t = ignore (check_invariants t)
 
 let fold_nodes t f init =
   let acc = ref init in
@@ -1098,5 +1158,5 @@ let compression_stats t =
 
 let pp_stats ppf t =
   Format.fprintf ppf "height=%d nodes=%d leaves=%d entries=%d pages=%d"
-    t.height (node_count t) (leaf_count t) (length t)
+    (height t) (node_count t) (leaf_count t) (length t)
     (Pager.page_count t.pager)

@@ -46,6 +46,19 @@ val attach : ?config:config -> Storage.Pager.t -> root:int -> t
     by walking to the leftmost leaf.  The configuration must match the one
     the tree was built with — in particular [front_coding]. *)
 
+val sync : t -> unit
+(** Records the current root in the pager's header metadata and commits
+    everything with {!Storage.Pager.sync}.  Because a sync is atomic
+    (journal then checkpoint), a tree on a file-backed pager always
+    reopens to its last-synced state, however many splits or merges were
+    in flight when a crash hit. *)
+
+val reattach : ?config:config -> Storage.Pager.t -> t
+(** [reattach pager] re-opens the tree whose root a previous {!sync}
+    recorded in the pager's metadata — the usual way to resume after
+    {!Storage.Pager.open_file}.  Raises [Invalid_argument] when the
+    metadata does not name a tree (no {!sync} ever ran). *)
+
 val pager : t -> Storage.Pager.t
 val config : t -> config
 
@@ -146,10 +159,28 @@ end
 
 (** {1 Introspection (tests, experiments)} *)
 
+type invariant_report = {
+  height : int;  (** levels, [1] = root is a leaf *)
+  nodes : int;  (** internal + leaf nodes *)
+  leaves : int;
+  entries : int;
+  min_fill : float;
+      (** worst fill factor over non-root nodes ([1.0] for a lone root):
+          bytes used / page size, or entries / cap under [max_entries] *)
+  avg_fill : float;  (** mean fill factor over all nodes *)
+}
+
+val check_invariants : t -> invariant_report
+(** Validates structural invariants — sorted unique keys, node sizes
+    within capacity, separator consistency, uniform leaf depth, non-root
+    leaves non-empty, leaf-chain order and completeness — and returns
+    occupancy statistics.  Raises [Failure] with a diagnostic on
+    violation. *)
+
+val pp_invariant_report : Format.formatter -> invariant_report -> unit
+
 val check : t -> unit
-(** Validates structural invariants: sorted unique keys, node sizes within
-    capacity, separator consistency, leaf-chain order and completeness.
-    Raises [Failure] with a diagnostic on violation. *)
+(** [check_invariants] with the report discarded. *)
 
 val leaf_count : t -> int
 val node_count : t -> int

@@ -53,6 +53,7 @@ let set_attr t oid attr v =
   reindex_around t (fun () -> Store.set_attr t.store oid attr v) oid
 
 let query ?(algo = `Parallel) _t idx q = Exec.run ~algo idx q
+let sync t = List.iter Index.sync t.indexes
 
 let check t =
   List.iter

@@ -33,6 +33,9 @@ val query :
   ?algo:[ `Forward | `Parallel ] -> t -> Index.t -> Query.t -> Exec.outcome
 (** Runs the query through the given index ([`Parallel] by default). *)
 
+val sync : t -> unit
+(** {!Index.sync} on every index: commits all file-backed index state. *)
+
 val check : t -> unit
 (** Verifies every index: B-tree invariants hold and the entry set equals
     what a full rebuild from the store would produce.  For tests. *)

@@ -29,6 +29,7 @@ let kind t = t.kind
 let encoding t = t.enc
 let tree t = t.tree
 let attr_ty t = t.ty
+let sync t = Btree.sync t.tree
 
 let first_spec t =
   match t.specs with

@@ -111,5 +111,9 @@ val remove_entry :
 val build : t -> Store.t -> unit
 (** (Re)indexes every relevant object of the store, over all paths. *)
 
+val sync : t -> unit
+(** {!Btree.sync} on the underlying tree: persists the root and commits
+    buffered pages when the index lives on a file-backed pager. *)
+
 val entry_count : t -> int
 val pp_stats : Format.formatter -> t -> unit

@@ -15,6 +15,7 @@ type t = {
   mutable tail : node option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ~capacity pager =
@@ -27,6 +28,7 @@ let create ~capacity pager =
     tail = None;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let unlink t n =
@@ -50,7 +52,8 @@ let evict_lru t =
   | None -> ()
   | Some n ->
       unlink t n;
-      Hashtbl.remove t.table n.page_id
+      Hashtbl.remove t.table n.page_id;
+      t.evictions <- t.evictions + 1
 
 let read t id =
   match Hashtbl.find_opt t.table id with
@@ -84,6 +87,7 @@ let flush t =
 
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 
 let hit_rate t =
   let total = t.hits + t.misses in

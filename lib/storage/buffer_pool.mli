@@ -9,7 +9,9 @@
     Reads through the pool count against the underlying pager only on a
     miss; hits are served from the pool.  The pool is read-only: writers
     must go straight to the pager, and call {!invalidate} for pages they
-    changed (or {!flush} after a batch). *)
+    changed (or {!flush} after a batch).  Pager reads always observe
+    writes buffered since the last {!Pager.sync}, so the pool stays
+    coherent with the journaled file backend under the same discipline. *)
 
 type t
 
@@ -27,6 +29,9 @@ val flush : t -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Pages dropped to make room (capacity pressure, not {!invalidate}). *)
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; [0.] before any access. *)

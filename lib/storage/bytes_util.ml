@@ -40,6 +40,15 @@ let common_prefix_len a b =
   let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
   go 0
 
+(* FNV-1a, folded to 32 bits; used for page-file header and journal
+   checksums.  Not cryptographic — it only needs to catch torn writes. *)
+let fnv32 ?(init = 0x811C9DC5) b off len =
+  let h = ref init in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
 let check_text s =
   String.iter
     (fun c ->

@@ -44,6 +44,11 @@ val common_prefix_len : string -> string -> int
 (** [common_prefix_len a b] is the length of the longest common prefix of
     [a] and [b]. *)
 
+val fnv32 : ?init:int -> Bytes.t -> int -> int -> int
+(** [fnv32 b off len] is the 32-bit FNV-1a hash of [len] bytes of [b]
+    starting at [off]; pass a previous result as [init] to chain ranges.
+    Used as the torn-write checksum of page-file headers and journals. *)
+
 val check_text : string -> string
 (** [check_text s] returns [s] if every byte of [s] is [>= 0x08], else
     raises [Invalid_argument].  Textual key components must stay above the

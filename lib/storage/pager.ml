@@ -1,6 +1,70 @@
+module Bu = Bytes_util
+
+exception Fault of string
+
+let nil = 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* On-disk formats                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Physical layout of a page file: physical page 0 is the header; logical
+   page [i] lives at physical page [i + 1].
+
+   Header page:
+     0..7    magic "UPGHDR1\n"
+     8       u32 page_size
+     12      u32 used       (logical high-water mark)
+     16      u32 live       (allocated and not freed)
+     20      u32 free_head  (first free page, intrusive chain; 0xFFFFFFFF = none)
+     24      u16 meta_len
+     26..    meta bytes (client metadata, e.g. a B-tree root)
+     ps-4    u32 FNV-1a checksum of bytes [0, ps-4)
+
+   A free page stores the id of the next free page in its first 4 bytes.
+
+   Journal file (path ^ ".journal"), written on every {!sync}:
+     0..7    magic "UJRNL1\n\000"
+     8       u32 page_size
+     12      u32 count
+     16..    count x (u32 physical_index ++ page bytes)   -- the NEW images
+     ..      u32 FNV-1a checksum of the records region
+     ..      8-byte commit marker "COMMITTD" *)
+
+let header_magic = "UPGHDR1\n"
+let journal_magic = "UJRNL1\n\000"
+let commit_marker = "COMMITTD"
+let header_fixed = 26 (* bytes before the meta area *)
+let meta_capacity page_size = page_size - header_fixed - 4
+let journal_path path = path ^ ".journal"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
 type backend =
   | Memory of { mutable pages : Bytes.t option array }
-  | File of { fd : Unix.file_descr; mutable live_map : bool array }
+  | File of {
+      fd : Unix.file_descr;
+      path : string;
+      mutable live_map : bool array;
+      dirty : (int, Bytes.t) Hashtbl.t;
+          (* logical id -> content written since the last sync *)
+    }
+
+type fault_spec = {
+  fail_write : int option;
+  torn : bool;
+  read_error_every : int option;
+}
+
+let no_faults = { fail_write = None; torn = false; read_error_every = None }
+
+type fault_plan = {
+  spec : fault_spec;
+  mutable reads_seen : int;
+  mutable crashed : bool;
+}
 
 type t = {
   page_size : int;
@@ -9,8 +73,93 @@ type t = {
   mutable free_list : int list;
   mutable live : int;
   mutable closed : bool;
+  mutable meta : string;
+  mutable meta_dirty : bool;
+  mutable free_dirty : bool;  (* free list changed since the last sync *)
+  mutable phys_writes : int;  (* backend write operations, ever *)
+  mutable faults : fault_plan option;
   stats : Stats.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Low-level I/O                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pwrite_buf fd ~off b len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let rec go o =
+    if o < len then
+      let n = Unix.write fd b o (len - o) in
+      go (o + n)
+  in
+  go 0
+
+let pread_buf fd ~off b len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let rec go o =
+    if o < len then begin
+      let n = Unix.read fd b o (len - o) in
+      if n = 0 then Bytes.fill b o (len - o) '\000' (* past EOF: zeros *)
+      else go (o + n)
+    end
+  in
+  go 0
+
+(* Every backend write funnels through here: the fault plan fires on the
+   Nth physical write, optionally landing only the first half (a torn
+   write), and from then on the pager behaves as a crashed process —
+   all further physical writes raise. *)
+let inject_write t ~full ~half =
+  t.phys_writes <- t.phys_writes + 1;
+  match t.faults with
+  | None -> full ()
+  | Some p -> (
+      if p.crashed then raise (Fault "Pager: crashed (write after fault)");
+      match p.spec.fail_write with
+      | Some n when t.phys_writes >= n ->
+          p.crashed <- true;
+          t.stats.faults <- t.stats.faults + 1;
+          if p.spec.torn then half ();
+          raise (Fault (Printf.sprintf "Pager: injected fault at write %d" n))
+      | _ -> full ())
+
+let inject_read t =
+  match t.faults with
+  | None -> ()
+  | Some p -> (
+      match p.spec.read_error_every with
+      | Some k when k > 0 ->
+          p.reads_seen <- p.reads_seen + 1;
+          if p.reads_seen mod k = 0 then begin
+            t.stats.faults <- t.stats.faults + 1;
+            raise (Fault "Pager: injected transient read error")
+          end
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Header encoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let encode_header t =
+  let b = Bytes.make t.page_size '\000' in
+  Bytes.blit_string header_magic 0 b 0 8;
+  Bu.put_u32 b 8 t.page_size;
+  Bu.put_u32 b 12 t.used;
+  Bu.put_u32 b 16 t.live;
+  Bu.put_u32 b 20 (match t.free_list with id :: _ -> id | [] -> nil);
+  Bu.put_u16 b 24 (String.length t.meta);
+  Bytes.blit_string t.meta 0 b header_fixed (String.length t.meta);
+  Bu.put_u32 b (t.page_size - 4) (Bu.fnv32 b 0 (t.page_size - 4));
+  b
+
+let free_chain_page t ~next =
+  let b = Bytes.make t.page_size '\000' in
+  Bu.put_u32 b 0 next;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let make ~page_size backend =
   if page_size < 64 then invalid_arg "Pager.create: page_size < 64";
@@ -21,6 +170,11 @@ let make ~page_size backend =
     free_list = [];
     live = 0;
     closed = false;
+    meta = "";
+    meta_dirty = false;
+    free_dirty = false;
+    phys_writes = 0;
+    faults = None;
     stats = Stats.create ();
   }
 
@@ -29,33 +183,255 @@ let create ?(page_size = 1024) () =
 
 let create_file ?(page_size = 1024) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  make ~page_size (File { fd; live_map = Array.make 64 false })
-
-let open_file ?(page_size = 1024) path =
-  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-  let len = (Unix.fstat fd).Unix.st_size in
-  if len mod page_size <> 0 then begin
-    Unix.close fd;
-    invalid_arg "Pager.open_file: file length is not a multiple of page_size"
-  end;
-  let used = len / page_size in
   let t =
-    make ~page_size (File { fd; live_map = Array.make (max 64 used) true })
+    make ~page_size
+      (File { fd; path; live_map = Array.make 64 false; dirty = Hashtbl.create 64 })
   in
-  t.used <- used;
-  t.live <- used;
+  (* a freshly created file is immediately a valid (empty) page file *)
+  pwrite_buf fd ~off:0 (encode_header t) page_size;
+  Unix.fsync fd;
   t
 
-let close t =
-  (match t.backend with
-  | File { fd; _ } -> if not t.closed then Unix.close fd
-  | Memory _ -> ());
-  t.closed <- true
+(* --- journal recovery ----------------------------------------------- *)
+
+let read_whole_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      let b = Bytes.create len in
+      pread_buf fd ~off:0 b len;
+      b)
+
+let journal_valid j =
+  let len = Bytes.length j in
+  len >= 16 + 4 + 8
+  && Bytes.sub_string j 0 8 = journal_magic
+  &&
+  let ps = Bu.get_u32 j 8 and count = Bu.get_u32 j 12 in
+  ps >= 64
+  && count >= 0
+  && len = 16 + (count * (4 + ps)) + 4 + 8
+  &&
+  let records_len = count * (4 + ps) in
+  Bu.get_u32 j (16 + records_len) = Bu.fnv32 j 16 records_len
+  && Bytes.sub_string j (16 + records_len + 4) 8 = commit_marker
+
+let recover path =
+  let jpath = journal_path path in
+  if not (Sys.file_exists jpath) then false
+  else
+    let j = read_whole_file jpath in
+    if not (journal_valid j) then begin
+      (* torn or unfinished journal: the main file was never touched in
+         this transaction, so the pre-transaction state is intact *)
+      Sys.remove jpath;
+      false
+    end
+    else begin
+      let ps = Bu.get_u32 j 8 and count = Bu.get_u32 j 12 in
+      let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          for r = 0 to count - 1 do
+            let off = 16 + (r * (4 + ps)) in
+            let idx = Bu.get_u32 j off in
+            pwrite_buf fd ~off:(idx * ps) (Bytes.sub j (off + 4) ps) ps
+          done;
+          Unix.fsync fd);
+      Sys.remove jpath;
+      true
+    end
+
+let open_file ?page_size path =
+  ignore (recover path);
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let fail fmt =
+    Format.kasprintf (fun m -> Unix.close fd; invalid_arg m) fmt
+  in
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len < 12 then fail "Pager.open_file: not a page file (too short)";
+  let probe = Bytes.create 12 in
+  pread_buf fd ~off:0 probe 12;
+  if Bytes.sub_string probe 0 8 <> header_magic then
+    fail "Pager.open_file: not a page file (bad magic)";
+  let ps = Bu.get_u32 probe 8 in
+  if ps < 64 then fail "Pager.open_file: corrupt header (page size)";
+  (match page_size with
+  | Some p when p <> ps ->
+      fail "Pager.open_file: page size mismatch (file has %d, expected %d)" ps p
+  | Some _ | None -> ());
+  if len mod ps <> 0 then
+    fail "Pager.open_file: file length is not a multiple of page_size";
+  let hdr = Bytes.create ps in
+  pread_buf fd ~off:0 hdr ps;
+  if Bu.get_u32 hdr (ps - 4) <> Bu.fnv32 hdr 0 (ps - 4) then
+    fail "Pager.open_file: corrupt header (bad checksum)";
+  let used = Bu.get_u32 hdr 12
+  and live = Bu.get_u32 hdr 16
+  and free_head = Bu.get_u32 hdr 20
+  and meta_len = Bu.get_u16 hdr 24 in
+  if meta_len > meta_capacity ps then
+    fail "Pager.open_file: corrupt header (metadata length)";
+  let meta = Bytes.sub_string hdr header_fixed meta_len in
+  let live_map = Array.make (max 64 used) false in
+  for i = 0 to used - 1 do
+    live_map.(i) <- true
+  done;
+  (* rebuild the free list from the intrusive on-disk chain *)
+  let free_list = ref [] and n_free = ref 0 in
+  let link = Bytes.create 4 in
+  let cur = ref free_head in
+  while !cur <> nil do
+    let id = !cur in
+    if id < 0 || id >= used || not live_map.(id) then
+      fail "Pager.open_file: corrupt free list (page %d)" id;
+    live_map.(id) <- false;
+    free_list := id :: !free_list;
+    incr n_free;
+    pread_buf fd ~off:((id + 1) * ps) link 4;
+    cur := Bu.get_u32 link 0
+  done;
+  if used - !n_free <> live then
+    fail "Pager.open_file: corrupt header (live count %d, found %d)" live
+      (used - !n_free);
+  let t =
+    make ~page_size:ps
+      (File { fd; path; live_map; dirty = Hashtbl.create 64 })
+  in
+  t.used <- used;
+  t.live <- live;
+  t.free_list <- List.rev !free_list;
+  t.meta <- meta;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Sync: journal, checkpoint, clear                                    *)
+(* ------------------------------------------------------------------ *)
 
 let check_open t = if t.closed then invalid_arg "Pager: store is closed"
 
+let sync t =
+  check_open t;
+  (match t.faults with
+  | Some p when p.crashed ->
+      (* a crashed process must not touch the files again — in particular
+         it must not truncate a journal that already committed *)
+      raise (Fault "Pager: crashed (sync after fault)")
+  | _ -> ());
+  match t.backend with
+  | Memory _ -> () (* memory writes are applied immediately *)
+  | File f ->
+      if
+        Hashtbl.length f.dirty > 0 || t.free_dirty || t.meta_dirty
+      then begin
+        (* the transaction: dirty pages, the (re-linked) free chain, and
+           always the header — everything as physical (idx, bytes) pairs *)
+        let records = ref [ (0, encode_header t) ] in
+        Hashtbl.iter
+          (fun id b -> records := (id + 1, b) :: !records)
+          f.dirty;
+        if t.free_dirty then begin
+          let rec chain = function
+            | [] -> ()
+            | id :: rest ->
+                let next = match rest with n :: _ -> n | [] -> nil in
+                records := (id + 1, free_chain_page t ~next) :: !records;
+                chain rest
+          in
+          chain t.free_list
+        end;
+        let records =
+          List.sort (fun (a, _) (b, _) -> compare a b) !records
+        in
+        let count = List.length records in
+        (* 1. write the journal (new images), fsync it *)
+        let jfd =
+          Unix.openfile (journal_path f.path)
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+            0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> Unix.close jfd)
+          (fun () ->
+            let head = Bytes.create 16 in
+            Bytes.blit_string journal_magic 0 head 0 8;
+            Bu.put_u32 head 8 t.page_size;
+            Bu.put_u32 head 12 count;
+            pwrite_buf jfd ~off:0 head 16;
+            let sum = ref 0x811C9DC5 in
+            List.iteri
+              (fun r (idx, page) ->
+                let rec_len = 4 + t.page_size in
+                let buf = Bytes.create rec_len in
+                Bu.put_u32 buf 0 idx;
+                Bytes.blit page 0 buf 4 t.page_size;
+                sum := Bu.fnv32 ~init:!sum buf 0 rec_len;
+                let off = 16 + (r * rec_len) in
+                inject_write t
+                  ~full:(fun () -> pwrite_buf jfd ~off buf rec_len)
+                  ~half:(fun () -> pwrite_buf jfd ~off buf (rec_len / 2)))
+              records;
+            let tail = Bytes.create 12 in
+            Bu.put_u32 tail 0 !sum;
+            Bytes.blit_string commit_marker 0 tail 4 8;
+            let off = 16 + (count * (4 + t.page_size)) in
+            inject_write t
+              ~full:(fun () -> pwrite_buf jfd ~off tail 12)
+              ~half:(fun () -> pwrite_buf jfd ~off tail 6);
+            Unix.fsync jfd);
+        (* 2. checkpoint the same images into the main file, fsync *)
+        List.iter
+          (fun (idx, page) ->
+            let off = idx * t.page_size in
+            inject_write t
+              ~full:(fun () -> pwrite_buf f.fd ~off page t.page_size)
+              ~half:(fun () -> pwrite_buf f.fd ~off page (t.page_size / 2)))
+          records;
+        Unix.fsync f.fd;
+        (* 3. the transaction is durable; drop the journal *)
+        Sys.remove (journal_path f.path);
+        Hashtbl.reset f.dirty;
+        t.free_dirty <- false;
+        t.meta_dirty <- false
+      end
+
+let close t =
+  match t.backend with
+  | Memory _ -> t.closed <- true
+  | File f ->
+      if not t.closed then begin
+        let fin () =
+          t.closed <- true;
+          Unix.close f.fd
+        in
+        (match sync t with () -> fin () | exception e -> fin (); raise e)
+      end
+
 let page_size t = t.page_size
 let stats t = t.stats
+let physical_writes t = t.phys_writes
+
+let meta t = t.meta
+
+let set_meta t m =
+  check_open t;
+  if String.length m > meta_capacity t.page_size then
+    invalid_arg "Pager.set_meta: metadata does not fit in the header page";
+  if m <> t.meta then begin
+    t.meta <- m;
+    t.meta_dirty <- true
+  end
+
+let create_faulty spec t =
+  t.faults <- Some { spec; reads_seen = 0; crashed = false };
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Page operations                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let grow_array a default =
   let n = Array.length a in
@@ -70,30 +446,6 @@ let is_live t id =
   | Memory m -> m.pages.(id) <> None
   | File f -> f.live_map.(id)
 
-let pwrite_page fd ~page_size id b =
-  ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
-  let rec go off =
-    if off < page_size then
-      let n = Unix.write fd b off (page_size - off) in
-      go (off + n)
-  in
-  go 0
-
-let pread_page fd ~page_size id =
-  ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
-  let b = Bytes.create page_size in
-  let rec go off =
-    if off < page_size then begin
-      let n = Unix.read fd b off (page_size - off) in
-      if n = 0 then
-        (* short file: the page was allocated but never written *)
-        Bytes.fill b off (page_size - off) '\000'
-      else go (off + n)
-    end
-  in
-  go 0;
-  b
-
 let alloc t =
   check_open t;
   t.stats.allocs <- t.stats.allocs + 1;
@@ -102,6 +454,7 @@ let alloc t =
     match t.free_list with
     | id :: rest ->
         t.free_list <- rest;
+        t.free_dirty <- true;
         id
     | [] ->
         let id = t.used in
@@ -116,7 +469,7 @@ let alloc t =
       if id >= Array.length f.live_map then
         f.live_map <- grow_array f.live_map false;
       f.live_map.(id) <- true;
-      pwrite_page f.fd ~page_size:t.page_size id (Bytes.make t.page_size '\000'));
+      Hashtbl.replace f.dirty id (Bytes.make t.page_size '\000'));
   id
 
 let check_live t id =
@@ -126,13 +479,20 @@ let check_live t id =
 
 let read t id =
   check_live t id;
+  inject_read t;
   t.stats.reads <- t.stats.reads + 1;
   match t.backend with
   | Memory m -> (
       match m.pages.(id) with
       | Some b -> Bytes.copy b
       | None -> assert false)
-  | File f -> pread_page f.fd ~page_size:t.page_size id
+  | File f -> (
+      match Hashtbl.find_opt f.dirty id with
+      | Some b -> Bytes.copy b
+      | None ->
+          let b = Bytes.create t.page_size in
+          pread_buf f.fd ~off:((id + 1) * t.page_size) b t.page_size;
+          b)
 
 let write t id b =
   if Bytes.length b <> t.page_size then
@@ -140,16 +500,30 @@ let write t id b =
   check_live t id;
   t.stats.writes <- t.stats.writes + 1;
   match t.backend with
-  | Memory m -> m.pages.(id) <- Some (Bytes.copy b)
-  | File f -> pwrite_page f.fd ~page_size:t.page_size id b
+  | Memory m ->
+      inject_write t
+        ~full:(fun () -> m.pages.(id) <- Some (Bytes.copy b))
+        ~half:(fun () ->
+          (* a torn write: the first half lands, the rest keeps its old
+             content *)
+          let old =
+            match m.pages.(id) with Some o -> o | None -> assert false
+          in
+          let torn = Bytes.copy old in
+          Bytes.blit b 0 torn 0 (t.page_size / 2);
+          m.pages.(id) <- Some torn)
+  | File f -> Hashtbl.replace f.dirty id (Bytes.copy b)
 
 let free t id =
   check_live t id;
   (match t.backend with
   | Memory m -> m.pages.(id) <- None
-  | File f -> f.live_map.(id) <- false);
+  | File f ->
+      f.live_map.(id) <- false;
+      Hashtbl.remove f.dirty id);
   t.live <- t.live - 1;
-  t.free_list <- id :: t.free_list
+  t.free_list <- id :: t.free_list;
+  t.free_dirty <- true
 
 let page_count t = t.live
 

@@ -1,66 +1,148 @@
-(** A paged store with page-read accounting.
+(** Fixed-size page store with crash-safe commits and fault injection.
 
-    Two backends share one interface:
+    The U-index lives in B-tree nodes stored as fixed-size pages.  A pager
+    hands out pages by integer id and counts every access in a {!Stats.t},
+    which is what the paper's page-read experiments measure.
 
-    - {!create}: pages in memory.  The paper's reported metric (page
-      reads) depends only on which pages an algorithm touches, so the
-      experiments run on this backend — deterministic and fast;
-    - {!create_file}: pages in an ordinary file (the paper's "index files
-      were stored in page files"), read and written with positioned I/O.
-      Allocation metadata is kept in memory; the file is storage, not a
-      crash-safe database.
+    Three backends:
 
-    Reads are counted on every {!read} call.  Retrieval algorithms that
-    want buffer-pool semantics ("utilize any page which is already in
-    memory", Section 3.3) keep their own per-query cache and therefore
-    call {!read} at most once per page; see {!Cache}. *)
+    - {!create} keeps pages in memory (the default for experiments);
+    - {!create_file} / {!open_file} back the store with a single file;
+    - {!create_faulty} wraps either of the above with deterministic
+      injected faults for crash testing.
+
+    {2 File layout and durability}
+
+    Physical page 0 of a page file is a header (magic, page size,
+    allocation counters, the head of the free-page chain, a small client
+    metadata string, and an FNV-1a checksum); logical page [i] is stored
+    at physical page [i + 1].  Freed pages form an intrusive on-disk list:
+    each stores the id of the next free page in its first 4 bytes, so
+    {!open_file} restores the full allocation state of a previous session.
+
+    File-backed writes are buffered in memory until {!sync}, which commits
+    them atomically with a redo journal ([path ^ ".journal"]): the new
+    page images are appended to the journal and fsynced, then written in
+    place and fsynced, then the journal is removed.  A crash before the
+    journal's commit marker is durable leaves the main file untouched (the
+    torn journal is discarded); a crash after it is replayed by
+    {!recover}, which {!open_file} runs automatically.  Between syncs the
+    on-disk file always holds the last committed state. *)
 
 type t
 
+exception Fault of string
+(** Raised by injected faults (see {!create_faulty}).  After a write
+    fault fires, the pager behaves like a crashed process: every later
+    physical write raises too, so no further state reaches disk. *)
+
+type fault_spec = {
+  fail_write : int option;
+      (** fail the [n]-th physical write (journal record, journal commit
+          marker, or in-place page write), counted from the pager's
+          creation — see {!physical_writes}; afterwards the pager is
+          "crashed": every later physical write raises *)
+  torn : bool;
+      (** when the failing write fires, land the first half of it before
+          raising — a torn page/record *)
+  read_error_every : int option;
+      (** raise a transient {!Fault} on every [k]-th {!read}; the read
+          can simply be retried *)
+}
+
+val no_faults : fault_spec
+(** All fields off; override with [{ no_faults with fail_write = ... }]. *)
+
+(** {1 Constructors} *)
+
 val create : ?page_size:int -> unit -> t
-(** [create ~page_size ()] makes an empty in-memory store.  [page_size]
-    defaults to 1024 bytes, the size used throughout the paper's second
-    experiment. *)
+(** In-memory pager. [page_size] defaults to 1024 bytes (the size used
+    throughout the paper's second experiment) and must be at least 64. *)
 
 val create_file : ?page_size:int -> string -> t
-(** [create_file path] makes an empty file-backed store, truncating
-    [path] if it exists.  Raises [Unix.Unix_error] on I/O failure. *)
+(** [create_file path] creates (or truncates) a file-backed pager.  The
+    header is written immediately, so the file is a valid empty store
+    even before the first {!sync}.  Raises [Unix.Unix_error] on I/O
+    failure. *)
 
 val open_file : ?page_size:int -> string -> t
-(** [open_file path] re-attaches to an existing page file: every page up
-    to the file's length is considered live.  Free-list state is not
-    persisted, so pages freed in a previous session are simply not
-    reused.  Raises [Invalid_argument] if the file length is not a
-    multiple of the page size. *)
+(** [open_file path] reopens a file written by {!create_file}, after
+    first replaying any committed journal left by a crash (see
+    {!recover}).  Restores the allocation high-water mark, the free
+    list, and the {!meta} string.  [page_size] is a cross-check: when
+    given, it must match the size recorded in the header.  Raises
+    [Invalid_argument] on a missing or corrupt header. *)
 
-val close : t -> unit
-(** Releases the backing file (no-op for the memory backend).  Further
-    access raises. *)
+val recover : string -> bool
+(** [recover path] replays the journal of an interrupted {!sync}, if
+    any.  Returns [true] when a complete, checksummed journal was
+    replayed into [path]; [false] when there was no journal or only a
+    torn one (which is deleted — the main file already holds the
+    consistent pre-transaction state).  Idempotent; called by
+    {!open_file}. *)
 
-val page_size : t -> int
+val create_faulty : fault_spec -> t -> t
+(** [create_faulty spec t] arms deterministic faults on [t] (returned
+    for convenience; [t] itself is modified and shares its stats).
+    Faults raise {!Fault} and are counted in [stats.faults]. *)
 
-val stats : t -> Stats.t
-(** The live counters of this pager (shared, mutable). *)
+(** {1 Page operations} *)
 
 val alloc : t -> int
-(** [alloc t] allocates a fresh zeroed page and returns its id.  Reuses
-    freed pages first.  Counts as one alloc (not a read). *)
+(** Allocate a zeroed page and return its id; reuses freed pages first.
+    Counts as one alloc (not a read). *)
 
 val read : t -> int -> Bytes.t
-(** [read t id] returns the current contents of page [id] as a fresh copy
-    and increments the read counter.  Raises [Invalid_argument] on an
-    unallocated id. *)
+(** [read t id] returns a copy of the page contents and increments the
+    read counter.  Raises [Invalid_argument] if [id] was never allocated
+    or has been freed. *)
 
 val write : t -> int -> Bytes.t -> unit
-(** [write t id b] replaces page [id] with [b] (must be exactly
-    [page_size t] long) and increments the write counter. *)
+(** [write t id b] replaces the page contents and increments the write
+    counter.  [Bytes.length b] must equal the page size.  File-backed
+    writes become durable at the next {!sync}. *)
 
 val free : t -> int -> unit
-(** [free t id] returns page [id] to the allocator. *)
+(** Release a page for reuse.  Accessing a freed page raises. *)
+
+val sync : t -> unit
+(** Atomically commit all buffered writes, the free list, and the
+    {!meta} string (journal, then checkpoint; see the module header).
+    A no-op on in-memory pagers and when nothing changed. *)
+
+val close : t -> unit
+(** Runs {!sync}, then releases the backing file (memory pagers just
+    close).  Further access raises [Invalid_argument]. *)
+
+(** {1 Metadata and introspection} *)
+
+val meta : t -> string
+(** Small client metadata string stored in the header page — e.g. the
+    root id of the B-tree living in this store.  [""] initially. *)
+
+val set_meta : t -> string -> unit
+(** Replace the metadata string; committed by the next {!sync}.  Raises
+    [Invalid_argument] if it does not fit in the header page (capacity
+    is [page_size - 30] bytes). *)
+
+val page_size : t -> int
 
 val page_count : t -> int
 (** Number of live (allocated, not freed) pages: the structure's storage
     footprint in pages. *)
+
+val stats : t -> Stats.t
+(** The live counters of this pager (shared, mutable). *)
+
+val physical_writes : t -> int
+(** Total backend write operations since creation — the clock that
+    [fail_write] counts against.  Run a workload once without faults to
+    learn its write count, then replay with [fail_write] anywhere in
+    that range. *)
+
+val journal_path : string -> string
+(** [journal_path path] is the journal file used by a pager backed by
+    [path] (for tests that corrupt or inspect it). *)
 
 (** A per-query page cache.  [Cache.read] fetches each page from the
     underlying pager at most once, so the pager's read counter counts

@@ -1,21 +1,29 @@
-type t = { mutable reads : int; mutable writes : int; mutable allocs : int }
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable allocs : int;
+  mutable faults : int;
+}
 
-let create () = { reads = 0; writes = 0; allocs = 0 }
+let create () = { reads = 0; writes = 0; allocs = 0; faults = 0 }
 
 let reset t =
   t.reads <- 0;
   t.writes <- 0;
-  t.allocs <- 0
+  t.allocs <- 0;
+  t.faults <- 0
 
-let snapshot t = { reads = t.reads; writes = t.writes; allocs = t.allocs }
+let snapshot t =
+  { reads = t.reads; writes = t.writes; allocs = t.allocs; faults = t.faults }
 
 let diff ~before ~after =
   {
     reads = after.reads - before.reads;
     writes = after.writes - before.writes;
     allocs = after.allocs - before.allocs;
+    faults = after.faults - before.faults;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "{reads=%d; writes=%d; allocs=%d}" t.reads t.writes
-    t.allocs
+  Format.fprintf ppf "{reads=%d; writes=%d; allocs=%d; faults=%d}" t.reads
+    t.writes t.allocs t.faults

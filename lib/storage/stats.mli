@@ -9,6 +9,7 @@ type t = {
   mutable reads : int;   (** pages fetched *)
   mutable writes : int;  (** pages written back *)
   mutable allocs : int;  (** pages allocated *)
+  mutable faults : int;  (** injected faults fired (see {!Pager.create_faulty}) *)
 }
 
 val create : unit -> t

@@ -336,13 +336,57 @@ let prop_model =
                 QCheck.Test.fail_reportf "delete presence mismatch on %S" key;
               model := Smap.remove key !model)
         ops;
-      Btree.check t;
+      let r = Btree.check_invariants t in
+      if r.Btree.entries <> Smap.cardinal !model then
+        QCheck.Test.fail_reportf "report counts %d entries, model %d"
+          r.Btree.entries (Smap.cardinal !model);
+      if r.Btree.height <> Btree.height t then
+        QCheck.Test.fail_reportf "report height diverged";
+      if r.Btree.min_fill < 0. || r.Btree.min_fill > 1. then
+        QCheck.Test.fail_reportf "min_fill %f out of range" r.Btree.min_fill;
+      if r.Btree.avg_fill < 0. || r.Btree.avg_fill > 1. then
+        QCheck.Test.fail_reportf "avg_fill %f out of range" r.Btree.avg_fill;
       let got = all_entries t in
       let want = Smap.bindings !model in
       if got <> want then
         QCheck.Test.fail_reportf "contents diverged: %d vs %d entries"
           (List.length got) (List.length want);
       true)
+
+(* random insert/delete/update sequences on a file-backed tree: after a
+   sync + reattach cycle the tree is identical and the invariant report is
+   unchanged *)
+let prop_sync_reattach =
+  QCheck.Test.make ~count:30 ~name:"sync/reattach preserves the tree"
+    QCheck.(
+      list (pair (int_bound 2) (string_of_size (QCheck.Gen.int_range 1 10))))
+    (fun ops ->
+      let path = Filename.temp_file "uindex_btree_sync" ".pages" in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ path; Storage.Pager.journal_path path ])
+        (fun () ->
+          let pager = Storage.Pager.create_file ~page_size:256 path in
+          let t = Btree.create pager in
+          List.iteri
+            (fun i (op, key) ->
+              match op with
+              | 0 | 1 -> Btree.insert t ~key ~value:(Printf.sprintf "v%d" i)
+              | _ -> ignore (Btree.delete t key))
+            ops;
+          let before = all_entries t in
+          let r_before = Btree.check_invariants t in
+          Btree.sync t;
+          Storage.Pager.close pager;
+          let pager = Storage.Pager.open_file path in
+          let t = Btree.reattach pager in
+          let same =
+            all_entries t = before && Btree.check_invariants t = r_before
+          in
+          Storage.Pager.close pager;
+          same))
 
 let prop_random_interval =
   QCheck.Test.make ~count:50 ~name:"scan_intervals = filtered iteration"
@@ -435,6 +479,7 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_model;
+      prop_sync_reattach;
       prop_random_interval;
       prop_batch_equals_sequential;
       prop_decode_garbage;

@@ -1,0 +1,277 @@
+(* Property-based differential tests: the two retrieval algorithms
+   ({!Exec.parallel} and {!Exec.forward}) against a naive in-memory scan
+   over the generated data.  Any disagreement — a binding produced by one
+   executor and not another, or by an executor and not the oracle — is a
+   correctness bug in index encoding, planning or scanning.
+
+   Three layers:
+   - 1,000 generated class-hierarchy queries (exact / range / one-of /
+     unrestricted values, class / subtree / union patterns) over two
+     experiment-2 style datasets;
+   - a qcheck property that regenerates the schema itself per case;
+   - path queries on the experiment-1 vehicle database against an oracle
+     that walks the object store's references directly. *)
+
+module Dg = Workload.Datagen
+module Qg = Workload.Querygen
+module Rng = Workload.Rng
+module Ps = Workload.Paper_schema
+module Query = Uindex.Query
+module Exec = Uindex.Exec
+module Index = Uindex.Index
+module Value = Objstore.Value
+module Store = Objstore.Store
+module Schema = Oodb_schema.Schema
+module Encoding = Oodb_schema.Encoding
+
+(* bindings as a canonical set, comparable across executors and oracle *)
+let canon_bindings bs =
+  List.sort_uniq compare
+    (List.map (fun b -> (b.Exec.value, b.Exec.comps)) bs)
+
+let canon (o : Exec.outcome) = canon_bindings o.Exec.bindings
+
+let pp_query schema q = Format.asprintf "%a" (Query.pp schema) q
+
+(* --- class-hierarchy differential ----------------------------------------- *)
+
+(* a random single-component query over [classes] with [distinct_keys]
+   integer key values *)
+let gen_ch_query rng ~classes ~distinct_keys =
+  let pat =
+    match Rng.int rng 4 with
+    | 0 -> Query.P_subtree (Rng.pick rng classes)
+    | 1 -> Query.P_class (Rng.pick rng classes)
+    | _ ->
+        let k = 1 + Rng.int rng (min 5 (Array.length classes)) in
+        let placement =
+          match Rng.int rng 3 with
+          | 0 -> Qg.Near
+          | 1 -> Qg.Distant
+          | _ -> Qg.Random
+        in
+        Qg.union_of_classes (Qg.pick_sets rng placement ~classes ~k)
+  in
+  let exact () = Qg.exact_value rng ~distinct_keys in
+  let value =
+    match Rng.int rng 10 with
+    | 0 -> Query.V_any
+    | 1 | 2 ->
+        let lo, hi = Qg.range_bounds rng ~distinct_keys ~frac:0.1 in
+        Query.V_range (Some (Value.Int lo), Some (Value.Int hi))
+    | 3 ->
+        if Rng.int rng 2 = 0 then Query.V_range (None, Some (Value.Int (exact ())))
+        else Query.V_range (Some (Value.Int (exact ())), None)
+    | 4 | 5 ->
+        Query.V_in
+          (List.sort_uniq compare
+             (List.init (1 + Rng.int rng 4) (fun _ -> Value.Int (exact ()))))
+    | _ -> Query.V_eq (Value.Int (exact ()))
+  in
+  Query.class_hierarchy ~value pat
+
+(* the oracle: filter the raw (key, class, oid) rows the dataset was
+   built from *)
+let ch_oracle schema entries (q : Query.t) =
+  let pat =
+    match q.Query.comps with [ c ] -> c.Query.pat | _ -> assert false
+  in
+  Array.to_list entries
+  |> List.filter_map (fun (k, cls, oid) ->
+         if
+           Query.value_matches q.Query.value (Value.Int k)
+           && Query.pat_matches schema pat cls
+         then Some (Value.Int k, [ (cls, oid) ])
+         else None)
+  |> List.sort_uniq compare
+
+let check_ch_query ~schema ~entries ~idx ~slack q =
+  let want = ch_oracle schema entries q in
+  let f = Exec.forward idx q in
+  let p = Exec.parallel idx q in
+  if canon f <> want then
+    Alcotest.failf "forward disagrees with oracle on %s (%d vs %d bindings)"
+      (pp_query schema q)
+      (List.length (canon f))
+      (List.length want);
+  if canon p <> want then
+    Alcotest.failf "parallel disagrees with oracle on %s (%d vs %d bindings)"
+      (pp_query schema q)
+      (List.length (canon p))
+      (List.length want);
+  (* the parallel algorithm's whole point: skipping never costs more
+     pages than scanning, up to the descent overhead of re-seeks
+     (internal pages the forward scan's single bracket never touches) *)
+  if p.Exec.page_reads > f.Exec.page_reads + slack f.Exec.page_reads then
+    Alcotest.failf "parallel read %d pages, forward %d, on %s"
+      p.Exec.page_reads f.Exec.page_reads (pp_query schema q)
+
+let exp2_datasets =
+  lazy
+    [
+      Dg.exp2
+        { n_objects = 2000; n_classes = 8; distinct_keys = 50;
+          page_size = 256; seed = 7 };
+      Dg.exp2
+        { n_objects = 2000; n_classes = 40; distinct_keys = 400;
+          page_size = 256; seed = 11 };
+    ]
+
+let test_exp2_differential () =
+  let total = ref 0 in
+  List.iter
+    (fun (d : Dg.exp2) ->
+      let rng = Rng.create (1000 + d.cfg.seed) in
+      let height = Btree.height (Index.tree d.uindex) in
+      let slack f_reads = height + (f_reads / 4) in
+      for _ = 1 to 500 do
+        incr total;
+        let q =
+          gen_ch_query rng ~classes:d.classes
+            ~distinct_keys:d.cfg.distinct_keys
+        in
+        check_ch_query ~schema:d.schema ~entries:d.entries ~idx:d.uindex
+          ~slack q
+      done)
+    (Lazy.force exp2_datasets);
+  Alcotest.(check int) "1000 generated queries" 1000 !total
+
+(* same differential, but the schema, data and index are themselves
+   random per case *)
+let prop_random_schema_differential =
+  QCheck.Test.make ~count:60 ~name:"random schema: parallel = forward = oracle"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n_classes = 2 + Rng.int rng 11 in
+      let schema, root, classes = Dg.hierarchy ~n_classes in
+      let enc = Encoding.assign schema in
+      let pager = Storage.Pager.create ~page_size:256 () in
+      let idx = Index.create_class_hierarchy pager enc ~root ~attr:"k" in
+      let distinct_keys = 5 + Rng.int rng 40 in
+      let n = 50 + Rng.int rng 250 in
+      let entries =
+        Array.init n (fun i ->
+            (Rng.int rng distinct_keys, Rng.pick rng classes, i + 1))
+      in
+      Array.iter
+        (fun (k, cls, oid) ->
+          Index.insert_entry idx ~value:(Value.Int k) [ (cls, oid) ])
+        entries;
+      let height = Btree.height (Index.tree idx) in
+      for _ = 1 to 8 do
+        let q = gen_ch_query rng ~classes ~distinct_keys in
+        check_ch_query ~schema ~entries ~idx
+          ~slack:(fun f -> height + (f / 4))
+          q
+      done;
+      true)
+
+(* --- path-query differential ----------------------------------------------- *)
+
+(* the oracle walks Vehicle -> manufactured_by -> president -> age through
+   the object store, no index involved *)
+let path_oracle (e : Dg.exp1) (q : Query.t) =
+  let b = e.ext.b in
+  let emp_pat, comp_pat, veh_pat =
+    match q.Query.comps with
+    | [ a; b; c ] -> (a.Query.pat, b.Query.pat, c.Query.pat)
+    | _ -> assert false
+  in
+  let matches pat oid =
+    Query.pat_matches b.schema pat (Store.class_of e.store oid)
+  in
+  Store.extent e.store ~deep:true b.vehicle
+  |> List.concat_map (fun v ->
+         if not (matches veh_pat v) then []
+         else
+           Store.follow e.store v "manufactured_by"
+           |> List.concat_map (fun c ->
+                  if not (matches comp_pat c) then []
+                  else
+                    Store.follow e.store c "president"
+                    |> List.filter_map (fun emp ->
+                           if not (matches emp_pat emp) then None
+                           else
+                             match Store.attr e.store emp "age" with
+                             | Value.Int _ as age
+                               when Query.value_matches q.Query.value age ->
+                                 Some
+                                   ( age,
+                                     [
+                                       (Store.class_of e.store emp, emp);
+                                       (Store.class_of e.store c, c);
+                                       (Store.class_of e.store v, v);
+                                     ] )
+                             | _ -> None)))
+  |> List.sort_uniq compare
+
+let test_path_differential () =
+  let e = Dg.exp1 ~n_vehicles:400 ~n_companies:40 ~n_employees:60 ~seed:5 () in
+  let b = e.ext.b in
+  let rng = Rng.create 99 in
+  let vehicle_pats =
+    [|
+      Query.P_subtree b.vehicle;
+      Query.P_subtree b.automobile;
+      Query.P_subtree b.truck;
+      Query.P_class b.compact;
+      Query.P_union [ P_subtree b.automobile; P_subtree b.truck ];
+    |]
+  in
+  let company_pats =
+    [|
+      Query.P_subtree b.company;
+      Query.P_subtree b.auto_company;
+      Query.P_class b.japanese_auto_company;
+    |]
+  in
+  let height = Btree.height (Index.tree e.path_age) in
+  for _ = 1 to 200 do
+    let value =
+      match Rng.int rng 4 with
+      | 0 -> Query.V_any
+      | 1 ->
+          let lo = 20 + Rng.int rng 40 in
+          Query.V_range (Some (Value.Int lo), Some (Value.Int (lo + Rng.int rng 15)))
+      | _ -> Query.V_eq (Value.Int (20 + Rng.int rng 50))
+    in
+    let q =
+      Query.path ~value
+        [
+          Query.comp (Query.P_subtree b.employee);
+          Query.comp (Rng.pick rng company_pats);
+          Query.comp (Rng.pick rng vehicle_pats);
+        ]
+    in
+    let want = path_oracle e q in
+    let f = Exec.forward e.path_age q in
+    let p = Exec.parallel e.path_age q in
+    if canon f <> want then
+      Alcotest.failf "forward disagrees with store walk on %s (%d vs %d)"
+        (pp_query b.schema q)
+        (List.length (canon f))
+        (List.length want);
+    if canon p <> want then
+      Alcotest.failf "parallel disagrees with store walk on %s (%d vs %d)"
+        (pp_query b.schema q)
+        (List.length (canon p))
+        (List.length want);
+    if p.Exec.page_reads > f.Exec.page_reads + height + (f.Exec.page_reads / 4)
+    then
+      Alcotest.failf "parallel read %d pages, forward %d, on %s"
+        p.Exec.page_reads f.Exec.page_reads (pp_query b.schema q)
+  done
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_random_schema_differential ]
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "class-hierarchy",
+        [ Alcotest.test_case "1000 queries vs oracle" `Quick test_exp2_differential ] );
+      ( "path",
+        [ Alcotest.test_case "200 queries vs store walk" `Quick test_path_differential ] );
+      ("random-schema", qsuite);
+    ]

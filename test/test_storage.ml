@@ -117,24 +117,40 @@ let test_cache_counts_distinct () =
   Alcotest.(check int) "two distinct reads" 2 s.Stats.reads;
   Alcotest.(check int) "cache agrees" 2 (Pager.Cache.distinct_reads cache)
 
-let test_file_pager () =
-  let path = Filename.temp_file "uindex_pager" ".pages" in
+let with_temp_pages name f =
+  let path = Filename.temp_file name ".pages" in
   Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-    (fun () ->
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; Pager.journal_path path ])
+    (fun () -> f path)
+
+let test_file_pager () =
+  with_temp_pages "uindex_pager" (fun path ->
       let p = Pager.create_file ~page_size:128 path in
       let a = Pager.alloc p and b = Pager.alloc p in
       Pager.write p a (Bytes.make 128 'a');
       Pager.write p b (Bytes.make 128 'b');
       Alcotest.(check char) "a back" 'a' (Bytes.get (Pager.read p a) 0);
       Alcotest.(check char) "b back" 'b' (Bytes.get (Pager.read p b) 0);
-      (* the bytes really live in the file *)
+      (* before the first sync only the header is on disk *)
+      let file_len () =
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        close_in ic;
+        len
+      in
+      Alcotest.(check int) "header only before sync" 128 (file_len ());
+      Pager.sync p;
+      (* after sync: header + two pages, page b at physical slot 2 *)
+      Alcotest.(check int) "file holds two pages" 384 (file_len ());
       let ic = open_in_bin path in
-      let len = in_channel_length ic in
-      Alcotest.(check int) "file holds two pages" 256 len;
-      seek_in ic 128;
+      seek_in ic ((b + 1) * 128);
       Alcotest.(check char) "page b on disk" 'b' (input_char ic);
       close_in ic;
+      Alcotest.(check bool) "journal gone after sync" false
+        (Sys.file_exists (Pager.journal_path path));
       Pager.free p a;
       Alcotest.check_raises "read after free"
         (Invalid_argument "Pager: page not allocated") (fun () ->
@@ -146,6 +162,144 @@ let test_file_pager () =
       Pager.close p;
       Alcotest.check_raises "closed" (Invalid_argument "Pager: store is closed")
         (fun () -> ignore (Pager.read p b)))
+
+let test_free_list_reopen () =
+  (* regression: pages freed in one session must be reused in the next *)
+  with_temp_pages "uindex_freelist" (fun path ->
+      let p = Pager.create_file ~page_size:128 path in
+      let a = Pager.alloc p and b = Pager.alloc p and c = Pager.alloc p in
+      Pager.write p a (Bytes.make 128 'a');
+      Pager.write p c (Bytes.make 128 'c');
+      Pager.free p b;
+      Pager.close p;
+      let p = Pager.open_file path in
+      Alcotest.(check int) "page size restored" 128 (Pager.page_size p);
+      Alcotest.(check int) "two live pages" 2 (Pager.page_count p);
+      Alcotest.(check char) "a survives" 'a' (Bytes.get (Pager.read p a) 0);
+      Alcotest.(check char) "c survives" 'c' (Bytes.get (Pager.read p c) 0);
+      Alcotest.check_raises "b still freed"
+        (Invalid_argument "Pager: page not allocated") (fun () ->
+          ignore (Pager.read p b));
+      let d = Pager.alloc p in
+      Alcotest.(check int) "freed page reused after reopen" b d;
+      let e = Pager.alloc p in
+      Alcotest.(check int) "then fresh pages" 3 e;
+      Pager.close p;
+      (* free-list order itself survives: free two, reopen, reuse LIFO *)
+      let p = Pager.open_file path in
+      Pager.free p a;
+      Pager.free p c;
+      Pager.close p;
+      let p = Pager.open_file path in
+      Alcotest.(check int) "LIFO order preserved" c (Pager.alloc p);
+      Alcotest.(check int) "LIFO order preserved 2" a (Pager.alloc p);
+      Pager.close p)
+
+let test_meta_roundtrip () =
+  with_temp_pages "uindex_meta" (fun path ->
+      let p = Pager.create_file ~page_size:128 path in
+      Alcotest.(check string) "empty initially" "" (Pager.meta p);
+      Pager.set_meta p "root=42";
+      Pager.close p;
+      let p = Pager.open_file ~page_size:128 path in
+      Alcotest.(check string) "meta survives reopen" "root=42" (Pager.meta p);
+      Alcotest.check_raises "oversized meta rejected"
+        (Invalid_argument "Pager.set_meta: metadata does not fit in the header page")
+        (fun () -> Pager.set_meta p (String.make 128 'x'));
+      Pager.close p;
+      (* page-size cross-check *)
+      Alcotest.check_raises "size mismatch"
+        (Invalid_argument
+           "Pager.open_file: page size mismatch (file has 128, expected 256)")
+        (fun () -> ignore (Pager.open_file ~page_size:256 path)))
+
+let test_recover_torn_journal () =
+  with_temp_pages "uindex_torn" (fun path ->
+      let p = Pager.create_file ~page_size:128 path in
+      let a = Pager.alloc p in
+      Pager.write p a (Bytes.make 128 'a');
+      Pager.close p;
+      (* a crash mid-journal leaves garbage with no commit marker *)
+      let oc = open_out_bin (Pager.journal_path path) in
+      output_string oc "UJRNL1\n\000half-written garbage";
+      close_out oc;
+      Alcotest.(check bool) "torn journal discarded" false (Pager.recover path);
+      Alcotest.(check bool) "journal deleted" false
+        (Sys.file_exists (Pager.journal_path path));
+      let p = Pager.open_file path in
+      Alcotest.(check char) "committed state intact" 'a'
+        (Bytes.get (Pager.read p a) 0);
+      Pager.close p)
+
+let test_recover_committed_journal () =
+  with_temp_pages "uindex_commit" (fun path ->
+      let p = Pager.create_file ~page_size:128 path in
+      let a = Pager.alloc p in
+      Pager.write p a (Bytes.make 128 'a');
+      Pager.sync p;
+      (* one dirty page -> 2 journal records + trailer = 3 journal writes,
+         then 2 checkpoint writes.  Fail the first checkpoint write: the
+         journal is committed but the main file is stale. *)
+      Pager.write p a (Bytes.make 128 'b');
+      let w0 = Pager.physical_writes p in
+      let p =
+        Pager.create_faulty { Pager.no_faults with fail_write = Some (w0 + 4) } p
+      in
+      (match Pager.sync p with
+      | () -> Alcotest.fail "expected injected fault"
+      | exception Pager.Fault _ -> ());
+      Alcotest.(check int) "fault counted" 1 (Pager.stats p).Stats.faults;
+      (try Pager.close p with Pager.Fault _ -> ());
+      Alcotest.(check bool) "journal left behind" true
+        (Sys.file_exists (Pager.journal_path path));
+      (* open_file replays it automatically *)
+      let p = Pager.open_file path in
+      Alcotest.(check char) "journal replayed" 'b'
+        (Bytes.get (Pager.read p a) 0);
+      Alcotest.(check bool) "journal gone" false
+        (Sys.file_exists (Pager.journal_path path));
+      Pager.close p)
+
+let test_faulty_reads () =
+  let p = Pager.create ~page_size:64 () in
+  let a = Pager.alloc p in
+  Pager.write p a (Bytes.make 64 'a');
+  let p =
+    Pager.create_faulty { Pager.no_faults with read_error_every = Some 3 } p
+  in
+  let attempts = ref 0 and faults = ref 0 in
+  for _ = 1 to 9 do
+    incr attempts;
+    match Pager.read p a with
+    | _ -> ()
+    | exception Pager.Fault _ -> incr faults
+  done;
+  Alcotest.(check int) "every third read faults" 3 !faults;
+  Alcotest.(check int) "faults counted in stats" 3 (Pager.stats p).Stats.faults;
+  (* transient: a retry succeeds *)
+  Alcotest.(check char) "retry works" 'a' (Bytes.get (Pager.read p a) 0)
+
+let test_torn_memory_write () =
+  let p = Pager.create ~page_size:64 () in
+  let a = Pager.alloc p in
+  Pager.write p a (Bytes.make 64 'o');
+  let w0 = Storage.Pager.physical_writes p in
+  let p =
+    Pager.create_faulty
+      { Pager.no_faults with fail_write = Some (w0 + 1); torn = true }
+      p
+  in
+  (match Pager.write p a (Bytes.make 64 'n') with
+  | () -> Alcotest.fail "expected injected fault"
+  | exception Pager.Fault _ -> ());
+  let b = Pager.read p a in
+  Alcotest.(check char) "first half new" 'n' (Bytes.get b 0);
+  Alcotest.(check char) "second half old" 'o' (Bytes.get b 63);
+  (* crashed: all later writes raise *)
+  Alcotest.(check bool) "post-crash writes raise" true
+    (match Pager.write p a (Bytes.make 64 'x') with
+    | () -> false
+    | exception Pager.Fault _ -> true)
 
 let test_file_pager_btree () =
   (* the whole B-tree stack runs unchanged over the file backend *)
@@ -358,6 +512,14 @@ let () =
           Alcotest.test_case "file backend" `Quick test_file_pager;
           Alcotest.test_case "file-backed btree" `Quick test_file_pager_btree;
           Alcotest.test_case "file reopen" `Quick test_file_pager_reopen;
+          Alcotest.test_case "free list reopen" `Quick test_free_list_reopen;
+          Alcotest.test_case "meta roundtrip" `Quick test_meta_roundtrip;
+          Alcotest.test_case "torn journal discarded" `Quick
+            test_recover_torn_journal;
+          Alcotest.test_case "committed journal replayed" `Quick
+            test_recover_committed_journal;
+          Alcotest.test_case "transient read faults" `Quick test_faulty_reads;
+          Alcotest.test_case "torn memory write" `Quick test_torn_memory_write;
           Alcotest.test_case "buffer pool LRU" `Quick test_buffer_pool;
           Alcotest.test_case "stats diff" `Quick test_stats_diff;
         ] );
