@@ -1,0 +1,84 @@
+(* CI gate over BENCH_results.json: validates the file parses, carries the
+   expected members, and that the deterministic Table 1 page-read counts
+   match the checked-in expectations (expected_table1_quick.json for the
+   UINDEX_BENCH_QUICK=1 smoke run).  Any drift — a page-layout change, a
+   descent regression, a planner change — fails the build until the
+   expectations are regenerated on purpose.
+
+   Usage: check_results <BENCH_results.json> <expected.json> *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("check_results: " ^ m);
+      exit 1)
+    fmt
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> fail "%s" m
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let parse path =
+  match Obs.Json.of_string (read_file path) with
+  | v -> v
+  | exception Obs.Json.Parse_error m -> fail "%s: malformed JSON: %s" path m
+
+let get path k j =
+  match Obs.Json.member k j with
+  | Some v -> v
+  | None -> fail "%s: missing member %S" path k
+
+let table1_rows path j =
+  match get path "table1" j with
+  | Obs.Json.List rows ->
+      List.map
+        (fun row ->
+          match
+            ( Obs.Json.(member "id" row |> Option.map to_str),
+              Obs.Json.(member "parallel" row |> Option.map to_int),
+              Obs.Json.(member "forward" row |> Option.map to_int) )
+          with
+          | Some (Some id), Some (Some p), Some (Some f) -> (id, (p, f))
+          | _ -> fail "%s: malformed table1 row" path)
+        rows
+  | _ -> fail "%s: table1 is not a list" path
+
+let () =
+  if Array.length Sys.argv <> 3 then
+    fail "usage: check_results <BENCH_results.json> <expected.json>";
+  let results_path = Sys.argv.(1) and expected_path = Sys.argv.(2) in
+  let r = parse results_path and e = parse expected_path in
+  (* structural validation of the results file *)
+  List.iter
+    (fun k -> ignore (get results_path k r))
+    [ "schema_version"; "quick"; "reps"; "objects"; "seed"; "metrics" ];
+  (match get results_path "metrics" r with
+  | Obs.Json.Obj kvs when kvs <> [] -> ()
+  | _ -> fail "%s: metrics is not a non-empty object" results_path);
+  (* the expectations are only valid for a matching database size *)
+  List.iter
+    (fun k ->
+      if get results_path k r <> get expected_path k e then
+        fail "%s: %S differs from %s — expectations are for another config"
+          results_path k expected_path)
+    [ "quick"; "table1_vehicles"; "seed" ];
+  let got = table1_rows results_path r in
+  let want = table1_rows expected_path e in
+  List.iter
+    (fun (id, (p, f)) ->
+      match List.assoc_opt id got with
+      | None -> fail "%s: missing table1 row %S" results_path id
+      | Some (p', f') ->
+          if p' <> p || f' <> f then
+            fail
+              "table1 row %S drifted: parallel %d -> %d, forward %d -> %d \
+               (regenerate %s if intentional)"
+              id p p' f f' expected_path)
+    want;
+  Printf.printf "check_results: %d table1 rows match %s\n" (List.length want)
+    expected_path

@@ -8,7 +8,14 @@
                                  the paper's count)
      UINDEX_BENCH_OBJECTS=n      objects per experiment-2 database
                                  (default 150,000, the paper's count)
-     UINDEX_BENCH_SKIP_TIMING=1  skip the Bechamel wall-clock section *)
+     UINDEX_BENCH_SKIP_TIMING=1  skip the Bechamel wall-clock section
+     UINDEX_BENCH_JSON=path      machine-readable results file
+                                 (default BENCH_results.json)
+
+   Besides the human-readable report on stdout, the run always writes a
+   line-oriented JSON summary (Table 1 page reads, the full metrics
+   registry, a query-latency histogram) that CI diffs against checked-in
+   expectations — see check_results.ml. *)
 
 module Dg = Workload.Datagen
 module Ex = Workload.Experiment
@@ -34,18 +41,35 @@ let subsection title = Printf.printf "\n-- %s --\n" title
 
 (* --- Table 1 ----------------------------------------------------------------- *)
 
+let h_query_ns =
+  Obs.Metrics.histogram ~subsystem:"bench"
+    ~help:"wall-clock ns per parallel point query (Table 1 database)"
+    "query_ns"
+
 let run_table1 () =
   section "Table 1: visited nodes, 12,000-record vehicle database (m = 10)";
   let n_vehicles = if quick then 2_000 else 12_000 in
   let e = Dg.exp1 ~n_vehicles ~seed () in
   Format.printf "color index: %a@.path index:  %a@.@." Index.pp_stats e.ch_color
     Index.pp_stats e.path_age;
-  print_string (Ex.render_table1 (Ex.table1 e));
+  let rows = Ex.table1 e in
+  print_string (Ex.render_table1 rows);
   print_string
     "(expected shapes, per the paper: subtree queries cheaper than\n\
     \ full-class queries; each extra range value adds little; parallel\n\
     \ well below forward on multi-class queries; partial-path cheaper\n\
-    \ than full-path)\n"
+    \ than full-path)\n";
+  (* feed the latency histogram with a point-query sample on the same
+     database; the JSON summary reports its quantiles *)
+  let b = e.ext.b in
+  let q =
+    Query.class_hierarchy ~value:(V_eq (Value.Str "Red")) (P_subtree b.vehicle)
+  in
+  for _ = 1 to reps do
+    ignore
+      (Obs.Metrics.observe_span h_query_ns (fun () -> Exec.parallel e.ch_color q))
+  done;
+  (rows, n_vehicles)
 
 (* --- Figures 5-8 -------------------------------------------------------------- *)
 
@@ -778,11 +802,48 @@ let run_timing () =
       | None -> ())
     (List.sort compare names)
 
+(* --- machine-readable results ---------------------------------------------- *)
+
+let json_path =
+  Option.value ~default:"BENCH_results.json"
+    (Sys.getenv_opt "UINDEX_BENCH_JSON")
+
+let write_results ~t1_rows ~t1_vehicles =
+  let open Obs.Json in
+  let row (r : Ex.t1_row) =
+    Obj
+      [
+        ("id", Str r.id);
+        ("descr", Str r.descr);
+        ("results", Int r.results);
+        ("parallel", Int r.parallel);
+        ("forward", Int r.forward);
+      ]
+  in
+  let j =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("quick", Bool quick);
+        ("reps", Int reps);
+        ("objects", Int n_objects);
+        ("seed", Int seed);
+        ("table1_vehicles", Int t1_vehicles);
+        ("table1", List (List.map row t1_rows));
+        ("metrics", Obs.Metrics.to_json Obs.Metrics.default);
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (to_multiline j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" json_path
+
 let () =
   Printf.printf "U-index reproduction benchmarks (reps=%d, objects=%d%s)\n" reps
     n_objects
     (if quick then ", QUICK" else "");
-  run_table1 ();
+  let t1_rows, t1_vehicles = run_table1 () in
   run_figure ~fig:5 ~kind:Ex.Exact ~title:"exact match queries";
   run_figure ~fig:6 ~kind:(Ex.Range 0.10) ~title:"range queries, 10% of keyspace";
   run_figure ~fig:7 ~kind:(Ex.Range 0.02) ~title:"range queries, 2% of keyspace";
@@ -794,4 +855,5 @@ let () =
   run_path_comparison ();
   run_buffer_pool ();
   run_entry_layout ();
-  if Sys.getenv_opt "UINDEX_BENCH_SKIP_TIMING" <> Some "1" then run_timing ()
+  if Sys.getenv_opt "UINDEX_BENCH_SKIP_TIMING" <> Some "1" then run_timing ();
+  write_results ~t1_rows ~t1_vehicles

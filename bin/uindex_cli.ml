@@ -4,6 +4,8 @@
      codes        print the encoded paper schema
      demo         build the Example 1 database and run the Section 3.3 queries
      query        run one query against a freshly generated vehicle database
+     explain      static search tree, or EXPLAIN ANALYZE with --analyze
+     stats        run a canned workload and dump the metrics registry
      build        persist a generated index to a page file (crash-safe)
      recover      replay a page file's journal and verify the index
      bench-table1 regenerate Table 1 (small/full size)
@@ -209,6 +211,122 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a textual query (Section 3.4 syntax).")
     Term.(const run $ n $ seed $ qstr $ algo $ explain)
 
+(* --- explain: search tree and EXPLAIN ANALYZE ------------------------------ *)
+
+let parse_query schema qstr =
+  match Uindex.Qparse.parse schema qstr with
+  | exception Uindex.Qparse.Parse_error m ->
+      Printf.eprintf "parse error %s\n" m;
+      exit 1
+  | q -> q
+
+let explain_cmd =
+  let run n_vehicles seed qstr algo analyze json =
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    let b = e.ext.b in
+    let q = parse_query b.schema qstr in
+    let idx =
+      if List.length q.Uindex.Query.comps = 1 then e.ch_color else e.path_age
+    in
+    if analyze then begin
+      let algo = if algo = "forward" then `Forward else `Parallel in
+      let o, sp = Exec.analyze ~algo idx q in
+      if json then print_endline (Obs.Json.to_string (Obs.Trace.to_json sp))
+      else begin
+        Format.printf "%a" Obs.Trace.pp sp;
+        Printf.printf
+          "total: %d results, %d page reads, %d entries scanned\n"
+          (List.length o.Exec.bindings)
+          o.Exec.page_reads o.Exec.entries_scanned
+      end
+    end
+    else
+      match Exec.explain idx q with
+      | Some visits ->
+          print_endline "search tree (the paper's Fig. 3):";
+          Format.printf "%a" Exec.pp_explain visits
+      | None ->
+          print_endline
+            "(no static search tree: the value predicate is a contiguous \
+             range; candidates are generated lazily — use --analyze to see \
+             what the scan actually does)"
+  in
+  let n = Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let qstr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"Query in the paper's syntax, e.g. '(Red, Bus*)'.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("parallel", "parallel"); ("forward", "forward") ]) "parallel"
+      & info [ "algo" ] ~doc:"Retrieval algorithm (with $(b,--analyze)).")
+  in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Execute the query and print the span tree of what actually \
+             happened (per-descent page reads, entries, bindings) instead \
+             of the static search tree.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"With $(b,--analyze): print the span tree as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the search tree for a query (Fig. 3), or EXPLAIN ANALYZE it \
+          with $(b,--analyze).")
+    Term.(const run $ n $ seed $ qstr $ algo $ analyze $ json)
+
+(* --- stats: canned workload + registry dump -------------------------------- *)
+
+let stats_cmd =
+  let run n_vehicles seed json =
+    (* exercise every instrumented subsystem: build the generated database
+       (pager, btree), run the Table 1 query mix (exec), then a durable
+       build + recover round-trip (journal, buffer pool via experiment) *)
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    ignore (Ex.table1 e);
+    let file = Filename.temp_file "uindex_stats" ".pages" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        let pager = Storage.Pager.create_file ~page_size:1024 file in
+        let b = e.ext.b in
+        let ch =
+          Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+        in
+        Index.build ch e.store;
+        Index.sync ch;
+        Storage.Pager.close pager;
+        ignore (Storage.Pager.recover file));
+    if json then
+      print_endline (Obs.Json.to_multiline (Obs.Metrics.to_json Obs.Metrics.default))
+    else Format.printf "%a" Obs.Metrics.pp Obs.Metrics.default
+  in
+  let n =
+    Arg.(value & opt int 2_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Dump the registry as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a canned workload (generated database, Table 1 query mix, one \
+          durable build/recover round-trip) and dump the metrics registry.")
+    Term.(const run $ n $ seed $ json)
+
 (* --- build: persist an index to a page file ------------------------------- *)
 
 let build_cmd =
@@ -271,6 +389,14 @@ let recover_cmd =
     (match Storage.Pager.recover file with
     | true -> print_endline "journal: committed transaction replayed"
     | false -> print_endline "journal: none (file already consistent)");
+    let j name =
+      Option.value ~default:0
+        (Obs.Metrics.find Obs.Metrics.default ("journal." ^ name))
+    in
+    Printf.printf
+      "journal counters: %d replay(s), %d record(s) replayed, %d torn \
+       commit(s) discarded\n"
+      (j "replays") (j "records_replayed") (j "torn_discarded");
     match
       let pager = Storage.Pager.open_file file in
       let t = Btree.reattach pager in
@@ -362,6 +488,8 @@ let () =
             demo_cmd;
             query_cmd;
             run_cmd;
+            explain_cmd;
+            stats_cmd;
             build_cmd;
             recover_cmd;
             table1_cmd;

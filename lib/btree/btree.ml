@@ -2,6 +2,33 @@ module Node = Node
 module Bu = Storage.Bytes_util
 module Pager = Storage.Pager
 
+(* Process-wide instruments (see Obs.Metrics).  [node_visits] counts the
+   paper's "visited nodes" — every node touched during a descent or
+   pruned scan, whether or not the page read was absorbed by a cache. *)
+let m_descents =
+  Obs.Metrics.counter ~subsystem:"btree" ~help:"root-to-leaf descents"
+    "descents"
+
+let m_node_visits =
+  Obs.Metrics.counter ~subsystem:"btree"
+    ~help:"nodes visited during lookups and scans" "node_visits"
+
+let h_visit_level =
+  Obs.Metrics.histogram ~subsystem:"btree"
+    ~help:"tree level (root = 0) of each node visit" "visit_level"
+
+let m_fc_saved =
+  Obs.Metrics.counter ~subsystem:"btree"
+    ~help:"key bytes elided by front compression on encode" "fc_bytes_saved"
+
+let m_splits =
+  Obs.Metrics.counter ~subsystem:"btree"
+    ~help:"node splits (each extra node produced)" "splits"
+
+let visit_node level =
+  Obs.Metrics.incr m_node_visits;
+  Obs.Metrics.observe h_visit_level level
+
 type config = {
   max_entries : int option;
   front_coding : bool;
@@ -29,9 +56,11 @@ let height t = t.height
 let page_size t = Pager.page_size t.pager
 
 let store t id node =
+  let saved = ref 0 in
   Pager.write t.pager id
-    (Node.encode ~front_coding:t.cfg.front_coding ~page_size:(page_size t)
-       node)
+    (Node.encode ~saved ~front_coding:t.cfg.front_coding
+       ~page_size:(page_size t) node);
+  Obs.Metrics.add m_fc_saved !saved
 
 let create ?config pager =
   let cfg =
@@ -293,6 +322,7 @@ let rec insert_at t id key value =
         None
       end
       else begin
+        Obs.Metrics.incr m_splits;
         let s = choose_split t (Leaf l) in
         let right_id = Pager.alloc t.pager in
         let left : Node.leaf =
@@ -329,6 +359,7 @@ let rec insert_at t id key value =
             None
           end
           else begin
+            Obs.Metrics.incr m_splits;
             let s = choose_split t (Internal n) in
             let sep_up = n.ikeys.(s) in
             let right_id = Pager.alloc t.pager in
@@ -394,6 +425,7 @@ let multiway_split_leaf t id (l : Node.leaf) =
       store t id (Node.Leaf l);
       []
   | first :: rest ->
+      Obs.Metrics.add m_splits (List.length rest);
       let pages = List.map (fun _ -> Pager.alloc t.pager) rest in
       let page_of = Array.of_list (id :: pages) in
       let parts = Array.of_list (first :: rest) in
@@ -448,6 +480,7 @@ let multiway_split_internal t id (nd : Node.internal) =
       store t id (Node.Internal nd);
       []
   | first :: rest ->
+      Obs.Metrics.add m_splits (List.length rest);
       let pages = List.map (fun _ -> Pager.alloc t.pager) rest in
       let page_of = Array.of_list (id :: pages) in
       let parts = Array.of_list (first :: rest) in
@@ -784,10 +817,15 @@ let delete t key =
 
 type entry = { key : string; value : unit -> string }
 
-let rec find_leaf read id key =
-  match load read id with
-  | Node.Leaf l -> (id, l)
-  | Node.Internal n -> find_leaf read n.children.(child_index n key) key
+let find_leaf read root key =
+  Obs.Metrics.incr m_descents;
+  let rec go id level =
+    visit_node level;
+    match load read id with
+    | Node.Leaf l -> (id, l)
+    | Node.Internal n -> go n.children.(child_index n key) (level + 1)
+  in
+  go root 0
 
 let find t ?read key =
   let read = match read with Some r -> r | None -> raw_read t in
@@ -855,12 +893,14 @@ module Scanner = struct
     | Some _ | None -> None
 
   let seek t key =
-    let rec descend id =
+    Obs.Metrics.incr m_descents;
+    let rec descend id level =
+      visit_node level;
       match load_memo t id with
       | Node.Leaf l -> l
-      | Node.Internal n -> descend n.children.(child_index n key)
+      | Node.Internal n -> descend n.children.(child_index n key) (level + 1)
     in
-    let l = descend t.tree.root in
+    let l = descend t.tree.root 0 in
     t.leaf <- Some l;
     t.idx <- lower_bound l.lkeys key;
     normalize t;
@@ -925,7 +965,8 @@ let scan_intervals t ~read ivs f =
           && match clo with None -> true | Some c -> String.compare h c > 0)
         ivs
     in
-    let rec visit id clo chi =
+    let rec visit id level clo chi =
+      visit_node level;
       match load read id with
       | Node.Leaf l ->
           let iv = ref 0 in
@@ -944,10 +985,10 @@ let scan_intervals t ~read ivs f =
           for i = 0 to nk do
             let lo = if i = 0 then clo else Some n.ikeys.(i - 1) in
             let hi = if i = nk then chi else Some n.ikeys.(i) in
-            if intersects lo hi then visit n.children.(i) lo hi
+            if intersects lo hi then visit n.children.(i) (level + 1) lo hi
           done
     in
-    visit t.root None None
+    visit t.root 0 None None
   end
 
 type visit = { depth : int; page : int; is_leaf : bool; matched : int }
@@ -964,6 +1005,7 @@ let trace_intervals t ~read ivs =
         ivs
     in
     let rec visit id depth clo chi =
+      visit_node depth;
       match load read id with
       | Node.Leaf l ->
           let iv = ref 0 and matched = ref 0 in

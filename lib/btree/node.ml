@@ -42,13 +42,14 @@ let size ~front_coding t =
         ikeys;
       !total
 
-let encode ~front_coding ~page_size t =
+let encode ?saved ~front_coding ~page_size t =
   if size ~front_coding t > page_size then
     invalid_arg "Node.encode: node exceeds page size";
   let b = Bytes.make page_size '\000' in
   let pos = ref header_size in
   let put_entry prev key write_payload =
     let p = prefix_len ~front_coding ~prev key in
+    (match saved with Some r -> r := !r + p | None -> ());
     let suffix_len = String.length key - p in
     Bu.put_u16 b !pos p;
     Bu.put_u16 b (!pos + 2) suffix_len;

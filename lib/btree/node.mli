@@ -48,8 +48,11 @@ val header_size : int
 val size : front_coding:bool -> t -> int
 (** Serialized size in bytes, including the header. *)
 
-val encode : front_coding:bool -> page_size:int -> t -> Bytes.t
-(** Raises [Invalid_argument] if the node does not fit. *)
+val encode : ?saved:int ref -> front_coding:bool -> page_size:int -> t -> Bytes.t
+(** Raises [Invalid_argument] if the node does not fit.  When [saved] is
+    given, the total number of key bytes the front compression elided
+    (the sum of stored prefix lengths) is added to it — the live feed
+    behind the [btree.fc_bytes_saved] metric. *)
 
 val decode : Bytes.t -> t
 

@@ -2,6 +2,7 @@ module Schema = Oodb_schema.Schema
 module Value = Objstore.Value
 module Stats = Storage.Stats
 module Pager = Storage.Pager
+module Trace = Obs.Trace
 
 type binding = {
   value : Value.t;
@@ -38,15 +39,97 @@ let with_read_count tree f =
   let delta = Stats.diff ~before ~after:(Stats.snapshot stats) in
   { bindings = List.rev bindings; page_reads = delta.reads; entries_scanned = entries }
 
-let forward idx query =
+(* --- span plumbing ------------------------------------------------------ *)
+
+(* All instrumentation is keyed on [trace : Trace.span option]; when it is
+   [None] the cost is an option match at segment boundaries — never per
+   entry — so the untraced paths stay within noise of the old code.
+
+   Only descent/scan segment spans carry a ["page_reads"] field, and every
+   pager read issued by the executor happens inside exactly one segment
+   (plan compilation and candidate generation are pure), so
+   [Trace.total root "page_reads"] equals the query's pager-stats delta. *)
+
+let plan_span trace plan =
+  match trace with
+  | None -> ()
+  | Some parent ->
+      let sp = Trace.span "plan" in
+      (match Plan.intervals plan with
+      | Some ivs -> Trace.add_field sp "intervals" (List.length ivs)
+      | None -> Trace.add_field sp "enumerable" 0);
+      Trace.add_child parent sp
+
+let merge_span trace (acc, n) =
+  (match trace with
+  | None -> ()
+  | Some parent ->
+      let sp = Trace.span "merge" in
+      Trace.add_field sp "bindings" (List.length acc);
+      Trace.add_field sp "entries_scanned" n;
+      Trace.add_child parent sp);
+  (acc, n)
+
+(* Mutable per-query segment accounting for the scan loops.  A segment is
+   one B-tree descent plus the sequential scan that follows it; the
+   parallel algorithm opens a new segment at every [Plan.Seek]. *)
+type seg_state = {
+  parent : Trace.span;
+  stats : Stats.t;
+  mutable sp : Trace.span option;
+  mutable start_reads : int;
+  mutable entries : int;
+  mutable accepted : int;
+}
+
+let seg_make trace stats =
+  match trace with
+  | None -> None
+  | Some parent ->
+      Some { parent; stats; sp = None; start_reads = 0; entries = 0; accepted = 0 }
+
+let seg_close = function
+  | None -> ()
+  | Some s -> (
+      match s.sp with
+      | None -> ()
+      | Some sp ->
+          Trace.add_field sp "page_reads" (s.stats.Stats.reads - s.start_reads);
+          Trace.add_field sp "entries" s.entries;
+          Trace.add_field sp "accepted" s.accepted;
+          Trace.add_child s.parent sp;
+          s.sp <- None)
+
+let seg_open seg name =
+  match seg with
+  | None -> ()
+  | Some s ->
+      seg_close seg;
+      s.sp <- Some (Trace.span name);
+      s.start_reads <- s.stats.Stats.reads;
+      s.entries <- 0;
+      s.accepted <- 0
+
+let seg_entry seg ~accepted =
+  match seg with
+  | None -> ()
+  | Some s ->
+      s.entries <- s.entries + 1;
+      if accepted then s.accepted <- s.accepted + 1
+
+(* --- the two algorithms ------------------------------------------------- *)
+
+let forward_impl ?trace idx query =
   let plan =
     Plan.compile ~enc:(Index.encoding idx) ~ty:(Index.attr_ty idx) query
   in
+  plan_span trace plan;
   let tree = Index.tree idx in
   with_read_count tree (fun () ->
       match Plan.bracket plan with
       | None -> ([], 0)
       | Some (lo, hi) ->
+          let seg = seg_make trace (Pager.stats (Btree.pager tree)) in
           let sc = Btree.Scanner.create tree ~read:(Btree.raw_read tree) in
           let below_hi key =
             match hi with
@@ -60,20 +143,30 @@ let forward idx query =
             | Some (e : Btree.entry) when below_hi e.key -> (
                 match Plan.classify plan e.key with
                 | Plan.Accept { d; arity; _ } ->
+                    seg_entry seg ~accepted:true;
                     let b = binding_of d arity in
                     let acc = if Some b = prev then acc else b :: acc in
                     go acc (n + 1) (Some b) (Btree.Scanner.next sc)
-                | Plan.Reject _ -> go acc (n + 1) prev (Btree.Scanner.next sc))
+                | Plan.Reject _ ->
+                    seg_entry seg ~accepted:false;
+                    go acc (n + 1) prev (Btree.Scanner.next sc))
             | Some _ | None -> (acc, n)
           in
-          go [] 0 None (Btree.Scanner.seek sc lo))
+          seg_open seg "descent";
+          let first = Btree.Scanner.seek sc lo in
+          seg_open seg "scan";
+          let r = go [] 0 None first in
+          seg_close seg;
+          merge_span trace r)
 
-let parallel idx query =
+let parallel_impl ?trace idx query =
   let plan =
     Plan.compile ~enc:(Index.encoding idx) ~ty:(Index.attr_ty idx) query
   in
+  plan_span trace plan;
   let tree = Index.tree idx in
   with_read_count tree (fun () ->
+      let seg = seg_make trace (Pager.stats (Btree.pager tree)) in
       let cache = Btree.cached_read tree in
       let read = Pager.Cache.read cache in
       let sc = Btree.Scanner.create tree ~read in
@@ -89,22 +182,74 @@ let parallel idx query =
             let continue acc n = function
               | Plan.Seek k ->
                   (* skip targets are always strictly beyond [e.key] *)
+                  seg_open seg "descent";
                   go acc n (Btree.Scanner.seek sc k)
               | Plan.Advance -> go acc n (Btree.Scanner.next sc)
               | Plan.Stop -> (acc, n)
             in
             match Plan.classify plan e.key with
             | Plan.Accept { d; arity; next } ->
+                seg_entry seg ~accepted:true;
                 continue (binding_of d arity :: acc) (n + 1) next
-            | Plan.Reject next -> continue acc (n + 1) next)
+            | Plan.Reject next ->
+                seg_entry seg ~accepted:false;
+                continue acc (n + 1) next)
         | Some _ | None -> (acc, n)
       in
       match Plan.lower plan with
       | None -> ([], 0)
-      | Some lo -> go [] 0 (Btree.Scanner.seek sc lo))
+      | Some lo ->
+          seg_open seg "descent";
+          let r = go [] 0 (Btree.Scanner.seek sc lo) in
+          seg_close seg;
+          merge_span trace r)
 
+let algo_name = function `Forward -> "forward" | `Parallel -> "parallel"
+
+let impl = function `Forward -> forward_impl | `Parallel -> parallel_impl
+
+let m_queries =
+  Obs.Metrics.counter ~subsystem:"exec" ~help:"queries executed" "queries"
+
+let h_page_reads =
+  Obs.Metrics.histogram ~subsystem:"exec" ~help:"page reads per query"
+    "page_reads"
+
+let h_entries =
+  Obs.Metrics.histogram ~subsystem:"exec" ~help:"entries scanned per query"
+    "entries_scanned"
+
+let record (o : outcome) =
+  Obs.Metrics.incr m_queries;
+  Obs.Metrics.observe h_page_reads o.page_reads;
+  Obs.Metrics.observe h_entries o.entries_scanned;
+  o
+
+let finish_root sp (o : outcome) =
+  Trace.add_field sp "bindings" (List.length o.bindings);
+  Trace.add_field sp "entries_scanned" o.entries_scanned
+
+(* Public entry points trace into the global sink when one is installed
+   (see Obs.Trace.with_collector); with the default null sink they run
+   the bare algorithms. *)
 let run ~algo idx query =
-  match algo with `Forward -> forward idx query | `Parallel -> parallel idx query
+  match Trace.scope () with
+  | None -> record (impl algo idx query)
+  | Some sink ->
+      let sp = Trace.span (algo_name algo) in
+      let o = impl algo ~trace:sp idx query in
+      finish_root sp o;
+      Trace.emit sink sp;
+      record o
+
+let forward idx query = run ~algo:`Forward idx query
+let parallel idx query = run ~algo:`Parallel idx query
+
+let analyze ~algo idx query =
+  let sp = Trace.span (algo_name algo) in
+  let o = impl algo ~trace:sp idx query in
+  finish_root sp o;
+  (record o, sp)
 
 let explain idx query =
   let plan =

@@ -33,6 +33,21 @@ val forward : Index.t -> Query.t -> outcome
 val parallel : Index.t -> Query.t -> outcome
 
 val run : algo:[ `Forward | `Parallel ] -> Index.t -> Query.t -> outcome
+(** All three entry points emit a span tree to the global tracing sink
+    when one is installed (see {!Obs.Trace.with_collector}); with the
+    default null sink they run untraced, at the cost of one option match
+    per descent segment. *)
+
+val analyze :
+  algo:[ `Forward | `Parallel ] -> Index.t -> Query.t -> outcome * Obs.Trace.span
+(** EXPLAIN ANALYZE: runs the query and returns its outcome together
+    with the span tree of what actually happened — a root span named
+    after the algorithm with [bindings]/[entries_scanned] fields, and
+    children [plan], one [descent]/[scan] span per B-tree descent
+    segment (each carrying its own [page_reads], [entries] and
+    [accepted] deltas), and a final [merge].  Only segment spans carry
+    [page_reads], so [Obs.Trace.total span "page_reads"] equals
+    [outcome.page_reads] exactly.  Render with {!Obs.Trace.pp}. *)
 
 val explain : Index.t -> Query.t -> Btree.visit list option
 (** The search tree the parallel algorithm builds for an enumerable query

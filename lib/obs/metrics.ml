@@ -1,0 +1,204 @@
+type counter = { c_value : int ref }
+type gauge = { g_value : int ref }
+
+let n_buckets = 64
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  buckets : int array;  (* buckets.(i) counts values in [2^(i-1), 2^i) *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type entry = { help : string; inst : instrument }
+
+type registry = { table : (string, entry) Hashtbl.t }
+
+let create_registry () = { table = Hashtbl.create 64 }
+let default = create_registry ()
+
+let qualify ~subsystem name = subsystem ^ "." ^ name
+
+let counter ?(registry = default) ~subsystem ?(help = "") name =
+  let key = qualify ~subsystem name in
+  match Hashtbl.find_opt registry.table key with
+  | Some { inst = Counter c; _ } -> c
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s is already registered as a different kind"
+           key)
+  | None ->
+      let c = { c_value = ref 0 } in
+      Hashtbl.add registry.table key { help; inst = Counter c };
+      c
+
+let gauge ?(registry = default) ~subsystem ?(help = "") name =
+  let key = qualify ~subsystem name in
+  match Hashtbl.find_opt registry.table key with
+  | Some { inst = Gauge g; _ } -> g
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s is already registered as a different kind"
+           key)
+  | None ->
+      let g = { g_value = ref 0 } in
+      Hashtbl.add registry.table key { help; inst = Gauge g };
+      g
+
+let histogram ?(registry = default) ~subsystem ?(help = "") name =
+  let key = qualify ~subsystem name in
+  match Hashtbl.find_opt registry.table key with
+  | Some { inst = Histogram h; _ } -> h
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s is already registered as a different kind"
+           key)
+  | None ->
+      let h =
+        { h_count = 0; h_sum = 0; h_max = 0; buckets = Array.make n_buckets 0 }
+      in
+      Hashtbl.add registry.table key { help; inst = Histogram h };
+      h
+
+let incr c = Stdlib.incr c.c_value
+let add c n = c.c_value := !(c.c_value) + n
+let value c = !(c.c_value)
+
+let set g v = g.g_value := v
+let gauge_value g = !(g.g_value)
+
+(* bucket index: 0 holds exactly 0; index i >= 1 holds [2^(i-1), 2^i) *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      Stdlib.incr i;
+      v := !v lsr 1
+    done;
+    min !i (n_buckets - 1)
+  end
+
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let observe h v =
+  let v = max 0 v in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let observe_span h f =
+  let t0 = Unix.gettimeofday () in
+  let finally () = observe h (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)) in
+  Fun.protect ~finally f
+
+type histogram_summary = {
+  count : int;
+  sum : int;
+  max_value : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+let quantile h q =
+  if h.h_count = 0 then 0
+  else begin
+    let target = int_of_float (Float.round (q *. float_of_int h.h_count)) in
+    let target = max 1 (min h.h_count target) in
+    let acc = ref 0 and i = ref 0 in
+    while !acc < target && !i < n_buckets do
+      acc := !acc + h.buckets.(!i);
+      if !acc < target then Stdlib.incr i
+    done;
+    min (bucket_upper !i) h.h_max
+  end
+
+let summary h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    max_value = h.h_max;
+    p50 = quantile h 0.5;
+    p90 = quantile h 0.9;
+    p99 = quantile h 0.99;
+  }
+
+(* --- snapshot / export -------------------------------------------------- *)
+
+let sorted_entries r =
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) r.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find r key =
+  match Hashtbl.find_opt r.table key with
+  | Some { inst = Counter c; _ } -> Some (value c)
+  | Some { inst = Gauge g; _ } -> Some (gauge_value g)
+  | Some { inst = Histogram _; _ } | None -> None
+
+let reset r =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.inst with
+      | Counter c -> c.c_value := 0
+      | Gauge g -> g.g_value := 0
+      | Histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_max <- 0;
+          Array.fill h.buckets 0 n_buckets 0)
+    r.table
+
+let pp ppf r =
+  let entries = sorted_entries r in
+  let last_subsystem = ref "" in
+  List.iter
+    (fun (key, e) ->
+      let subsystem =
+        match String.index_opt key '.' with
+        | Some i -> String.sub key 0 i
+        | None -> ""
+      in
+      if subsystem <> !last_subsystem then begin
+        if !last_subsystem <> "" then Format.fprintf ppf "@.";
+        Format.fprintf ppf "[%s]@." subsystem;
+        last_subsystem := subsystem
+      end;
+      match e.inst with
+      | Counter c -> Format.fprintf ppf "  %-40s %12d@." key (value c)
+      | Gauge g -> Format.fprintf ppf "  %-40s %12d  (gauge)@." key (gauge_value g)
+      | Histogram h ->
+          let s = summary h in
+          Format.fprintf ppf
+            "  %-40s count=%d sum=%d max=%d p50<=%d p90<=%d p99<=%d@." key
+            s.count s.sum s.max_value s.p50 s.p90 s.p99)
+    entries
+
+let to_json r =
+  let entries = sorted_entries r in
+  Json.Obj
+    (List.map
+       (fun (key, e) ->
+         match e.inst with
+         | Counter c -> (key, Json.Int (value c))
+         | Gauge g -> (key, Json.Int (gauge_value g))
+         | Histogram h ->
+             let s = summary h in
+             ( key,
+               Json.Obj
+                 [
+                   ("count", Json.Int s.count);
+                   ("sum", Json.Int s.sum);
+                   ("max", Json.Int s.max_value);
+                   ("p50", Json.Int s.p50);
+                   ("p90", Json.Int s.p90);
+                   ("p99", Json.Int s.p99);
+                 ] ))
+       entries)

@@ -1,0 +1,95 @@
+(** A process-wide metrics registry: named counters, gauges and
+    log-scaled histograms, grouped by subsystem.
+
+    The paper's whole evaluation is counted in page reads; this registry
+    generalizes that discipline to every layer of the engine.  Each
+    subsystem (pager, journal, buffer pool, btree, exec) registers its
+    instruments once at module initialization; the hot paths then pay a
+    single unboxed integer increment per event.  Registration is
+    idempotent — asking for an existing [(subsystem, name)] pair returns
+    the already-registered instrument — so instruments can be declared
+    wherever they are used.
+
+    Snapshots export as a human-readable table ({!pp}) or as
+    line-oriented JSON ({!to_json}), which is the payload of
+    [BENCH_results.json] and [uindex-cli stats --json].
+
+    Instruments default to the process-wide {!default} registry; tests
+    can create private registries.  Histograms bucket by powers of two
+    ([0], [1], [2–3], [4–7], ...), which spans page-read counts and
+    nanosecond latencies alike in 63 buckets. *)
+
+type registry
+
+val create_registry : unit -> registry
+val default : registry
+
+type counter
+(** A monotonically increasing event count. *)
+
+type gauge
+(** A last-value-wins instantaneous measurement. *)
+
+type histogram
+(** A log2-bucketed distribution of non-negative integer observations
+    (page reads per query, latency in nanoseconds, bytes). *)
+
+val counter :
+  ?registry:registry -> subsystem:string -> ?help:string -> string -> counter
+(** [counter ~subsystem name] registers (or retrieves) the counter
+    [subsystem.name].  Raises [Invalid_argument] when the name is already
+    registered as a different instrument kind. *)
+
+val gauge :
+  ?registry:registry -> subsystem:string -> ?help:string -> string -> gauge
+
+val histogram :
+  ?registry:registry -> subsystem:string -> ?help:string -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Negative observations clamp to 0. *)
+
+val observe_span : histogram -> (unit -> 'a) -> 'a
+(** Times the thunk with the monotonic clock and observes the elapsed
+    nanoseconds. *)
+
+type histogram_summary = {
+  count : int;
+  sum : int;
+  max_value : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+      (** quantiles are upper bounds of the containing log2 bucket — exact
+          enough to read orders of magnitude, cheap enough for hot paths *)
+}
+
+val summary : histogram -> histogram_summary
+
+(* {1 Snapshot and export} *)
+
+val find : registry -> string -> int option
+(** [find r "pager.reads"] is the current value of a counter or gauge
+    with that fully-qualified name; [None] for histograms and unknown
+    names. *)
+
+val reset : registry -> unit
+(** Zeroes every instrument, keeping registrations — used between
+    benchmark phases and by tests. *)
+
+val pp : Format.formatter -> registry -> unit
+(** A table of every instrument, grouped by subsystem, zero-valued
+    instruments included. *)
+
+val to_json : registry -> Json.t
+(** [{"subsystem.name": value, ...}] for counters/gauges, and
+    [{"subsystem.name": {"count": ..., "sum": ..., "max": ...,
+    "p50": ..., "p90": ..., "p99": ...}}] for histograms, sorted by
+    name. *)

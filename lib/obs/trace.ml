@@ -1,0 +1,68 @@
+type span = {
+  name : string;
+  mutable fields : (string * int) list;
+  mutable children : span list;
+}
+
+let span ?(fields = []) name = { name; fields; children = [] }
+
+let add_field sp k v =
+  if List.mem_assoc k sp.fields then
+    sp.fields <-
+      List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) sp.fields
+  else sp.fields <- sp.fields @ [ (k, v) ]
+
+let add_child sp child = sp.children <- sp.children @ [ child ]
+
+let field sp k = List.assoc_opt k sp.fields
+
+let rec total sp k =
+  let own = match field sp k with Some v -> v | None -> 0 in
+  List.fold_left (fun acc c -> acc + total c k) own sp.children
+
+(* --- sinks -------------------------------------------------------------- *)
+
+type sink = Null | Collector of span list ref
+
+let null = Null
+let collector () = Collector (ref [])
+let collected = function Null -> [] | Collector r -> List.rev !r
+let enabled = function Null -> false | Collector _ -> true
+
+let emit sink sp =
+  match sink with Null -> () | Collector r -> r := sp :: !r
+
+let global_sink = ref Null
+
+let set_global s = global_sink := s
+let global () = !global_sink
+
+let scope () = match !global_sink with Null -> None | s -> Some s
+
+let with_collector f =
+  let prev = !global_sink in
+  let c = collector () in
+  global_sink := c;
+  let finally () = global_sink := prev in
+  let x = Fun.protect ~finally f in
+  (x, collected c)
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp ppf sp =
+  let rec go depth sp =
+    Format.fprintf ppf "%s%s" (String.make (2 * depth) ' ') sp.name;
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v) sp.fields;
+    Format.fprintf ppf "@.";
+    List.iter (go (depth + 1)) sp.children
+  in
+  go 0 sp
+
+let rec to_json sp =
+  Json.Obj
+    (("name", Json.Str sp.name)
+     :: List.map (fun (k, v) -> (k, Json.Int v)) sp.fields
+    @
+    match sp.children with
+    | [] -> []
+    | cs -> [ ("children", Json.List (List.map to_json cs)) ])

@@ -1,0 +1,72 @@
+(** Structured query tracing: cheap span trees with integer fields.
+
+    A span is one phase of a query's execution (plan compilation, key
+    expansion, one B+-tree descent segment, the merge) annotated with
+    integer fields — page-read deltas taken from [Storage.Stats]
+    snapshots, entries scanned, bindings produced.  Spans nest, so a
+    whole query renders as a tree: the engine's [EXPLAIN ANALYZE].
+
+    Tracing is off by default: the global sink is {!null}, and
+    instrumented code guards span construction behind {!scope}, which
+    returns [None] when the sink discards everything.  The disabled cost
+    is one global read and an option match per query — unmeasurable next
+    to a B-tree descent.  Tests and the CLI install a {!collector} sink
+    (usually via {!with_collector}) to capture finished span trees. *)
+
+type span = {
+  name : string;
+  mutable fields : (string * int) list;  (** insertion order preserved *)
+  mutable children : span list;  (** execution order *)
+}
+
+val span : ?fields:(string * int) list -> string -> span
+
+val add_field : span -> string -> int -> unit
+(** Appends (or replaces, by name) one field. *)
+
+val add_child : span -> span -> unit
+(** Appends a child span (kept in execution order). *)
+
+val field : span -> string -> int option
+
+val total : span -> string -> int
+(** Sum of a field over the whole subtree — e.g.
+    [total sp "page_reads"] is the query's total page reads when each
+    descent segment carries its own delta. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+(** Discards everything; spans are never even allocated. *)
+
+val collector : unit -> sink
+val collected : sink -> span list
+(** Finished root spans, in emission order; [[]] for {!null}. *)
+
+val enabled : sink -> bool
+val emit : sink -> span -> unit
+
+(** {1 The global sink} *)
+
+val set_global : sink -> unit
+val global : unit -> sink
+
+val scope : unit -> sink option
+(** [Some sink] when the global sink collects, [None] when tracing is
+    off — the one-branch guard instrumented code uses. *)
+
+val with_collector : (unit -> 'a) -> 'a * span list
+(** Runs the thunk with a fresh collector installed as the global sink
+    (restoring the previous sink afterwards) and returns the spans it
+    emitted. *)
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> span -> unit
+(** One line per span, indented by depth:
+    [descent  page_reads=4 entries=12]. *)
+
+val to_json : span -> Json.t
+(** [{"name": ..., <field>: ..., "children": [...]}]. *)

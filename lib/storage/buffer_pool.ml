@@ -1,5 +1,11 @@
 (* LRU via a doubly-linked list threaded through a hashtable. *)
 
+(* process-wide counters; each pool also mirrors its events into the
+   underlying pager's Stats.t so per-pager snapshots see cache behaviour *)
+let m_hits = Obs.Metrics.counter ~subsystem:"buffer_pool" "hits"
+let m_misses = Obs.Metrics.counter ~subsystem:"buffer_pool" "misses"
+let m_evictions = Obs.Metrics.counter ~subsystem:"buffer_pool" "evictions"
+
 type node = {
   page_id : int;
   mutable data : Bytes.t;
@@ -53,12 +59,18 @@ let evict_lru t =
   | Some n ->
       unlink t n;
       Hashtbl.remove t.table n.page_id;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Obs.Metrics.incr m_evictions;
+      let s = Pager.stats t.pager in
+      s.Stats.pool_evictions <- s.Stats.pool_evictions + 1
 
 let read t id =
   match Hashtbl.find_opt t.table id with
   | Some n ->
       t.hits <- t.hits + 1;
+      Obs.Metrics.incr m_hits;
+      let s = Pager.stats t.pager in
+      s.Stats.pool_hits <- s.Stats.pool_hits + 1;
       if t.head != Some n then begin
         unlink t n;
         push_front t n
@@ -66,6 +78,9 @@ let read t id =
       Bytes.copy n.data
   | None ->
       t.misses <- t.misses + 1;
+      Obs.Metrics.incr m_misses;
+      let s = Pager.stats t.pager in
+      s.Stats.pool_misses <- s.Stats.pool_misses + 1;
       let data = Pager.read t.pager id in
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
       let n = { page_id = id; data; prev = None; next = None } in

@@ -7,7 +7,11 @@
     steady-state hit rates (ablation A6).
 
     Reads through the pool count against the underlying pager only on a
-    miss; hits are served from the pool.  The pool is read-only: writers
+    miss; hits are served from the pool.  Every hit, miss and eviction is
+    also mirrored into the underlying pager's {!Stats.t}
+    ([pool_hits]/[pool_misses]/[pool_evictions]) and the process-wide
+    [buffer_pool.*] metrics, so cache behaviour shows up in the same
+    snapshots the page-read experiments already take.  The pool is read-only: writers
     must go straight to the pager, and call {!invalidate} for pages they
     changed (or {!flush} after a batch).  Pager reads always observe
     writes buffered since the last {!Pager.sync}, so the pool stays

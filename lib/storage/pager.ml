@@ -2,6 +2,23 @@ module Bu = Bytes_util
 
 exception Fault of string
 
+(* Process-wide instruments (the default Obs registry).  Per-pager
+   accounting stays in each pager's Stats.t; these aggregate across all
+   pagers so `uindex-cli stats` and BENCH_results.json can report global
+   I/O traffic, and so journal/recovery events — which happen outside any
+   live pager instance — are observable at all. *)
+let m_reads = Obs.Metrics.counter ~subsystem:"pager" "reads"
+let m_writes = Obs.Metrics.counter ~subsystem:"pager" "writes"
+let m_allocs = Obs.Metrics.counter ~subsystem:"pager" "allocs"
+let m_frees = Obs.Metrics.counter ~subsystem:"pager" "frees"
+let m_syncs = Obs.Metrics.counter ~subsystem:"pager" "syncs"
+
+let m_j_commits = Obs.Metrics.counter ~subsystem:"journal" "commits"
+let m_j_records = Obs.Metrics.counter ~subsystem:"journal" "records_written"
+let m_j_replays = Obs.Metrics.counter ~subsystem:"journal" "replays"
+let m_j_replayed = Obs.Metrics.counter ~subsystem:"journal" "records_replayed"
+let m_j_torn = Obs.Metrics.counter ~subsystem:"journal" "torn_discarded"
+
 let nil = 0xFFFFFFFF
 
 (* ------------------------------------------------------------------ *)
@@ -226,11 +243,14 @@ let recover path =
     if not (journal_valid j) then begin
       (* torn or unfinished journal: the main file was never touched in
          this transaction, so the pre-transaction state is intact *)
+      Obs.Metrics.incr m_j_torn;
       Sys.remove jpath;
       false
     end
     else begin
       let ps = Bu.get_u32 j 8 and count = Bu.get_u32 j 12 in
+      Obs.Metrics.incr m_j_replays;
+      Obs.Metrics.add m_j_replayed count;
       let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
@@ -315,6 +335,7 @@ let check_open t = if t.closed then invalid_arg "Pager: store is closed"
 
 let sync t =
   check_open t;
+  Obs.Metrics.incr m_syncs;
   (match t.faults with
   | Some p when p.crashed ->
       (* a crashed process must not touch the files again — in particular
@@ -347,6 +368,8 @@ let sync t =
           List.sort (fun (a, _) (b, _) -> compare a b) !records
         in
         let count = List.length records in
+        Obs.Metrics.incr m_j_commits;
+        Obs.Metrics.add m_j_records count;
         (* 1. write the journal (new images), fsync it *)
         let jfd =
           Unix.openfile (journal_path f.path)
@@ -448,6 +471,7 @@ let is_live t id =
 
 let alloc t =
   check_open t;
+  Obs.Metrics.incr m_allocs;
   t.stats.allocs <- t.stats.allocs + 1;
   t.live <- t.live + 1;
   let id =
@@ -480,6 +504,7 @@ let check_live t id =
 let read t id =
   check_live t id;
   inject_read t;
+  Obs.Metrics.incr m_reads;
   t.stats.reads <- t.stats.reads + 1;
   match t.backend with
   | Memory m -> (
@@ -498,6 +523,7 @@ let write t id b =
   if Bytes.length b <> t.page_size then
     invalid_arg "Pager.write: wrong page size";
   check_live t id;
+  Obs.Metrics.incr m_writes;
   t.stats.writes <- t.stats.writes + 1;
   match t.backend with
   | Memory m ->
@@ -516,6 +542,7 @@ let write t id b =
 
 let free t id =
   check_live t id;
+  Obs.Metrics.incr m_frees;
   (match t.backend with
   | Memory m -> m.pages.(id) <- None
   | File f ->

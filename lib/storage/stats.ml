@@ -3,18 +3,41 @@ type t = {
   mutable writes : int;
   mutable allocs : int;
   mutable faults : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable pool_evictions : int;
 }
 
-let create () = { reads = 0; writes = 0; allocs = 0; faults = 0 }
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    allocs = 0;
+    faults = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    pool_evictions = 0;
+  }
 
 let reset t =
   t.reads <- 0;
   t.writes <- 0;
   t.allocs <- 0;
-  t.faults <- 0
+  t.faults <- 0;
+  t.pool_hits <- 0;
+  t.pool_misses <- 0;
+  t.pool_evictions <- 0
 
 let snapshot t =
-  { reads = t.reads; writes = t.writes; allocs = t.allocs; faults = t.faults }
+  {
+    reads = t.reads;
+    writes = t.writes;
+    allocs = t.allocs;
+    faults = t.faults;
+    pool_hits = t.pool_hits;
+    pool_misses = t.pool_misses;
+    pool_evictions = t.pool_evictions;
+  }
 
 let diff ~before ~after =
   {
@@ -22,8 +45,15 @@ let diff ~before ~after =
     writes = after.writes - before.writes;
     allocs = after.allocs - before.allocs;
     faults = after.faults - before.faults;
+    pool_hits = after.pool_hits - before.pool_hits;
+    pool_misses = after.pool_misses - before.pool_misses;
+    pool_evictions = after.pool_evictions - before.pool_evictions;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "{reads=%d; writes=%d; allocs=%d; faults=%d}" t.reads
-    t.writes t.allocs t.faults
+  Format.fprintf ppf "{reads=%d; writes=%d; allocs=%d; faults=%d" t.reads
+    t.writes t.allocs t.faults;
+  if t.pool_hits <> 0 || t.pool_misses <> 0 || t.pool_evictions <> 0 then
+    Format.fprintf ppf "; pool_hits=%d; pool_misses=%d; pool_evictions=%d"
+      t.pool_hits t.pool_misses t.pool_evictions;
+  Format.fprintf ppf "}"

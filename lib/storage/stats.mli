@@ -2,14 +2,19 @@
 
     The paper's experimental metric is the number of index pages read per
     query ("visited nodes" in Table 1, "page reads" in Figures 5–8).  Every
-    pager carries a [Stats.t]; retrieval algorithms reset it before a query
-    and read it after. *)
+    pager carries a [Stats.t]; retrieval algorithms snapshot it before a
+    query and diff it after.  A {!Buffer_pool} reading through the pager
+    also records its hit/miss/eviction behaviour here, so one snapshot
+    captures both raw page traffic and cache effectiveness. *)
 
 type t = {
   mutable reads : int;   (** pages fetched *)
   mutable writes : int;  (** pages written back *)
   mutable allocs : int;  (** pages allocated *)
   mutable faults : int;  (** injected faults fired (see {!Pager.create_faulty}) *)
+  mutable pool_hits : int;  (** buffer-pool reads served without a pager read *)
+  mutable pool_misses : int;  (** buffer-pool reads that fell through to the pager *)
+  mutable pool_evictions : int;  (** buffer-pool pages dropped for capacity *)
 }
 
 val create : unit -> t
@@ -22,3 +27,5 @@ val diff : before:t -> after:t -> t
 (** Field-wise [after - before]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Pool counters are printed only when any of them is non-zero, so
+    pagers without a buffer pool render exactly as before. *)

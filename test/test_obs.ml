@@ -1,0 +1,177 @@
+(* Unit tests for the observability layer: the JSON codec, the metrics
+   registry, and the tracing spans/sinks. *)
+
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("yes", Json.Bool true);
+      ("n", Json.Int (-42));
+      ("f", Json.Float 1.5);
+      ("s", Json.Str "a\"b\\c\n\t\xe2\x82\xac");
+      ("l", Json.List [ Json.Int 1; Json.Str "two"; Json.List [] ]);
+      ("o", Json.Obj [ ("k", Json.Int 7) ]);
+    ]
+
+let test_json_roundtrip () =
+  let s = Json.to_string sample in
+  Alcotest.(check bool) "compact round-trip" true (Json.of_string s = sample);
+  let m = Json.to_multiline sample in
+  Alcotest.(check bool) "multiline round-trip" true (Json.of_string m = sample);
+  Alcotest.(check bool)
+    "multiline has one member per line" true
+    (List.length (String.split_on_char '\n' (String.trim m)) >= 7)
+
+let test_json_parse () =
+  Alcotest.(check bool)
+    "unicode escape" true
+    (Json.of_string {|"€"|} = Json.Str "\xe2\x82\xac");
+  Alcotest.(check bool)
+    "numbers" true
+    (Json.of_string "[0, -7, 2.5, 1e3]"
+    = Json.List [ Json.Int 0; Json.Int (-7); Json.Float 2.5; Json.Float 1000. ]);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | v ->
+          Alcotest.failf "parsed %S to %s" bad (Json.to_string v))
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "" ]
+
+let test_json_accessors () =
+  Alcotest.(check (option int)) "member/to_int" (Some 7)
+    (Option.bind (Json.member "o" sample) (Json.member "k")
+    |> Fun.flip Option.bind Json.to_int);
+  Alcotest.(check bool) "missing member" true (Json.member "zzz" sample = None)
+
+(* --- metrics ------------------------------------------------------------- *)
+
+let test_counters_gauges () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r ~subsystem:"t" "events" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter value" 5 (Metrics.value c);
+  (* registration is idempotent: same instrument comes back *)
+  let c' = Metrics.counter ~registry:r ~subsystem:"t" "events" in
+  Metrics.incr c';
+  Alcotest.(check int) "same instrument" 6 (Metrics.value c);
+  (* but a kind clash is a programming error *)
+  (match Metrics.gauge ~registry:r ~subsystem:"t" "events" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash accepted");
+  let g = Metrics.gauge ~registry:r ~subsystem:"t" "level" in
+  Metrics.set g 3;
+  Metrics.set g 9;
+  Alcotest.(check int) "gauge last-wins" 9 (Metrics.gauge_value g);
+  Alcotest.(check (option int)) "find counter" (Some 6)
+    (Metrics.find r "t.events");
+  Alcotest.(check (option int)) "find gauge" (Some 9) (Metrics.find r "t.level");
+  Alcotest.(check (option int)) "find unknown" None (Metrics.find r "t.nope");
+  Metrics.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0 (Metrics.value c);
+  Alcotest.(check int) "reset zeroes gauges" 0 (Metrics.gauge_value g)
+
+let test_histogram () =
+  let r = Metrics.create_registry () in
+  let h = Metrics.histogram ~registry:r ~subsystem:"t" "lat" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 100; -5 ];
+  let s = Metrics.summary h in
+  Alcotest.(check int) "count" 7 s.Metrics.count;
+  Alcotest.(check int) "sum clamps negatives" 110 s.Metrics.sum;
+  Alcotest.(check int) "max" 100 s.Metrics.max_value;
+  Alcotest.(check bool) "p50 sane" true (s.Metrics.p50 >= 1 && s.Metrics.p50 <= 4);
+  Alcotest.(check bool) "p99 capped at max" true (s.Metrics.p99 <= 100);
+  let v = Metrics.observe_span h (fun () -> 42) in
+  Alcotest.(check int) "observe_span returns" 42 v;
+  Alcotest.(check int) "observe_span observed" 8 (Metrics.summary h).Metrics.count
+
+let test_metrics_export () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r ~subsystem:"pager" "reads" in
+  Metrics.add c 12;
+  let h = Metrics.histogram ~registry:r ~subsystem:"exec" "ns" in
+  Metrics.observe h 1000;
+  let j = Metrics.to_json r in
+  Alcotest.(check (option int)) "counter in json" (Some 12)
+    (Option.bind (Json.member "pager.reads" j) Json.to_int);
+  Alcotest.(check (option int)) "histogram count in json" (Some 1)
+    (Option.bind (Json.member "exec.ns" j) (Json.member "count")
+    |> Fun.flip Option.bind Json.to_int);
+  (* the table renders every instrument, grouped by subsystem *)
+  let table = Format.asprintf "%a" Metrics.pp r in
+  List.iter
+    (fun needle ->
+      if not (contains table needle) then
+        Alcotest.failf "missing %S in:\n%s" needle table)
+    [ "pager.reads"; "exec.ns"; "[pager]"; "[exec]" ]
+
+(* --- tracing ------------------------------------------------------------- *)
+
+let test_span_tree () =
+  let root = Trace.span "query" in
+  let a = Trace.span ~fields:[ ("page_reads", 3) ] "descent" in
+  let b = Trace.span "descent" in
+  Trace.add_field b "page_reads" 4;
+  Trace.add_field b "page_reads" 5 (* replace, not append *);
+  Trace.add_child root a;
+  Trace.add_child root b;
+  Alcotest.(check (option int)) "field" (Some 5) (Trace.field b "page_reads");
+  Alcotest.(check int) "total over subtree" 8 (Trace.total root "page_reads");
+  Alcotest.(check int) "total of absent field" 0 (Trace.total root "zzz");
+  let txt = Format.asprintf "%a" Trace.pp root in
+  Alcotest.(check bool) "pp mentions fields" true (contains txt "page_reads=5");
+  let j = Trace.to_json root in
+  match Json.member "children" j with
+  | Some (Json.List [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "json children"
+
+let test_sinks () =
+  Alcotest.(check bool) "null disabled" false (Trace.enabled Trace.null);
+  Alcotest.(check bool) "default scope off" true (Trace.scope () = None);
+  let sink = Trace.collector () in
+  Trace.emit sink (Trace.span "a");
+  Trace.emit sink (Trace.span "b");
+  Alcotest.(check (list string)) "collected in order" [ "a"; "b" ]
+    (List.map (fun (s : Trace.span) -> s.Trace.name) (Trace.collected sink));
+  let (), spans =
+    Trace.with_collector (fun () ->
+        (match Trace.scope () with
+        | Some s -> Trace.emit s (Trace.span "inside")
+        | None -> Alcotest.fail "collector not installed"))
+  in
+  Alcotest.(check int) "with_collector captures" 1 (List.length spans);
+  Alcotest.(check bool) "global restored" true (Trace.scope () = None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
+          Alcotest.test_case "histograms" `Quick test_histogram;
+          Alcotest.test_case "export" `Quick test_metrics_export;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span trees" `Quick test_span_tree;
+          Alcotest.test_case "sinks" `Quick test_sinks;
+        ] );
+    ]
