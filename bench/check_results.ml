@@ -33,6 +33,46 @@ let get path k j =
   | Some v -> v
   | None -> fail "%s: missing member %S" path k
 
+(* The cache A/B section carries invariants rather than pinned values
+   (wall-clock-free, but dependent on pool capacity): every warm run must
+   be no more expensive than its cold twin, hit the pool at all, and at
+   least one query class must get strictly cheaper. *)
+let check_cache_ab path j =
+  let rows =
+    match get path "cache_ab" j with
+    | Obs.Json.List (_ :: _ as rows) -> rows
+    | Obs.Json.List [] -> fail "%s: cache_ab is empty" path
+    | _ -> fail "%s: cache_ab is not a list" path
+  in
+  let any_strict = ref false in
+  List.iter
+    (fun row ->
+      match
+        ( Obs.Json.(member "id" row |> Option.map to_str),
+          Obs.Json.(member "cold_reads" row |> Option.map to_int),
+          Obs.Json.(member "warm_reads" row |> Option.map to_int),
+          Obs.Json.(member "warm_pool_hits" row |> Option.map to_int),
+          Obs.Json.member "warm_hit_rate" row )
+      with
+      | Some (Some id), Some (Some cold), Some (Some warm), Some (Some hits),
+        Some rate ->
+          let rate =
+            match rate with
+            | Obs.Json.Float f -> f
+            | Obs.Json.Int i -> float_of_int i
+            | _ -> fail "%s: cache_ab row %S: warm_hit_rate not a number" path id
+          in
+          if warm > cold then
+            fail "cache_ab row %S: warm reads %d > cold reads %d" id warm cold;
+          if hits <= 0 || rate <= 0. then
+            fail "cache_ab row %S: warm run never hit the pool" id;
+          if warm < cold then any_strict := true
+      | _ -> fail "%s: malformed cache_ab row" path)
+    rows;
+  if not !any_strict then
+    fail "cache_ab: no query class got strictly cheaper warm than cold";
+  List.length rows
+
 let table1_rows path j =
   match get path "table1" j with
   | Obs.Json.List rows ->
@@ -80,5 +120,8 @@ let () =
                (regenerate %s if intentional)"
               id p p' f f' expected_path)
     want;
-  Printf.printf "check_results: %d table1 rows match %s\n" (List.length want)
-    expected_path
+  let n_ab = check_cache_ab results_path r in
+  Printf.printf
+    "check_results: %d table1 rows match %s; %d cache A/B rows warm<=cold \
+     with hits\n"
+    (List.length want) expected_path n_ab

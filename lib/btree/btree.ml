@@ -42,33 +42,58 @@ let default_config ~page_size =
     overflow_threshold = (page_size - Node.header_size) / 4;
   }
 
+module Buffer_pool = Storage.Buffer_pool
+
 type t = {
   pager : Pager.t;
   cfg : config;
   mutable root : int;
   mutable height : int;
+  mutable pool : Buffer_pool.t option;
+      (* shared page source: reads go through the pool, writes are
+         written through, frees invalidate — see write_page/free_page *)
 }
 
 let pager t = t.pager
 let config t = t.cfg
 let height t = t.height
+let pool t = t.pool
+
+let set_pool t pool =
+  (match pool with
+  | Some p when Buffer_pool.pager p != t.pager ->
+      invalid_arg "Btree.set_pool: pool is over a different pager"
+  | Some _ | None -> ());
+  t.pool <- pool
 
 let page_size t = Pager.page_size t.pager
 
+(* Every page write and free must keep the shared pool coherent: a write
+   refreshes the resident copy (write-through), a free drops it before
+   the pager can recycle the id for unrelated content. *)
+let write_page t id page =
+  Pager.write t.pager id page;
+  match t.pool with Some p -> Buffer_pool.update p id page | None -> ()
+
+let free_page t id =
+  (match t.pool with Some p -> Buffer_pool.invalidate p id | None -> ());
+  Pager.free t.pager id
+
 let store t id node =
   let saved = ref 0 in
-  Pager.write t.pager id
+  write_page t id
     (Node.encode ~saved ~front_coding:t.cfg.front_coding
        ~page_size:(page_size t) node);
   Obs.Metrics.add m_fc_saved !saved
 
-let create ?config pager =
+let create ?config ?pool pager =
   let cfg =
     match config with
     | Some c -> c
     | None -> default_config ~page_size:(Pager.page_size pager)
   in
-  let t = { pager; cfg; root = -1; height = 1 } in
+  let t = { pager; cfg; root = -1; height = 1; pool = None } in
+  set_pool t pool;
   let root = Pager.alloc pager in
   t.root <- root;
   store t root (Node.Leaf { lkeys = [||]; lvals = [||]; next = -1 });
@@ -76,13 +101,14 @@ let create ?config pager =
 
 let root t = t.root
 
-let attach ?config pager ~root =
+let attach ?config ?pool pager ~root =
   let cfg =
     match config with
     | Some c -> c
     | None -> default_config ~page_size:(Pager.page_size pager)
   in
-  let t = { pager; cfg; root; height = 1 } in
+  let t = { pager; cfg; root; height = 1; pool = None } in
+  set_pool t pool;
   (* recover the height from the leftmost path *)
   let rec descend id h =
     match Node.decode (Pager.read pager id) with
@@ -100,14 +126,18 @@ let sync t =
   Pager.set_meta t.pager (meta_tag ^ Bu.encode_u32 t.root);
   Pager.sync t.pager
 
-let reattach ?config pager =
+let reattach ?config ?pool pager =
   let m = Pager.meta pager in
   if String.length m <> 7 || String.sub m 0 3 <> meta_tag then
     invalid_arg "Btree.reattach: pager metadata does not name a tree root";
-  attach ?config pager ~root:(Bu.decode_u32 m 3)
+  attach ?config ?pool pager ~root:(Bu.decode_u32 m 3)
 
-let raw_read t id = Pager.read t.pager id
-let cached_read t = Pager.Cache.create t.pager
+let raw_read t id =
+  match t.pool with
+  | Some p -> Buffer_pool.read p id
+  | None -> Pager.read t.pager id
+
+let cached_read t = Pager.Cache.of_read (raw_read t)
 
 let load read id = Node.decode (read id)
 
@@ -138,7 +168,7 @@ let write_overflow t data =
     Bu.put_u16 page 4 clen;
     Bytes.blit_string data off page 6 clen;
     let id = Pager.alloc t.pager in
-    Pager.write t.pager id page;
+    write_page t id page;
     next := id
   done;
   !next
@@ -162,7 +192,7 @@ let free_overflow t head =
     if id <> 0xFFFFFFFF && id >= 0 then begin
       let b = quiet_read t id in
       let next = Bu.get_u32 b 0 in
-      Pager.free t.pager id;
+      free_page t id;
       go next
     end
   in
@@ -656,7 +686,7 @@ let fix_child t (n : Node.internal) ci : Node.internal =
     in
     if fits t merged then begin
       store t left_id merged;
-      Pager.free t.pager right_id;
+      free_page t right_id;
       Some
         {
           Node.ikeys = array_remove n.ikeys sep_idx;
@@ -807,7 +837,7 @@ let delete t key =
   (* collapse a root that lost all separators *)
   (match load (quiet_read t) t.root with
   | Node.Internal { ikeys = [||]; children } ->
-      Pager.free t.pager t.root;
+      free_page t t.root;
       t.root <- children.(0);
       t.height <- t.height - 1
   | Node.Internal _ | Node.Leaf _ -> ());

@@ -11,12 +11,20 @@
     an optional maximum entry count to model Experiment 1's "at most
     [m = 10] records per node".
 
-    All page accesses go through the tree's {!Storage.Pager}, so the
-    pager's {!Storage.Stats} counts exactly the page reads the paper
-    reports.  Read-only operations take an explicit [read] function:
-    pass {!raw_read} to count every access (forward scanning), or a
+    All page accesses go through one pluggable page source.  Without a
+    pool, {!raw_read} is the pager itself, so the pager's
+    {!Storage.Stats} counts exactly the page reads the paper reports.
+    With a shared {!Storage.Buffer_pool} attached ({!create}'s [?pool]
+    or {!set_pool}), {!raw_read} serves hits from the pool (counted as
+    [pool_hits], not pager reads) and only misses reach the pager; every
+    page the tree writes is written through to the pool and every freed
+    page is invalidated, so the pool can never serve stale bytes.
+    Read-only operations take an explicit [read] function: pass
+    {!raw_read} to count every access (forward scanning), or a
     {!Storage.Pager.Cache} reader to count distinct pages only (the
-    parallel retrieval algorithm's "utilize any page already in memory"). *)
+    parallel retrieval algorithm's "utilize any page already in
+    memory") — {!cached_read} layers that per-query cache over the
+    tree's page source, pooled or not. *)
 
 module Node : module type of Node
 (** The on-page node layout, exposed for white-box tests and tooling. *)
@@ -33,14 +41,16 @@ val default_config : page_size:int -> config
 
 type t
 
-val create : ?config:config -> Storage.Pager.t -> t
-(** An empty tree whose nodes live on pages of the given pager. *)
+val create : ?config:config -> ?pool:Storage.Buffer_pool.t -> Storage.Pager.t -> t
+(** An empty tree whose nodes live on pages of the given pager.  [?pool]
+    attaches a shared buffer pool as the page source (see {!set_pool}). *)
 
 val root : t -> int
 (** The root's current page id.  Together with the pager's backing file
     this is all the state needed to re-open the tree. *)
 
-val attach : ?config:config -> Storage.Pager.t -> root:int -> t
+val attach :
+  ?config:config -> ?pool:Storage.Buffer_pool.t -> Storage.Pager.t -> root:int -> t
 (** [attach pager ~root] re-opens a tree previously built on this pager's
     pages (e.g. after {!Storage.Pager.open_file}); the height is recovered
     by walking to the leftmost leaf.  The configuration must match the one
@@ -53,7 +63,7 @@ val sync : t -> unit
     reopens to its last-synced state, however many splits or merges were
     in flight when a crash hit. *)
 
-val reattach : ?config:config -> Storage.Pager.t -> t
+val reattach : ?config:config -> ?pool:Storage.Buffer_pool.t -> Storage.Pager.t -> t
 (** [reattach pager] re-opens the tree whose root a previous {!sync}
     recorded in the pager's metadata — the usual way to resume after
     {!Storage.Pager.open_file}.  Raises [Invalid_argument] when the
@@ -62,14 +72,26 @@ val reattach : ?config:config -> Storage.Pager.t -> t
 val pager : t -> Storage.Pager.t
 val config : t -> config
 
+val pool : t -> Storage.Buffer_pool.t option
+(** The shared buffer pool currently serving reads, if any. *)
+
+val set_pool : t -> Storage.Buffer_pool.t option -> unit
+(** Attach (or detach, with [None]) a shared buffer pool as the tree's
+    page source.  The pool must be over this tree's pager (raises
+    [Invalid_argument] otherwise).  While attached, all reads go through
+    the pool and all writes/frees keep it coherent; [None] restores the
+    paper's uncached accounting exactly. *)
+
 val height : t -> int
 (** Number of levels; [1] when the root is a leaf. *)
 
 val raw_read : t -> int -> Bytes.t
-(** Reads through the pager, counting every call. *)
+(** Reads through the tree's page source: the pager directly (counting
+    every call), or the attached pool (hits served without a pager
+    read). *)
 
 val cached_read : t -> Storage.Pager.Cache.t
-(** A fresh per-query cache over this tree's pager. *)
+(** A fresh per-query cache over this tree's page source. *)
 
 (** {1 Updates} *)
 

@@ -5,13 +5,30 @@ let src = Logs.Src.create "uindex.db" ~doc:"U-index database façade"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type t = { store : Store.t; mutable indexes : Index.t list }
+type t = {
+  store : Store.t;
+  mutable indexes : Index.t list;
+  mutable cache_pages : int;  (* 0 = uncached, the paper's accounting *)
+}
 
-let create store = { store; indexes = [] }
+let create ?(cache_pages = 0) store =
+  if cache_pages < 0 then invalid_arg "Db.create: negative cache_pages";
+  { store; indexes = []; cache_pages }
+
 let store t = t.store
 let indexes t = t.indexes
+let cache_pages t = t.cache_pages
+
+let set_cache_pages t n =
+  if n < 0 then invalid_arg "Db.set_cache_pages: negative capacity";
+  t.cache_pages <- n;
+  List.iter (fun idx -> Index.set_cache_pages idx n) t.indexes
 
 let add_index t idx =
+  (* pools are per-pager: each index gets its own, sized by the db-wide
+     knob, unless the caller attached one already *)
+  if t.cache_pages > 0 && Index.pool idx = None then
+    Index.set_cache_pages idx t.cache_pages;
   Index.build idx t.store;
   Log.debug (fun m ->
       m "registered index (%d entries)" (Index.entry_count idx));

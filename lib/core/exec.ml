@@ -12,6 +12,7 @@ type binding = {
 type outcome = {
   bindings : binding list;
   page_reads : int;
+  pool_hits : int;
   entries_scanned : int;
 }
 
@@ -32,12 +33,22 @@ let take n l =
 let binding_of (d : Ukey.decoded) arity =
   { value = d.value; comps = take arity d.comps }
 
+(* [page_reads] stays the pager-read delta whether or not a pool is
+   attached: pool hits never reach the pager, misses do, so the paper's
+   uncached counts are preserved exactly when no pool is in play and the
+   warm counts are genuine physical-page fetches otherwise.  Hits are
+   reported separately. *)
 let with_read_count tree f =
   let stats = Pager.stats (Btree.pager tree) in
   let before = Stats.snapshot stats in
   let bindings, entries = f () in
   let delta = Stats.diff ~before ~after:(Stats.snapshot stats) in
-  { bindings = List.rev bindings; page_reads = delta.reads; entries_scanned = entries }
+  {
+    bindings = List.rev bindings;
+    page_reads = delta.reads;
+    pool_hits = delta.pool_hits;
+    entries_scanned = entries;
+  }
 
 (* --- span plumbing ------------------------------------------------------ *)
 
@@ -78,6 +89,7 @@ type seg_state = {
   stats : Stats.t;
   mutable sp : Trace.span option;
   mutable start_reads : int;
+  mutable start_pool_hits : int;
   mutable entries : int;
   mutable accepted : int;
 }
@@ -86,7 +98,16 @@ let seg_make trace stats =
   match trace with
   | None -> None
   | Some parent ->
-      Some { parent; stats; sp = None; start_reads = 0; entries = 0; accepted = 0 }
+      Some
+        {
+          parent;
+          stats;
+          sp = None;
+          start_reads = 0;
+          start_pool_hits = 0;
+          entries = 0;
+          accepted = 0;
+        }
 
 let seg_close = function
   | None -> ()
@@ -95,6 +116,8 @@ let seg_close = function
       | None -> ()
       | Some sp ->
           Trace.add_field sp "page_reads" (s.stats.Stats.reads - s.start_reads);
+          let hits = s.stats.Stats.pool_hits - s.start_pool_hits in
+          if hits > 0 then Trace.add_field sp "pool_hits" hits;
           Trace.add_field sp "entries" s.entries;
           Trace.add_field sp "accepted" s.accepted;
           Trace.add_child s.parent sp;
@@ -107,6 +130,7 @@ let seg_open seg name =
       seg_close seg;
       s.sp <- Some (Trace.span name);
       s.start_reads <- s.stats.Stats.reads;
+      s.start_pool_hits <- s.stats.Stats.pool_hits;
       s.entries <- 0;
       s.accepted <- 0
 
@@ -247,8 +271,12 @@ let parallel idx query = run ~algo:`Parallel idx query
 
 let analyze ~algo idx query =
   let sp = Trace.span (algo_name algo) in
+  let undecodable0 = Plan.undecodable_entries () in
   let o = impl algo ~trace:sp idx query in
   finish_root sp o;
+  (if o.pool_hits > 0 then Trace.add_field sp "pool_hits_total" o.pool_hits);
+  let undecodable = Plan.undecodable_entries () - undecodable0 in
+  if undecodable > 0 then Trace.add_field sp "undecodable_entries" undecodable;
   (record o, sp)
 
 let explain idx query =
@@ -261,9 +289,11 @@ let explain idx query =
       let tree = Index.tree idx in
       let stats = Pager.stats (Btree.pager tree) in
       let before = Stats.snapshot stats in
-      let read = Pager.Cache.read (Btree.cached_read tree) in
+      (* explain must not perturb measurements: read the pager directly
+         (never the shared pool, whose LRU state and hit counters a dry
+         run must not disturb) and roll the read counter back after *)
+      let read = Pager.Cache.read (Pager.Cache.create (Btree.pager tree)) in
       let visits = Btree.trace_intervals tree ~read ivs in
-      (* explain must not perturb measurements *)
       stats.Stats.reads <- before.Stats.reads;
       Some visits
 

@@ -21,7 +21,13 @@ type binding = {
 
 type outcome = {
   bindings : binding list;
-  page_reads : int;  (** the paper's "visited nodes" / "page reads" *)
+  page_reads : int;
+      (** the paper's "visited nodes" / "page reads": pager reads only.
+          With a shared buffer pool attached to the index, hits are
+          excluded here (they cost no page fetch) and reported in
+          [pool_hits]; without a pool the two accountings coincide with
+          the paper's exactly. *)
+  pool_hits : int;  (** reads served by the shared buffer pool (0 if none) *)
   entries_scanned : int;
 }
 
@@ -47,15 +53,21 @@ val analyze :
     segment (each carrying its own [page_reads], [entries] and
     [accepted] deltas), and a final [merge].  Only segment spans carry
     [page_reads], so [Obs.Trace.total span "page_reads"] equals
-    [outcome.page_reads] exactly.  Render with {!Obs.Trace.pp}. *)
+    [outcome.page_reads] exactly — with or without a buffer pool.
+    Segments additionally carry [pool_hits] when a pool served reads
+    (so [Obs.Trace.total span "pool_hits"] = [outcome.pool_hits]); the
+    root records [pool_hits_total] and, when any index entry failed to
+    decode during the run, [undecodable_entries].  Render with
+    {!Obs.Trace.pp}. *)
 
 val explain : Index.t -> Query.t -> Btree.visit list option
 (** The search tree the parallel algorithm builds for an enumerable query
     (the paper's Fig. 3): every B-tree node the pruned descent visits,
     with depth and per-leaf match counts.  [None] when the query's value
     predicate is a contiguous range (candidates are generated lazily and
-    no static tree exists).  Reads go through a throwaway cache and do
-    not disturb the pager's statistics. *)
+    no static tree exists).  Reads go through a throwaway cache straight
+    to the pager — never the shared pool — and do not disturb the
+    pager's statistics or the pool's LRU state. *)
 
 val pp_explain : Format.formatter -> Btree.visit list -> unit
 (** Renders the search tree with one line per node, indented by depth. *)

@@ -30,6 +30,14 @@ let encoding t = t.enc
 let tree t = t.tree
 let attr_ty t = t.ty
 let sync t = Btree.sync t.tree
+let pool t = Btree.pool t.tree
+
+let set_cache_pages t n =
+  if n < 0 then invalid_arg "Uindex.set_cache_pages: negative capacity";
+  if n = 0 then Btree.set_pool t.tree None
+  else
+    Btree.set_pool t.tree
+      (Some (Storage.Buffer_pool.create ~capacity:n (Btree.pager t.tree)))
 
 let first_spec t =
   match t.specs with
@@ -53,11 +61,11 @@ let check_indexable schema cls attr =
            "Uindex: attribute %S of %s is a reference, not an indexable value"
            attr (Schema.name schema cls))
 
-let create_class_hierarchy ?config pager enc ~root ~attr =
+let create_class_hierarchy ?config ?pool pager enc ~root ~attr =
   let schema = Encoding.schema enc in
   let ty = check_indexable schema root attr in
   {
-    tree = Btree.create ?config pager;
+    tree = Btree.create ?config ?pool pager;
     enc;
     kind = Class_hierarchy { root; attr };
     ty;
@@ -112,10 +120,10 @@ let make_spec enc ~head ~refs ~attr =
     },
     ty )
 
-let create_path ?config pager enc ~head ~refs ~attr =
+let create_path ?config ?pool pager enc ~head ~refs ~attr =
   let spec, ty = make_spec enc ~head ~refs ~attr in
   {
-    tree = Btree.create ?config pager;
+    tree = Btree.create ?config ?pool pager;
     enc;
     kind = Path { head; refs; attr };
     ty;

@@ -39,16 +39,20 @@ type t
 
 val create_class_hierarchy :
   ?config:Btree.config ->
+  ?pool:Storage.Buffer_pool.t ->
   Storage.Pager.t ->
   Encoding.t ->
   root:Schema.class_id ->
   attr:string ->
   t
 (** Raises [Invalid_argument] if [attr] is not an [Int]/[String]
-    attribute of [root] (possibly inherited). *)
+    attribute of [root] (possibly inherited).  [?pool] attaches a shared
+    buffer pool over [pager] as the index's page source (see
+    {!set_cache_pages}). *)
 
 val create_path :
   ?config:Btree.config ->
+  ?pool:Storage.Buffer_pool.t ->
   Storage.Pager.t ->
   Encoding.t ->
   head:Schema.class_id ->
@@ -71,6 +75,17 @@ val kind : t -> kind
 val encoding : t -> Encoding.t
 val tree : t -> Btree.t
 val attr_ty : t -> Schema.attr_type
+
+val pool : t -> Storage.Buffer_pool.t option
+(** The shared buffer pool serving this index's reads, if any. *)
+
+val set_cache_pages : t -> int -> unit
+(** [set_cache_pages t n] attaches a fresh shared LRU buffer pool of [n]
+    pages over the index's pager; [0] detaches any pool, restoring the
+    paper's exact uncached page-read accounting.  The pool persists
+    across queries (that is the point: steady-state hit rates), stays
+    coherent with the index's own inserts and deletes via write-through,
+    and counts hits as [Stats.pool_hits] rather than pager reads. *)
 
 val paths : t -> (Schema.class_id list * string list * string) list
 (** Every registered path as [(declared classes head-first, refs, attr)];

@@ -227,6 +227,18 @@ type verdict =
   | Accept of { d : Ukey.decoded; arity : int; next : next }
   | Reject of next
 
+(* Entries whose key bytes fail to decode are rejected-with-advance so a
+   scan survives them, but silence would mask corruption (a truncated Int
+   key, an unknown class code): count every swallowed reject where
+   stats/EXPLAIN can see it. *)
+let m_undecodable =
+  Obs.Metrics.counter ~subsystem:"exec"
+    ~help:"index entries whose keys failed to decode during classify"
+    "undecodable_entries"
+
+let undecodable_entries () =
+  Option.value ~default:0 (Obs.Metrics.find Obs.Metrics.default "exec.undecodable_entries")
+
 let seek_or_stop = function Some k -> Seek k | None -> Stop
 
 let skip_from t prefix =
@@ -236,7 +248,9 @@ let skip_from t prefix =
 
 let classify t key =
   match Ukey.decode ~enc:t.enc ~ty:t.ty key with
-  | exception Invalid_argument _ -> Reject Advance
+  | exception Invalid_argument _ ->
+      Obs.Metrics.incr m_undecodable;
+      Reject Advance
   | d ->
       if not (Query.value_matches t.q.value d.value) then
         Reject (seek_or_stop (next_candidate t key))

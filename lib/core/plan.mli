@@ -66,4 +66,11 @@ val classify : t -> string -> verdict
     admissible group; failing a later component's class skips that class's
     run; failing a slot skips that object's run (the paper's "skip by
     looking the uncompressed part of the key up in the parent",
-    Section 3.4). *)
+    Section 3.4).  An entry whose key bytes do not decode at all (e.g. a
+    truncated [Int] key) is rejected with [Advance] and counted in the
+    [exec.undecodable_entries] metric — corruption is tolerated but never
+    silent. *)
+
+val undecodable_entries : unit -> int
+(** Current value of the process-wide [exec.undecodable_entries] counter
+    (0 when no entry ever failed to decode). *)

@@ -30,7 +30,15 @@ let encode = function
 
 let decode ~ty s off =
   match ty with
-  | Oodb_schema.Schema.Int -> (Int (Bu.decode_int s off), off + 8)
+  | Oodb_schema.Schema.Int ->
+      if off < 0 || off + 8 > String.length s then
+        invalid_arg
+          (Printf.sprintf
+             "Value.decode: truncated Int key (need 8 bytes at offset %d, \
+              have %d)"
+             off
+             (String.length s - off));
+      (Int (Bu.decode_int s off), off + 8)
   | Oodb_schema.Schema.String ->
       let stop =
         match String.index_from_opt s off '\x01' with

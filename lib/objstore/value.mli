@@ -22,6 +22,10 @@ val encode : t -> string
 val decode : ty:Oodb_schema.Schema.attr_type -> string -> int -> t * int
 (** [decode ~ty s off] reads the value back from a key, returning it
     together with the offset of the separator byte that follows it in the
-    key format ([Int] is 8 fixed bytes; [Str] runs to the next [0x01]). *)
+    key format ([Int] is 8 fixed bytes; [Str] runs to the next [0x01]).
+    Raises [Invalid_argument] with a ["truncated Int key"] diagnostic
+    when fewer than 8 bytes remain for an [Int] — a distinct message, so
+    callers that tolerate malformed entries can still surface corruption
+    in their counters rather than conflating it with type errors. *)
 
 val pp : Format.formatter -> t -> unit

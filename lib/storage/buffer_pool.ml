@@ -22,6 +22,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable relinks : int;  (* hits that paid the unlink+push_front *)
 }
 
 let create ~capacity pager =
@@ -35,6 +36,7 @@ let create ~capacity pager =
     hits = 0;
     misses = 0;
     evictions = 0;
+    relinks = 0;
   }
 
 let unlink t n =
@@ -71,10 +73,16 @@ let read t id =
       Obs.Metrics.incr m_hits;
       let s = Pager.stats t.pager in
       s.Stats.pool_hits <- s.Stats.pool_hits + 1;
-      if t.head != Some n then begin
-        unlink t n;
-        push_front t n
-      end;
+      (* fast path: a hit on the MRU node needs no list surgery.  The
+         node must be compared directly — [t.head != Some n] allocates a
+         fresh [Some] and physical inequality against it is always
+         true. *)
+      (match t.head with
+      | Some h when h == n -> ()
+      | _ ->
+          t.relinks <- t.relinks + 1;
+          unlink t n;
+          push_front t n);
       Bytes.copy n.data
   | None ->
       t.misses <- t.misses + 1;
@@ -87,6 +95,15 @@ let read t id =
       Hashtbl.replace t.table id n;
       push_front t n;
       Bytes.copy data
+
+(* Write-through: refresh a resident page in place so a later hit can
+   never serve stale bytes.  Absent pages are not write-allocated — the
+   pool caches read traffic, and the pager remains the source of truth.
+   Recency is deliberately untouched: an update is not a read. *)
+let update t id data =
+  match Hashtbl.find_opt t.table id with
+  | Some n -> n.data <- Bytes.copy data
+  | None -> ()
 
 let invalidate t id =
   match Hashtbl.find_opt t.table id with
@@ -103,6 +120,16 @@ let flush t =
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let relinks t = t.relinks
+let capacity t = t.capacity
+let pager t = t.pager
+
+let lru_order t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.page_id :: acc) n.next
+  in
+  go [] t.head
 
 let hit_rate t =
   let total = t.hits + t.misses in

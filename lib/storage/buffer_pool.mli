@@ -11,11 +11,18 @@
     also mirrored into the underlying pager's {!Stats.t}
     ([pool_hits]/[pool_misses]/[pool_evictions]) and the process-wide
     [buffer_pool.*] metrics, so cache behaviour shows up in the same
-    snapshots the page-read experiments already take.  The pool is read-only: writers
-    must go straight to the pager, and call {!invalidate} for pages they
-    changed (or {!flush} after a batch).  Pager reads always observe
-    writes buffered since the last {!Pager.sync}, so the pool stays
-    coherent with the journaled file backend under the same discipline. *)
+    snapshots the page-read experiments already take.
+
+    {b Coherence contract.}  Writers go straight to the pager and then
+    either {!update} (write-through: refresh the resident copy) or
+    {!invalidate} (drop it) the page in the pool; pages returned to the
+    pager's free list must be invalidated, since the pager may hand the
+    id back out for unrelated content.  Under that discipline the pool
+    can never serve stale bytes.  [Btree] follows it for every page it
+    writes or frees — see DESIGN.md §7.  A pool is tied to one open
+    pager instance: journal [recover] runs on closed files, so a pager
+    reopened after recovery starts with a fresh (empty, trivially
+    coherent) pool. *)
 
 type t
 
@@ -25,8 +32,14 @@ val create : capacity:int -> Pager.t -> t
 val read : t -> int -> Bytes.t
 (** Serves from the pool, falling back to (and counting) a pager read. *)
 
+val update : t -> int -> Bytes.t -> unit
+(** Write-through hook: if the page is resident, replace its bytes with
+    a copy of [data].  Absent pages are left absent (no write-allocate)
+    and recency is unchanged — an update is not a read. *)
+
 val invalidate : t -> int -> unit
-(** Drops one page from the pool (after an in-place update or free). *)
+(** Drops one page from the pool (after a free, or in place of
+    {!update}). *)
 
 val flush : t -> unit
 (** Empties the pool. *)
@@ -37,8 +50,18 @@ val misses : t -> int
 val evictions : t -> int
 (** Pages dropped to make room (capacity pressure, not {!invalidate}). *)
 
+val relinks : t -> int
+(** Hits that moved the node to the front; a hit on the MRU node is
+    counted in {!hits} but not here. *)
+
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; [0.] before any access. *)
 
 val resident : t -> int
 (** Pages currently held. *)
+
+val capacity : t -> int
+val pager : t -> Pager.t
+
+val lru_order : t -> int list
+(** Resident page ids, most recently used first (for tests). *)

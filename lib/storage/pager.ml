@@ -555,16 +555,16 @@ let free t id =
 let page_count t = t.live
 
 module Cache = struct
-  type pager = t
-  type nonrec t = { pager : pager; seen : (int, Bytes.t) Hashtbl.t }
+  type nonrec t = { fetch : int -> Bytes.t; seen : (int, Bytes.t) Hashtbl.t }
 
-  let create pager = { pager; seen = Hashtbl.create 64 }
+  let of_read fetch = { fetch; seen = Hashtbl.create 64 }
+  let create pager = of_read (read pager)
 
   let read t id =
     match Hashtbl.find_opt t.seen id with
     | Some b -> b
     | None ->
-        let b = read t.pager id in
+        let b = t.fetch id in
         Hashtbl.add t.seen id b;
         b
 

@@ -145,14 +145,19 @@ val journal_path : string -> string
     [path] (for tests that corrupt or inspect it). *)
 
 (** A per-query page cache.  [Cache.read] fetches each page from the
-    underlying pager at most once, so the pager's read counter counts
+    underlying source at most once, so the pager's read counter counts
     distinct pages — the paper's accounting for the parallel retrieval
-    algorithm. *)
+    algorithm.  [of_read] layers the cache over any page source (e.g. a
+    shared {!Buffer_pool}) instead of a raw pager. *)
 module Cache : sig
   type pager := t
   type t
 
   val create : pager -> t
+
+  val of_read : (int -> Bytes.t) -> t
+  (** Memoize an arbitrary page-fetch function for one query. *)
+
   val read : t -> int -> Bytes.t
   val distinct_reads : t -> int
 end

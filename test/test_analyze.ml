@@ -65,6 +65,42 @@ let test_analyze_matches_oracle () =
       [ `Forward; `Parallel ]
   done
 
+(* the same oracle reconciliation with a shared buffer pool attached:
+   pool hits never reach the pager, so the span tree must still sum to
+   the pager-stats delta exactly, with the hits accounted separately —
+   [Trace.total sp "pool_hits"] = the outcome's pool-hit count = the
+   Stats.pool_hits delta.  Warm runs must actually hit. *)
+let test_analyze_matches_oracle_pooled () =
+  let d = Lazy.force small in
+  let stats = Pager.stats (Btree.pager (Index.tree d.uindex)) in
+  Index.set_cache_pages d.uindex 64;
+  Fun.protect
+    ~finally:(fun () -> Index.set_cache_pages d.uindex 0)
+    (fun () ->
+      let rng = Workload.Rng.create 43 in
+      let warm_hits = ref 0 in
+      for _ = 1 to 25 do
+        let q = random_query d rng in
+        List.iter
+          (fun algo ->
+            (* run twice: the second pass sees a warm pool *)
+            ignore (Exec.run ~algo d.uindex q);
+            let before = Stats.snapshot stats in
+            let o, sp = Exec.analyze ~algo d.uindex q in
+            let delta = Stats.diff ~before ~after:(Stats.snapshot stats) in
+            Alcotest.(check int) "outcome = oracle" delta.Stats.reads
+              o.Exec.page_reads;
+            Alcotest.(check int) "span tree = oracle" delta.Stats.reads
+              (Trace.total sp "page_reads");
+            Alcotest.(check int) "outcome hits = stats delta"
+              delta.Stats.pool_hits o.Exec.pool_hits;
+            Alcotest.(check int) "span hits = outcome hits" o.Exec.pool_hits
+              (Trace.total sp "pool_hits");
+            warm_hits := !warm_hits + o.Exec.pool_hits)
+          [ `Forward; `Parallel ]
+      done;
+      Alcotest.(check bool) "warm runs hit the pool" true (!warm_hits > 0))
+
 let test_analyze_same_answers () =
   (* analyze is the same execution, just narrated: identical results and
      identical costs to the untraced run *)
@@ -259,6 +295,8 @@ let () =
         [
           Alcotest.test_case "span tree = pager oracle" `Quick
             test_analyze_matches_oracle;
+          Alcotest.test_case "span tree = pager oracle (pooled)" `Quick
+            test_analyze_matches_oracle_pooled;
           Alcotest.test_case "analyze = run" `Quick test_analyze_same_answers;
           Alcotest.test_case "span shape" `Quick test_span_shape;
           Alcotest.test_case "global sink emission" `Quick

@@ -263,6 +263,159 @@ let test_path_differential () =
         p.Exec.page_reads f.Exec.page_reads (pp_query b.schema q)
   done
 
+(* --- cached differential --------------------------------------------------- *)
+
+(* the same 1,000-query class-hierarchy differential, but against a warm
+   shared buffer pool (kept deliberately smaller than the index so
+   evictions happen).  The pool must be invisible twice over: identical
+   bindings, and exact accounting — every raw fetch below the per-query
+   cache is either a pager read or a pool hit, so
+   [cached.page_reads + cached.pool_hits = uncached.page_reads]. *)
+let test_exp2_cached_differential () =
+  let total = ref 0 in
+  List.iter
+    (fun (d : Dg.exp2) ->
+      let rng = Rng.create (2000 + d.cfg.seed) in
+      let tree = Index.tree d.uindex in
+      Index.set_cache_pages d.uindex 32;
+      let pool = Index.pool d.uindex in
+      for _ = 1 to 500 do
+        incr total;
+        let q =
+          gen_ch_query rng ~classes:d.classes
+            ~distinct_keys:d.cfg.distinct_keys
+        in
+        (* uncached twin: detach the pool, keep it warm for the next run *)
+        Btree.set_pool tree None;
+        let u_f = Exec.forward d.uindex q and u_p = Exec.parallel d.uindex q in
+        Btree.set_pool tree pool;
+        let c_f = Exec.forward d.uindex q and c_p = Exec.parallel d.uindex q in
+        if canon c_f <> canon u_f then
+          Alcotest.failf "cached forward diverges on %s" (pp_query d.schema q);
+        if canon c_p <> canon u_p then
+          Alcotest.failf "cached parallel diverges on %s" (pp_query d.schema q);
+        List.iter
+          (fun (algo, (c : Exec.outcome), (u : Exec.outcome)) ->
+            if c.Exec.page_reads + c.Exec.pool_hits <> u.Exec.page_reads then
+              Alcotest.failf
+                "%s accounting leak on %s: %d reads + %d hits <> %d uncached"
+                algo (pp_query d.schema q) c.Exec.page_reads c.Exec.pool_hits
+                u.Exec.page_reads)
+          [ ("forward", c_f, u_f); ("parallel", c_p, u_p) ]
+      done;
+      Index.set_cache_pages d.uindex 0)
+    (Lazy.force exp2_datasets);
+  Alcotest.(check int) "1000 cached queries" 1000 !total
+
+let dump_tree t =
+  let acc = ref [] in
+  Btree.iter t (fun e -> acc := (e.Btree.key, e.Btree.value ()) :: !acc);
+  List.rev !acc
+
+(* mutations under a live pool: a pooled tree and a plain twin receive
+   the same interleaved insert/delete stream; write-through and
+   invalidate-on-free must keep every pool-served lookup and sweep
+   byte-identical to the twin *)
+let test_cached_mutation_differential () =
+  let rng = Rng.create 4242 in
+  let p_plain = Storage.Pager.create ~page_size:256 () in
+  let p_pooled = Storage.Pager.create ~page_size:256 () in
+  let plain = Btree.create p_plain in
+  let pool = Storage.Buffer_pool.create ~capacity:16 p_pooled in
+  let pooled = Btree.create ~pool p_pooled in
+  let key i = Printf.sprintf "k%05d" i in
+  let live = Hashtbl.create 64 in
+  for round = 1 to 40 do
+    for _ = 1 to 25 do
+      let i = Rng.int rng 500 in
+      if Rng.int rng 3 = 0 && Hashtbl.mem live i then begin
+        ignore (Btree.delete plain (key i));
+        ignore (Btree.delete pooled (key i));
+        Hashtbl.remove live i
+      end
+      else begin
+        let v = Printf.sprintf "v%d.%d" round i in
+        Btree.insert plain ~key:(key i) ~value:v;
+        Btree.insert pooled ~key:(key i) ~value:v;
+        Hashtbl.replace live i v
+      end
+    done;
+    (* point reads through the (warm) pool against the plain twin *)
+    for _ = 1 to 20 do
+      let i = Rng.int rng 500 in
+      let want = Btree.find plain (key i) in
+      let got = Btree.find pooled (key i) in
+      if got <> want then
+        Alcotest.failf "round %d: stale pool read for %s" round (key i)
+    done
+  done;
+  Alcotest.(check bool) "full sweep identical" true
+    (dump_tree plain = dump_tree pooled);
+  Alcotest.(check bool) "pool was exercised" true
+    (Storage.Buffer_pool.hits pool > 0);
+  Btree.check pooled
+
+let with_temp_pages name f =
+  let path = Filename.temp_file name ".pages" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; Storage.Pager.journal_path path ])
+    (fun () -> f path)
+
+(* crash mid-commit, recover, reopen: a fresh pool on the recovered file
+   must serve exactly what an uncached reopen serves — pools are
+   per-pager-instance, so recovery coherence is structural, and this
+   pins it *)
+let test_cached_recovery_differential () =
+  with_temp_pages "uindex_cached_recover" (fun path ->
+      let pager = Storage.Pager.create_file ~page_size:256 path in
+      let t = Btree.create pager in
+      for i = 0 to 199 do
+        Btree.insert t ~key:(Printf.sprintf "k%04d" i)
+          ~value:(string_of_int i)
+      done;
+      Storage.Pager.set_meta pager (string_of_int (Btree.root t));
+      Storage.Pager.sync pager;
+      (* mutate, then crash partway through the second commit *)
+      let w0 = Storage.Pager.physical_writes pager in
+      let pager =
+        Storage.Pager.create_faulty
+          { Storage.Pager.no_faults with fail_write = Some (w0 + 5); torn = true }
+          pager
+      in
+      for i = 200 to 259 do
+        Btree.insert t ~key:(Printf.sprintf "k%04d" i)
+          ~value:(string_of_int i)
+      done;
+      ignore (Btree.delete t "k0000");
+      Storage.Pager.set_meta pager (string_of_int (Btree.root t));
+      (match Storage.Pager.sync pager with
+      | () -> Alcotest.fail "expected injected fault"
+      | exception Storage.Pager.Fault _ -> ());
+      (try Storage.Pager.close pager with Storage.Pager.Fault _ -> ());
+      ignore (Storage.Pager.recover path);
+      (* two independent reopens of the recovered file *)
+      let reopen ~pooled =
+        let p = Storage.Pager.open_file ~page_size:256 path in
+        let root = int_of_string (Storage.Pager.meta p) in
+        match pooled with
+        | false -> Btree.attach p ~root
+        | true ->
+            Btree.attach ~pool:(Storage.Buffer_pool.create ~capacity:8 p) p
+              ~root
+      in
+      let plain = reopen ~pooled:false in
+      let pooled = reopen ~pooled:true in
+      let want = dump_tree plain in
+      Alcotest.(check bool) "cold pooled reopen identical" true
+        (dump_tree pooled = want);
+      (* second sweep runs against a warm pool *)
+      Alcotest.(check bool) "warm pooled sweep identical" true
+        (dump_tree pooled = want);
+      Btree.check pooled)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest [ prop_random_schema_differential ]
 
@@ -273,5 +426,14 @@ let () =
         [ Alcotest.test_case "1000 queries vs oracle" `Quick test_exp2_differential ] );
       ( "path",
         [ Alcotest.test_case "200 queries vs store walk" `Quick test_path_differential ] );
+      ( "cached",
+        [
+          Alcotest.test_case "1000 queries cached = uncached" `Quick
+            test_exp2_cached_differential;
+          Alcotest.test_case "interleaved insert/delete under pool" `Quick
+            test_cached_mutation_differential;
+          Alcotest.test_case "crash recovery with fresh pool" `Quick
+            test_cached_recovery_differential;
+        ] );
       ("random-schema", qsuite);
     ]

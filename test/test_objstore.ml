@@ -99,6 +99,24 @@ let test_multi_value () =
   Alcotest.(check (list int)) "c2 still linked" [ bk ]
     (Store.referrers st c2 ~via:"comakers")
 
+(* a truncated Int payload must fail with its own diagnostic — not a
+   generic out-of-bounds from the byte decoder — so scan-level handlers
+   can tell data corruption from programming errors *)
+let test_decode_truncated_int () =
+  let whole = Value.encode (Value.Int 42) in
+  let v, stop = Value.decode ~ty:Schema.Int whole 0 in
+  Alcotest.(check bool) "roundtrip" true (v = Value.Int 42);
+  Alcotest.(check int) "consumes 8 bytes" 8 stop;
+  let short = String.sub whole 0 5 in
+  Alcotest.check_raises "truncated payload"
+    (Invalid_argument
+       "Value.decode: truncated Int key (need 8 bytes at offset 0, have 5)")
+    (fun () -> ignore (Value.decode ~ty:Schema.Int short 0));
+  Alcotest.check_raises "offset past the end"
+    (Invalid_argument
+       "Value.decode: truncated Int key (need 8 bytes at offset 9, have -1)")
+    (fun () -> ignore (Value.decode ~ty:Schema.Int whole 9))
+
 let test_iter_count () =
   let b, st = setup () in
   for _ = 1 to 10 do
@@ -119,5 +137,7 @@ let () =
           Alcotest.test_case "referrers & follow" `Quick test_referrers_and_follow;
           Alcotest.test_case "multi-value refs" `Quick test_multi_value;
           Alcotest.test_case "iter/count" `Quick test_iter_count;
+          Alcotest.test_case "truncated Int decode" `Quick
+            test_decode_truncated_int;
         ] );
     ]

@@ -169,6 +169,29 @@ let test_classify_partial_path () =
       Alcotest.(check int) "decoded still full" 3 (List.length d.Ukey.comps)
   | _ -> Alcotest.fail "expected prefix accept with skip"
 
+(* an entry whose key bytes cannot be decoded (e.g. a truncated Int
+   payload from a corrupt page) must not abort the scan: classify counts
+   it in exec.undecodable_entries and advances past it *)
+let test_classify_undecodable () =
+  let b, code = setup () in
+  let plan =
+    compile b (Query.class_hierarchy ~value:Query.V_any (P_subtree b.vehicle))
+  in
+  let good = Ukey.entry_key ~value:(Value.Int 50) [ (code b.compact, 1) ] in
+  let truncated = String.sub good 0 4 in
+  let before = Plan.undecodable_entries () in
+  (match Plan.classify plan truncated with
+  | Plan.Reject Plan.Advance -> ()
+  | _ -> Alcotest.fail "expected plain advance on undecodable key");
+  Alcotest.(check int) "counter bumped" (before + 1)
+    (Plan.undecodable_entries ());
+  (* well-formed keys leave it alone *)
+  (match Plan.classify plan good with
+  | Plan.Accept _ -> ()
+  | Plan.Reject _ -> Alcotest.fail "good key should classify");
+  Alcotest.(check int) "counter stable on good keys" (before + 1)
+    (Plan.undecodable_entries ())
+
 let test_string_values () =
   let b, code = setup () in
   let plan =
@@ -221,6 +244,8 @@ let () =
         [
           Alcotest.test_case "verdicts" `Quick test_classify_verdicts;
           Alcotest.test_case "partial path" `Quick test_classify_partial_path;
+          Alcotest.test_case "undecodable entries counted" `Quick
+            test_classify_undecodable;
           Alcotest.test_case "string values" `Quick test_string_values;
           Alcotest.test_case "bad queries" `Quick test_rejects_bad_queries;
         ] );

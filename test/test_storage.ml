@@ -397,6 +397,70 @@ let test_buffer_pool () =
     (Storage.Buffer_pool.hit_rate pool >= 0.
     && Storage.Buffer_pool.hit_rate pool <= 1.)
 
+(* the LRU-order test that would have caught the original fast-path bug:
+   [t.head != Some n] allocated a fresh [Some] so the comparison was
+   always true and every hit paid the unlink+relink.  [relinks] counts
+   exactly the hits that move a node, so repeated reads of the MRU page
+   must leave it untouched, and the full MRU->LRU order must track the
+   access sequence. *)
+let test_lru_fast_path () =
+  let p = Pager.create ~page_size:64 () in
+  let ids = Array.init 4 (fun _ -> Pager.alloc p) in
+  let pool = Storage.Buffer_pool.create ~capacity:4 p in
+  let order () = Storage.Buffer_pool.lru_order pool in
+  Array.iter (fun id -> ignore (Storage.Buffer_pool.read pool id)) ids;
+  Alcotest.(check (list int)) "misses stack MRU-first"
+    [ ids.(3); ids.(2); ids.(1); ids.(0) ]
+    (order ());
+  (* hammer the MRU head: hits, but never a relink *)
+  for _ = 1 to 5 do
+    ignore (Storage.Buffer_pool.read pool ids.(3))
+  done;
+  Alcotest.(check int) "five hits" 5 (Storage.Buffer_pool.hits pool);
+  Alcotest.(check int) "MRU hits take the fast path" 0
+    (Storage.Buffer_pool.relinks pool);
+  Alcotest.(check (list int)) "order unchanged"
+    [ ids.(3); ids.(2); ids.(1); ids.(0) ]
+    (order ());
+  (* a hit in the middle relinks and reorders *)
+  ignore (Storage.Buffer_pool.read pool ids.(1));
+  Alcotest.(check int) "middle hit relinks" 1
+    (Storage.Buffer_pool.relinks pool);
+  Alcotest.(check (list int)) "reordered"
+    [ ids.(1); ids.(3); ids.(2); ids.(0) ]
+    (order ());
+  (* the tail: relinked to the front, old second-to-last becomes tail *)
+  ignore (Storage.Buffer_pool.read pool ids.(0));
+  Alcotest.(check (list int)) "tail to front"
+    [ ids.(0); ids.(1); ids.(3); ids.(2) ]
+    (order ())
+
+(* write-through: update refreshes resident bytes in place (no recency
+   change, no write-allocate) so a later hit can never be stale *)
+let test_pool_update () =
+  let p = Pager.create ~page_size:64 () in
+  let a = Pager.alloc p and b = Pager.alloc p in
+  Pager.write p a (Bytes.make 64 'a');
+  Pager.write p b (Bytes.make 64 'b');
+  let pool = Storage.Buffer_pool.create ~capacity:4 p in
+  ignore (Storage.Buffer_pool.read pool a);
+  let fresh = Bytes.make 64 'A' in
+  Pager.write p a fresh;
+  Storage.Buffer_pool.update pool a fresh;
+  let s = Pager.stats p in
+  Stats.reset s;
+  Alcotest.(check char) "updated in place" 'A'
+    (Bytes.get (Storage.Buffer_pool.read pool a) 0);
+  Alcotest.(check int) "served from pool" 0 s.Stats.reads;
+  (* mutating the caller's buffer afterwards must not reach the pool *)
+  Bytes.fill fresh 0 64 'Z';
+  Alcotest.(check char) "pool holds a copy" 'A'
+    (Bytes.get (Storage.Buffer_pool.read pool a) 0);
+  (* updating a non-resident page does not allocate it *)
+  Storage.Buffer_pool.update pool b (Bytes.make 64 'B');
+  Alcotest.(check (list int)) "no write-allocate" [ a ]
+    (Storage.Buffer_pool.lru_order pool)
+
 let test_stats_diff () =
   let s = Stats.create () in
   s.reads <- 5;
@@ -481,6 +545,87 @@ let prop_lru_order =
           s.Stats.reads = 0)
         expected_resident)
 
+(* the buffer pool against a model cache (MRU-first assoc list capped at
+   capacity) over random read/write+update/invalidate/flush schedules:
+   residency, hit/miss/eviction counters, the Stats.pool_* mirrors and
+   content (write-through means a pool read always returns the pager's
+   current bytes) must all agree with the model *)
+let prop_pool_model =
+  QCheck.Test.make ~count:200 ~name:"buffer pool behaves like a model cache"
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun ops ->
+      let p = Pager.create ~page_size:64 () in
+      let ids = Array.init 8 (fun _ -> Pager.alloc p) in
+      Array.iter (fun id -> Pager.write p id (Bytes.make 64 '0')) ids;
+      let capacity = 3 in
+      let pool = Storage.Buffer_pool.create ~capacity p in
+      let s = Pager.stats p in
+      Stats.reset s;
+      (* model: MRU-first list of resident page ids, plus expected counters *)
+      let resident = ref [] in
+      let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+      let content = Hashtbl.create 8 in
+      Array.iter (fun id -> Hashtbl.replace content id '0') ids;
+      List.iter
+        (fun (op, x) ->
+          let id = ids.(x mod Array.length ids) in
+          match op with
+          | 0 | 1 | 2 | 3 | 4 | 5 ->
+              (* read dominates the schedule, like real traffic *)
+              let got = Storage.Buffer_pool.read pool id in
+              if Bytes.get got 0 <> Hashtbl.find content id then
+                QCheck.Test.fail_reportf "stale bytes for page %d" id;
+              if List.mem id !resident then (
+                incr hits;
+                resident := id :: List.filter (fun j -> j <> id) !resident)
+              else (
+                incr misses;
+                if List.length !resident >= capacity then (
+                  incr evictions;
+                  resident :=
+                    List.filteri
+                      (fun rank _ -> rank < capacity - 1)
+                      !resident);
+                resident := id :: !resident)
+          | 6 | 7 ->
+              (* write-through: pager write + pool update *)
+              let c = Char.chr (Char.code 'a' + (x mod 26)) in
+              let page = Bytes.make 64 c in
+              Pager.write p id page;
+              Storage.Buffer_pool.update pool id page;
+              Hashtbl.replace content id c
+          | 8 ->
+              Storage.Buffer_pool.invalidate pool id;
+              resident := List.filter (fun j -> j <> id) !resident
+          | _ ->
+              Storage.Buffer_pool.flush pool;
+              resident := [])
+        ops;
+      if Storage.Buffer_pool.resident pool > capacity then
+        QCheck.Test.fail_reportf "resident %d exceeds capacity %d"
+          (Storage.Buffer_pool.resident pool)
+          capacity;
+      if Storage.Buffer_pool.lru_order pool <> !resident then
+        QCheck.Test.fail_report "LRU order diverged from model";
+      if
+        Storage.Buffer_pool.hits pool <> !hits
+        || Storage.Buffer_pool.misses pool <> !misses
+        || Storage.Buffer_pool.evictions pool <> !evictions
+      then
+        QCheck.Test.fail_reportf "counters diverged: pool %d/%d/%d model %d/%d/%d"
+          (Storage.Buffer_pool.hits pool)
+          (Storage.Buffer_pool.misses pool)
+          (Storage.Buffer_pool.evictions pool)
+          !hits !misses !evictions;
+      (* every miss reached the pager, every hit did not *)
+      if s.Stats.reads <> !misses then
+        QCheck.Test.fail_reportf "pager reads %d <> misses %d" s.Stats.reads
+          !misses;
+      (* the per-pager Stats mirrors carry the same story *)
+      s.Stats.pool_hits = !hits
+      && s.Stats.pool_misses = !misses
+      && s.Stats.pool_evictions = !evictions)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -489,6 +634,7 @@ let qsuite =
       prop_succ_prefix;
       prop_pager_model;
       prop_lru_order;
+      prop_pool_model;
     ]
 
 let () =
@@ -521,6 +667,10 @@ let () =
           Alcotest.test_case "transient read faults" `Quick test_faulty_reads;
           Alcotest.test_case "torn memory write" `Quick test_torn_memory_write;
           Alcotest.test_case "buffer pool LRU" `Quick test_buffer_pool;
+          Alcotest.test_case "LRU fast path and order" `Quick
+            test_lru_fast_path;
+          Alcotest.test_case "pool write-through update" `Quick
+            test_pool_update;
           Alcotest.test_case "stats diff" `Quick test_stats_diff;
         ] );
       ("properties", qsuite);
