@@ -73,6 +73,34 @@ let check_cache_ab path j =
     fail "cache_ab: no query class got strictly cheaper warm than cold";
   List.length rows
 
+(* The checksum A/B section is a hard invariant, not a pinned value:
+   verifying per-page checksums must not change the paper's metric, so
+   every query class must read exactly the same pages with checksums on
+   and off.  (The ns_* wall-clock columns are informational only.) *)
+let check_checksum_ab path j =
+  let rows =
+    match get path "checksum_ab" j with
+    | Obs.Json.List (_ :: _ as rows) -> rows
+    | Obs.Json.List [] -> fail "%s: checksum_ab is empty" path
+    | _ -> fail "%s: checksum_ab is not a list" path
+  in
+  List.iter
+    (fun row ->
+      match
+        ( Obs.Json.(member "id" row |> Option.map to_str),
+          Obs.Json.(member "reads_on" row |> Option.map to_int),
+          Obs.Json.(member "reads_off" row |> Option.map to_int) )
+      with
+      | Some (Some id), Some (Some on_), Some (Some off) ->
+          if on_ <> off then
+            fail
+              "checksum_ab row %S: checksums changed page reads (%d on, %d \
+               off) — verification must stay out of the paper's metric"
+              id on_ off
+      | _ -> fail "%s: malformed checksum_ab row" path)
+    rows;
+  List.length rows
+
 let table1_rows path j =
   match get path "table1" j with
   | Obs.Json.List rows ->
@@ -121,7 +149,8 @@ let () =
               id p p' f f' expected_path)
     want;
   let n_ab = check_cache_ab results_path r in
+  let n_ck = check_checksum_ab results_path r in
   Printf.printf
     "check_results: %d table1 rows match %s; %d cache A/B rows warm<=cold \
-     with hits\n"
-    (List.length want) expected_path n_ab
+     with hits; %d checksum A/B rows read-identical\n"
+    (List.length want) expected_path n_ab n_ck

@@ -148,6 +148,102 @@ let run_cache_ab (e : Dg.exp1) =
     "(cold runs use the uncached path — identical to Table 1's accounting)\n";
   rows
 
+(* --- checksum on/off A/B ------------------------------------------------------ *)
+
+(* Guard for the corruption-proofing layer: verifying per-page checksums
+   must not change the paper's metric.  The same index is built on two
+   file-backed pagers — checksums on and off — and every Table-1 query
+   class must read exactly the same pages (check_results hard-fails on
+   drift).  The wall-clock delta is the entire cost of verification,
+   measured here with plain gettimeofday so the row is present even when
+   the Bechamel section is skipped. *)
+type ck_row = {
+  ck_id : string;
+  ck_descr : string;
+  ck_reads_on : int;
+  ck_reads_off : int;
+  ck_ns_on : float;
+  ck_ns_off : float;
+}
+
+let run_checksum_ab (e : Dg.exp1) =
+  section "Checksum A/B: page reads and wall-clock, checksums on vs off";
+  let b = e.ext.b in
+  let queries =
+    [
+      ( "1",
+        "all Buses (subtree), all colors",
+        Query.class_hierarchy ~value:Query.V_any (P_subtree e.ext.bus) );
+      ( "1a",
+        "all Buses (subtree), Red",
+        Query.class_hierarchy
+          ~value:(Query.V_eq (Value.Str "Red"))
+          (P_subtree e.ext.bus) );
+      ( "3",
+        "Automobiles (subtree), all colors",
+        Query.class_hierarchy ~value:Query.V_any (P_subtree b.automobile) );
+    ]
+  in
+  let with_file_index ~checksums f =
+    let path = Filename.temp_file "uindex_bench_ck" ".pages" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ path; Storage.Pager.journal_path path ])
+      (fun () ->
+        let pager = Storage.Pager.create_file ~page_size:1024 ~checksums path in
+        let idx =
+          Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+        in
+        Index.build idx e.store;
+        Index.sync idx;
+        Fun.protect
+          ~finally:(fun () -> Storage.Pager.close pager)
+          (fun () -> f idx))
+  in
+  let measure idx q =
+    let o = Exec.parallel idx q in
+    let runs = 5 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to runs do
+      ignore (Exec.parallel idx q)
+    done;
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int runs in
+    (o.Exec.page_reads, ns)
+  in
+  let run ~checksums =
+    with_file_index ~checksums (fun idx ->
+        List.map (fun (_, _, q) -> measure idx q) queries)
+  in
+  let on_ = run ~checksums:true and off = run ~checksums:false in
+  let rows =
+    List.map2
+      (fun ((ck_id, ck_descr, _), (ck_reads_on, ck_ns_on))
+           (ck_reads_off, ck_ns_off) ->
+        { ck_id; ck_descr; ck_reads_on; ck_reads_off; ck_ns_on; ck_ns_off })
+      (List.combine queries on_)
+      off
+  in
+  print_string
+    (Tb.render
+       ~header:[ "query"; "reads on"; "reads off"; "ns on"; "ns off" ]
+       ~rows:
+         (List.map
+            (fun r ->
+              [
+                r.ck_id;
+                string_of_int r.ck_reads_on;
+                string_of_int r.ck_reads_off;
+                Printf.sprintf "%.0f" r.ck_ns_on;
+                Printf.sprintf "%.0f" r.ck_ns_off;
+              ])
+            rows));
+  print_string
+    "(page reads must be identical: checksums live out of band and cost\n\
+    \ no extra fetches on the read path)\n";
+  rows
+
 (* --- Figures 5-8 -------------------------------------------------------------- *)
 
 let set_counts_of n_classes =
@@ -885,7 +981,7 @@ let json_path =
   Option.value ~default:"BENCH_results.json"
     (Sys.getenv_opt "UINDEX_BENCH_JSON")
 
-let write_results ~t1_rows ~t1_vehicles ~cache_ab =
+let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab =
   let open Obs.Json in
   let row (r : Ex.t1_row) =
     Obj
@@ -913,10 +1009,21 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab =
              else float_of_int r.ab_hits /. float_of_int denom) );
       ]
   in
+  let ck_row r =
+    Obj
+      [
+        ("id", Str r.ck_id);
+        ("descr", Str r.ck_descr);
+        ("reads_on", Int r.ck_reads_on);
+        ("reads_off", Int r.ck_reads_off);
+        ("ns_on", Float r.ck_ns_on);
+        ("ns_off", Float r.ck_ns_off);
+      ]
+  in
   let j =
     Obj
       [
-        ("schema_version", Int 2);
+        ("schema_version", Int 3);
         ("quick", Bool quick);
         ("reps", Int reps);
         ("objects", Int n_objects);
@@ -924,6 +1031,7 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab =
         ("table1_vehicles", Int t1_vehicles);
         ("table1", List (List.map row t1_rows));
         ("cache_ab", List (List.map ab_row cache_ab));
+        ("checksum_ab", List (List.map ck_row checksum_ab));
         ("metrics", Obs.Metrics.to_json Obs.Metrics.default);
       ]
   in
@@ -939,6 +1047,7 @@ let () =
     (if quick then ", QUICK" else "");
   let t1_rows, t1_vehicles, e1 = run_table1 () in
   let cache_ab = run_cache_ab e1 in
+  let checksum_ab = run_checksum_ab e1 in
   run_figure ~fig:5 ~kind:Ex.Exact ~title:"exact match queries";
   run_figure ~fig:6 ~kind:(Ex.Range 0.10) ~title:"range queries, 10% of keyspace";
   run_figure ~fig:7 ~kind:(Ex.Range 0.02) ~title:"range queries, 2% of keyspace";
@@ -951,4 +1060,4 @@ let () =
   run_buffer_pool ();
   run_entry_layout ();
   if Sys.getenv_opt "UINDEX_BENCH_SKIP_TIMING" <> Some "1" then run_timing ();
-  write_results ~t1_rows ~t1_vehicles ~cache_ab
+  write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab

@@ -8,8 +8,15 @@
      stats        run a canned workload and dump the metrics registry
      build        persist a generated index to a page file (crash-safe)
      recover      replay a page file's journal and verify the index
+     check        run the full corruption verifier against a page file
+     salvage      rebuild a damaged index from the (regenerated) object store
+     corrupt      inflict deterministic media damage on a page file
      bench-table1 regenerate Table 1 (small/full size)
-     shootout     page-read comparison of U-index vs CG-tree on one config *)
+     shootout     page-read comparison of U-index vs CG-tree on one config
+
+   Exit codes: 0 success, 1 usage/IO error, 2 corruption detected,
+   3 (recover) a torn journal was discarded — the last committed state
+   was restored but the in-flight transaction is lost. *)
 
 module Ps = Workload.Paper_schema
 module Dg = Workload.Datagen
@@ -386,10 +393,12 @@ let stats_cmd =
 (* --- build: persist an index to a page file ------------------------------- *)
 
 let build_cmd =
-  let run file n_vehicles seed page_size sync_each =
+  let run file n_vehicles seed page_size sync_each no_checksums =
     let e = Dg.exp1 ~n_vehicles ~seed () in
     let b = e.ext.b in
-    let pager = Storage.Pager.create_file ~page_size file in
+    let pager =
+      Storage.Pager.create_file ~page_size ~checksums:(not no_checksums) file
+    in
     let ch =
       Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
     in
@@ -428,12 +437,20 @@ let build_cmd =
             "Commit after every indexed object instead of once at the end \
              (slow; exercises the journal).")
   in
+  let no_checksums =
+    Arg.(
+      value & flag
+      & info [ "no-checksums" ]
+          ~doc:
+            "Disable per-page checksums (they are on by default for file \
+             pagers; without them media damage is served silently).")
+  in
   Cmd.v
     (Cmd.info "build"
        ~doc:
          "Build the Vehicle.color class-hierarchy index on a file-backed \
           pager and commit it.")
-    Term.(const run $ file $ n $ seed $ page_size $ sync_each)
+    Term.(const run $ file $ n $ seed $ page_size $ sync_each $ no_checksums)
 
 (* --- recover: journal replay + integrity check ----------------------------- *)
 
@@ -442,9 +459,16 @@ let recover_cmd =
     if not (Sys.file_exists file) then (
       Printf.eprintf "uindex-cli: no such file: %s\n" file;
       exit 1);
-    (match Storage.Pager.recover file with
-    | true -> print_endline "journal: committed transaction replayed"
-    | false -> print_endline "journal: none (file already consistent)");
+    let status = Storage.Pager.recover_status file in
+    (match status with
+    | Storage.Pager.Replayed ->
+        print_endline "journal: committed transaction replayed"
+    | Storage.Pager.No_journal ->
+        print_endline "journal: none (file already consistent)"
+    | Storage.Pager.Discarded_torn ->
+        print_endline
+          "journal: torn commit discarded (last committed state restored; \
+           the in-flight transaction is lost)");
     let j name =
       Option.value ~default:0
         (Obs.Metrics.find Obs.Metrics.default ("journal." ^ name))
@@ -453,17 +477,21 @@ let recover_cmd =
       "journal counters: %d replay(s), %d record(s) replayed, %d torn \
        commit(s) discarded\n"
       (j "replays") (j "records_replayed") (j "torn_discarded");
-    match
-      let pager = Storage.Pager.open_file file in
-      let t = Btree.reattach pager in
-      let r = Btree.check_invariants t in
-      Format.printf "tree ok: %a@." Btree.pp_invariant_report r;
-      Storage.Pager.close pager
-    with
+    (match
+       let pager = Storage.Pager.open_file file in
+       let t = Btree.reattach pager in
+       let r = Btree.check_invariants t in
+       Format.printf "tree ok: %a@." Btree.pp_invariant_report r;
+       Storage.Pager.close pager
+     with
     | () -> ()
+    | exception Storage.Storage_error.Corruption { detail; _ } ->
+        Printf.eprintf "uindex-cli: %s: %s\n" file detail;
+        exit 2
     | exception (Invalid_argument msg | Failure msg) ->
         Printf.eprintf "uindex-cli: %s: %s\n" file msg;
-        exit 1
+        exit 1);
+    if status = Storage.Pager.Discarded_torn then exit 3
   in
   let file =
     Arg.(
@@ -475,8 +503,250 @@ let recover_cmd =
     (Cmd.info "recover"
        ~doc:
          "Replay any interrupted commit on FILE, reattach the index tree, \
-          and verify its invariants.")
+          and verify its invariants.  Exits 3 when a torn journal had to be \
+          discarded (the last committed state is intact, but the in-flight \
+          transaction is lost), 2 when the file is corrupt.")
     Term.(const run $ file)
+
+(* --- check / salvage / corrupt: the corruption-robustness toolkit ----------- *)
+
+module Verify = Uindex.Verify
+
+(* check/salvage regenerate the same deterministic database that `build`
+   persisted (same -n / --seed), which doubles as the surviving object
+   store the verifier cross-references and salvage rebuilds from. *)
+let regen n_vehicles seed = Dg.exp1 ~n_vehicles ~seed ()
+
+let print_report json report =
+  if json then print_endline (Obs.Json.to_multiline (Verify.to_json report))
+  else Format.printf "%a@." Verify.pp report
+
+(* a file so damaged it cannot even be opened/attached still produces a
+   one-issue machine-readable report *)
+let unopenable_report ~component ?page detail =
+  {
+    Verify.ok = false;
+    checksums = false;
+    pages = 0;
+    node_pages = 0;
+    overflow_pages = 0;
+    free_pages = 0;
+    entries = 0;
+    issues = [ { Verify.component; page; detail } ];
+  }
+
+let check_cmd =
+  let run file n_vehicles seed json query =
+    if not (Sys.file_exists file) then (
+      Printf.eprintf "uindex-cli: no such file: %s\n" file;
+      exit 1);
+    let e = regen n_vehicles seed in
+    let b = e.Dg.ext.b in
+    match
+      let pager = Storage.Pager.open_file file in
+      let ch =
+        Index.attach_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+      in
+      (pager, ch)
+    with
+    | exception Storage.Storage_error.Corruption { page; component; detail } ->
+        print_report json (unopenable_report ~component ?page detail);
+        exit 2
+    | exception Invalid_argument msg ->
+        Printf.eprintf "uindex-cli: %s: %s\n" file msg;
+        exit 1
+    | pager, ch ->
+        let report = Verify.check ~store:e.Dg.store ch in
+        print_report json report;
+        (match query with
+        | Some qstr when report.Verify.ok ->
+            let q = parse_query b.schema qstr in
+            let o = Exec.run ~algo:`Parallel ch q in
+            Printf.printf "%d results, %d page reads, %d entries scanned\n"
+              (List.length o.Exec.bindings)
+              o.Exec.page_reads o.Exec.entries_scanned
+        | Some _ ->
+            print_endline "(query skipped: the index failed verification)"
+        | None -> ());
+        Storage.Pager.close pager;
+        if not report.Verify.ok then exit 2
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Page file written by $(b,build).")
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:
+            "After a clean verification, run this query (paper syntax) \
+             against the on-file index.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify FILE end to end: page reachability vs the free list, \
+          B-tree invariants, entry decoding and COD validation, and a \
+          cross-reference against the regenerated object store.  Exits 2 \
+          when corruption is found.")
+    Term.(const run $ file $ n $ seed $ json $ query)
+
+let salvage_cmd =
+  let run file n_vehicles seed page_size out json =
+    let e = regen n_vehicles seed in
+    let b = e.Dg.ext.b in
+    let target, rename_over =
+      match out with Some o -> (o, None) | None -> (file ^ ".salvage", Some file)
+    in
+    (* the damaged file is never read: the index is a pure function of the
+       object store and schema, so it is rebuilt from the regenerated
+       store onto a fresh file and verified before replacing anything *)
+    let desc =
+      Index.create_class_hierarchy (Storage.Pager.create ()) b.enc
+        ~root:b.vehicle ~attr:"color"
+    in
+    let pager = Storage.Pager.create_file ~page_size target in
+    let fresh = Verify.salvage desc e.Dg.store pager in
+    let report = Verify.check ~store:e.Dg.store fresh in
+    let entries = Index.entry_count fresh in
+    let pages = Storage.Pager.page_count pager in
+    Storage.Pager.close pager;
+    if not report.Verify.ok then begin
+      print_report json report;
+      Printf.eprintf "uindex-cli: salvage of %s failed verification\n" file;
+      exit 2
+    end;
+    (match rename_over with Some dst -> Sys.rename target dst | None -> ());
+    print_report json report;
+    Printf.printf "salvaged %s: %d entries in %d pages\n"
+      (match rename_over with Some dst -> dst | None -> target)
+      entries pages
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Damaged page file to replace.")
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let page_size =
+    Arg.(value & opt int 1024 & info [ "page-size" ] ~doc:"Page size in bytes.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT"
+          ~doc:
+            "Write the rebuilt index to $(docv) instead of atomically \
+             replacing FILE.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "salvage"
+       ~doc:
+         "Rebuild the index from the surviving (regenerated) object store \
+          onto a fresh page file, verify it, and atomically replace FILE.")
+    Term.(const run $ file $ n $ seed $ page_size $ out $ json)
+
+let corrupt_cmd =
+  let flip_conv =
+    let parse s =
+      let int_of s' =
+        match int_of_string_opt s' with
+        | Some i -> Ok i
+        | None -> Error (`Msg (Printf.sprintf "not an integer: %S" s'))
+      in
+      match String.split_on_char ':' s with
+      | [ p ] -> Result.map (fun p -> (p, 0)) (int_of p)
+      | [ p; b ] ->
+          Result.bind (int_of p) (fun p ->
+              Result.map (fun b -> (p, b)) (int_of b))
+      | _ -> Error (`Msg "expected PAGE or PAGE:BIT")
+    in
+    let print ppf (p, b) = Format.fprintf ppf "%d:%d" p b in
+    Arg.conv (parse, print)
+  in
+  let run file flips zeros truncate =
+    if not (Sys.file_exists file) then (
+      Printf.eprintf "uindex-cli: no such file: %s\n" file;
+      exit 1);
+    let media =
+      List.map
+        (fun (page, bit) -> Storage.Pager.Flip_bit { page; bit })
+        flips
+      @ List.map (fun page -> Storage.Pager.Zero_page { page }) zeros
+      @
+      match truncate with
+      | Some keep -> [ Storage.Pager.Truncate_file { keep } ]
+      | None -> []
+    in
+    if media = [] then (
+      Printf.eprintf
+        "uindex-cli: nothing to do (use --flip-bit, --zero-page or \
+         --truncate)\n";
+      exit 1);
+    match
+      let pager = Storage.Pager.open_file file in
+      ignore
+        (Storage.Pager.create_faulty
+           { Storage.Pager.no_faults with media }
+           pager);
+      Storage.Pager.close pager
+    with
+    | () -> Printf.printf "%s: applied %d media fault(s)\n" file (List.length media)
+    | exception Invalid_argument msg ->
+        Printf.eprintf "uindex-cli: %s\n" msg;
+        exit 1
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Page file to damage (in place).")
+  in
+  let flips =
+    Arg.(
+      value
+      & opt_all flip_conv []
+      & info [ "flip-bit" ] ~docv:"PAGE[:BIT]"
+          ~doc:"Flip one bit of logical page $(docv) (default bit 0).")
+  in
+  let zeros =
+    Arg.(
+      value & opt_all int []
+      & info [ "zero-page" ] ~docv:"PAGE"
+          ~doc:"Overwrite logical page $(docv) with zeros.")
+  in
+  let truncate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "truncate" ] ~docv:"PAGES"
+          ~doc:"Truncate the file to $(docv) physical pages.")
+  in
+  Cmd.v
+    (Cmd.info "corrupt"
+       ~doc:
+         "Deterministically damage a page file's committed state (for \
+          exercising $(b,check), $(b,salvage) and the checksum layer).")
+    Term.(const run $ file $ flips $ zeros $ truncate)
 
 (* --- bench-table1 ---------------------------------------------------------- *)
 
@@ -548,6 +818,9 @@ let () =
             stats_cmd;
             build_cmd;
             recover_cmd;
+            check_cmd;
+            salvage_cmd;
+            corrupt_cmd;
             table1_cmd;
             shootout_cmd;
           ]))

@@ -129,7 +129,13 @@ let sync t =
 let reattach ?config ?pool pager =
   let m = Pager.meta pager in
   if String.length m <> 7 || String.sub m 0 3 <> meta_tag then
-    invalid_arg "Btree.reattach: pager metadata does not name a tree root";
+    raise
+      (Storage.Storage_error.Corruption
+         {
+           page = None;
+           component = "btree.meta";
+           detail = "Btree.reattach: pager metadata does not name a tree root";
+         });
   attach ?config ?pool pager ~root:(Bu.decode_u32 m 3)
 
 let raw_read t id =
@@ -139,7 +145,16 @@ let raw_read t id =
 
 let cached_read t = Pager.Cache.of_read (raw_read t)
 
-let load read id = Node.decode (read id)
+(* A page that reaches us but no longer parses as a node is damage the
+   pager's checksums did not (or could not) catch — report it as typed
+   corruption, never as a bare API error. *)
+let load read id =
+  let b = read id in
+  try Node.decode b
+  with Invalid_argument detail | Failure detail ->
+    raise
+      (Storage.Storage_error.Corruption
+         { page = Some id; component = "btree.node"; detail })
 
 (* Quiet page access for introspection: reads pages without perturbing the
    experiment's counters. *)
@@ -682,7 +697,14 @@ let fix_child t (n : Node.internal) ci : Node.internal =
                 Array.concat [ a.ikeys; [| n.ikeys.(sep_idx) |]; b.ikeys ];
               children = Array.append a.children b.children;
             }
-      | _ -> failwith "Btree: sibling kind mismatch"
+      | _ ->
+          raise
+            (Storage.Storage_error.Corruption
+               {
+                 page = None;
+                 component = "btree.node";
+                 detail = "Btree: sibling kind mismatch";
+               })
     in
     if fits t merged then begin
       store t left_id merged;
@@ -734,7 +756,14 @@ let fix_child t (n : Node.internal) ci : Node.internal =
                    children = array_remove b.children 0;
                  });
             b.ikeys.(0)
-        | _ -> failwith "Btree: sibling kind mismatch"
+        | _ ->
+            raise
+              (Storage.Storage_error.Corruption
+                 {
+                   page = None;
+                   component = "btree.node";
+                   detail = "Btree: sibling kind mismatch";
+                 })
       in
       let ikeys = Array.copy n.ikeys in
       ikeys.(ci) <- new_sep;
@@ -782,7 +811,14 @@ let fix_child t (n : Node.internal) ci : Node.internal =
                    children = array_insert b.children 0 a.children.(last + 1);
                  });
             up
-        | _ -> failwith "Btree: sibling kind mismatch"
+        | _ ->
+            raise
+              (Storage.Storage_error.Corruption
+                 {
+                   page = None;
+                   component = "btree.node";
+                   detail = "Btree: sibling kind mismatch";
+                 })
       in
       let ikeys = Array.copy n.ikeys in
       ikeys.(ci - 1) <- new_sep;
@@ -911,7 +947,14 @@ module Scanner = struct
         else begin
           (match load_memo t l.next with
           | Node.Leaf l' -> t.leaf <- Some l'
-          | Node.Internal _ -> failwith "Btree: leaf chain hit internal node");
+          | Node.Internal _ ->
+              raise
+                (Storage.Storage_error.Corruption
+                   {
+                     page = Some l.next;
+                     component = "btree.node";
+                     detail = "Btree: leaf chain hit internal node";
+                   }));
           t.idx <- 0;
           normalize t
         end

@@ -66,8 +66,9 @@ val sync : t -> unit
 val reattach : ?config:config -> ?pool:Storage.Buffer_pool.t -> Storage.Pager.t -> t
 (** [reattach pager] re-opens the tree whose root a previous {!sync}
     recorded in the pager's metadata — the usual way to resume after
-    {!Storage.Pager.open_file}.  Raises [Invalid_argument] when the
-    metadata does not name a tree (no {!sync} ever ran). *)
+    {!Storage.Pager.open_file}.  Raises {!Storage.Storage_error.Corruption}
+    when the metadata does not name a tree (no {!sync} ever ran, or the
+    header was damaged). *)
 
 val pager : t -> Storage.Pager.t
 val config : t -> config

@@ -72,6 +72,38 @@ let create_class_hierarchy ?config ?pool pager enc ~root ~attr =
     specs = [ { s_classes = [| root |]; s_refs = [||]; s_attr = attr } ];
   }
 
+let attach_class_hierarchy ?config ?pool pager enc ~root ~attr =
+  let schema = Encoding.schema enc in
+  let ty = check_indexable schema root attr in
+  {
+    tree = Btree.reattach ?config ?pool pager;
+    enc;
+    kind = Class_hierarchy { root; attr };
+    ty;
+    specs = [ { s_classes = [| root |]; s_refs = [||]; s_attr = attr } ];
+  }
+
+let recreate ?config ?pool t pager =
+  let config =
+    match config with
+    | Some _ as c -> c
+    | None ->
+        (* the tree configuration is page-size-dependent
+           (overflow_threshold); inherit it only when it still applies *)
+        if
+          Storage.Pager.page_size pager
+          = Storage.Pager.page_size (Btree.pager t.tree)
+        then Some (Btree.config t.tree)
+        else None
+  in
+  {
+    tree = Btree.create ?config ?pool pager;
+    enc = t.enc;
+    kind = t.kind;
+    ty = t.ty;
+    specs = t.specs;
+  }
+
 (* resolve and validate one REF path; returns its spec and attribute type *)
 let make_spec enc ~head ~refs ~attr =
   let schema = Encoding.schema enc in

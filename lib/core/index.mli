@@ -50,6 +50,28 @@ val create_class_hierarchy :
     buffer pool over [pager] as the index's page source (see
     {!set_cache_pages}). *)
 
+val attach_class_hierarchy :
+  ?config:Btree.config ->
+  ?pool:Storage.Buffer_pool.t ->
+  Storage.Pager.t ->
+  Encoding.t ->
+  root:Schema.class_id ->
+  attr:string ->
+  t
+(** Re-opens a class-hierarchy index previously persisted with {!sync}
+    on this pager (usually after {!Storage.Pager.open_file}), via
+    {!Btree.reattach}.  The caller supplies the index description —
+    only the tree root lives in the pager metadata.  Raises
+    {!Storage.Storage_error.Corruption} when the metadata does not name
+    a tree. *)
+
+val recreate :
+  ?config:Btree.config -> ?pool:Storage.Buffer_pool.t -> t -> Storage.Pager.t -> t
+(** [recreate t pager] is an {e empty} index with the same encoding,
+    kind, attribute type and registered paths as [t], on a fresh tree
+    over [pager] — the skeleton {!Verify.salvage} rebuilds into.  [t]'s
+    tree configuration is inherited when the page sizes match. *)
+
 val create_path :
   ?config:Btree.config ->
   ?pool:Storage.Buffer_pool.t ->

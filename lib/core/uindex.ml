@@ -20,6 +20,7 @@ module Qparse = Qparse
 module Plan = Plan
 module Index = Index
 module Exec = Exec
+module Verify = Verify
 module Db = Db
 module Grouped = Grouped
 module Schema_index = Schema_index

@@ -25,8 +25,26 @@ let nil = 0xFFFFFFFF
 (* On-disk formats                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Physical layout of a page file: physical page 0 is the header; logical
-   page [i] lives at physical page [i + 1].
+(* Physical layout of a page file: physical page 0 is the header.
+
+   Without checksums, logical page [i] lives at physical page [i + 1].
+
+   With checksums (the default for file pagers), data pages are
+   interleaved with {e checksum pages} so that client pages keep their
+   full [page_size] capacity — the B-tree's node layout, and therefore
+   the paper's page-read counts, are identical either way.  Let
+   [G = page_size / 4 - 1].  Logical pages are grouped [G] at a time;
+   group [g] occupies physical pages [1 + g*(G+1) .. (g+1)*(G+1)], the
+   first of which is the group's checksum page:
+
+     checksum page of group g:
+       0..        G x u32 FNV-1a checksum of logical page [g*G + i]
+       ps-4       u32 FNV-1a self-checksum of bytes [0, ps-4)
+
+     logical page i: physical [2 + (i/G)*(G+1) + i mod G]
+
+   Checksum pages are journaled and checkpointed like any other
+   physical record, so they commit atomically with the data they cover.
 
    Header page:
      0..7    magic "UPGHDR1\n"
@@ -34,8 +52,9 @@ let nil = 0xFFFFFFFF
      12      u32 used       (logical high-water mark)
      16      u32 live       (allocated and not freed)
      20      u32 free_head  (first free page, intrusive chain; 0xFFFFFFFF = none)
-     24      u16 meta_len
-     26..    meta bytes (client metadata, e.g. a B-tree root)
+     24      u16 flags      (bit 0: checksums enabled)
+     26      u16 meta_len
+     28..    meta bytes (client metadata, e.g. a B-tree root)
      ps-4    u32 FNV-1a checksum of bytes [0, ps-4)
 
    A free page stores the id of the next free page in its first 4 bytes.
@@ -51,9 +70,11 @@ let nil = 0xFFFFFFFF
 let header_magic = "UPGHDR1\n"
 let journal_magic = "UJRNL1\n\000"
 let commit_marker = "COMMITTD"
-let header_fixed = 26 (* bytes before the meta area *)
+let header_fixed = 28 (* bytes before the meta area *)
+let flag_checksums = 1
 let meta_capacity page_size = page_size - header_fixed - 4
 let journal_path path = path ^ ".journal"
+let group_size page_size = (page_size / 4) - 1
 
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
@@ -69,22 +90,34 @@ type backend =
           (* logical id -> content written since the last sync *)
     }
 
+type media_fault =
+  | Flip_bit of { page : int; bit : int }
+  | Zero_page of { page : int }
+  | Truncate_file of { keep : int }
+  | Stale_page of { page : int }
+
 type fault_spec = {
   fail_write : int option;
   torn : bool;
   read_error_every : int option;
+  media : media_fault list;
 }
 
-let no_faults = { fail_write = None; torn = false; read_error_every = None }
+let no_faults =
+  { fail_write = None; torn = false; read_error_every = None; media = [] }
 
 type fault_plan = {
   spec : fault_spec;
   mutable reads_seen : int;
   mutable crashed : bool;
+  mutable stale : (int * Bytes.t) list;
+      (* committed images snapshotted at arm time, written back over the
+         backend after the next sync completes — a lost write *)
 }
 
 type t = {
   page_size : int;
+  checksums : bool;
   mutable backend : backend;
   mutable used : int;  (* high-water mark *)
   mutable free_list : int list;
@@ -94,9 +127,20 @@ type t = {
   mutable meta_dirty : bool;
   mutable free_dirty : bool;  (* free list changed since the last sync *)
   mutable phys_writes : int;  (* backend write operations, ever *)
+  mutable sums : Bytes.t;  (* u32 FNV-1a per logical page (checksums on) *)
   mutable faults : fault_plan option;
   stats : Stats.t;
 }
+
+(* physical index of logical page [id] *)
+let data_phys t id =
+  if not t.checksums then id + 1
+  else
+    let g = group_size t.page_size in
+    2 + ((id / g) * (g + 1)) + (id mod g)
+
+(* physical index of the checksum page covering group [g] *)
+let sum_phys t g = 1 + (g * (group_size t.page_size + 1))
 
 (* ------------------------------------------------------------------ *)
 (* Low-level I/O                                                       *)
@@ -154,6 +198,42 @@ let inject_read t =
       | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Per-page checksums                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let get_sum t id =
+  if (id + 1) * 4 <= Bytes.length t.sums then Bu.get_u32 t.sums (id * 4) else 0
+
+let set_sum t id v =
+  let need = (id + 1) * 4 in
+  if Bytes.length t.sums < need then begin
+    let b = Bytes.make (max need (2 * Bytes.length t.sums)) '\000' in
+    Bytes.blit t.sums 0 b 0 (Bytes.length t.sums);
+    t.sums <- b
+  end;
+  Bu.put_u32 t.sums (id * 4) v
+
+let verify_page t id b =
+  if t.checksums && Bu.fnv32 b 0 t.page_size <> get_sum t id then begin
+    Obs.Metrics.incr Storage_error.checksum_failures;
+    t.stats.faults <- t.stats.faults + 1;
+    Storage_error.corruptf ~page:id ~component:"pager.page"
+      "Pager.read: checksum mismatch on page %d" id
+  end
+
+(* the on-disk image of the checksum page covering group [g] *)
+let checksum_page t g =
+  let ps = t.page_size in
+  let gs = group_size ps in
+  let b = Bytes.make ps '\000' in
+  let lo = g * gs in
+  for i = 0 to gs - 1 do
+    if lo + i < t.used then Bu.put_u32 b (i * 4) (get_sum t (lo + i))
+  done;
+  Bu.put_u32 b (ps - 4) (Bu.fnv32 b 0 (ps - 4));
+  b
+
+(* ------------------------------------------------------------------ *)
 (* Header encoding                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -164,7 +244,8 @@ let encode_header t =
   Bu.put_u32 b 12 t.used;
   Bu.put_u32 b 16 t.live;
   Bu.put_u32 b 20 (match t.free_list with id :: _ -> id | [] -> nil);
-  Bu.put_u16 b 24 (String.length t.meta);
+  Bu.put_u16 b 24 (if t.checksums then flag_checksums else 0);
+  Bu.put_u16 b 26 (String.length t.meta);
   Bytes.blit_string t.meta 0 b header_fixed (String.length t.meta);
   Bu.put_u32 b (t.page_size - 4) (Bu.fnv32 b 0 (t.page_size - 4));
   b
@@ -178,10 +259,11 @@ let free_chain_page t ~next =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make ~page_size backend =
+let make ~page_size ~checksums backend =
   if page_size < 64 then invalid_arg "Pager.create: page_size < 64";
   {
     page_size;
+    checksums;
     backend;
     used = 0;
     free_list = [];
@@ -191,17 +273,18 @@ let make ~page_size backend =
     meta_dirty = false;
     free_dirty = false;
     phys_writes = 0;
+    sums = Bytes.create 0;
     faults = None;
     stats = Stats.create ();
   }
 
-let create ?(page_size = 1024) () =
-  make ~page_size (Memory { pages = Array.make 64 None })
+let create ?(page_size = 1024) ?(checksums = false) () =
+  make ~page_size ~checksums (Memory { pages = Array.make 64 None })
 
-let create_file ?(page_size = 1024) path =
+let create_file ?(page_size = 1024) ?(checksums = true) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let t =
-    make ~page_size
+    make ~page_size ~checksums
       (File { fd; path; live_map = Array.make 64 false; dirty = Hashtbl.create 64 })
   in
   (* a freshly created file is immediately a valid (empty) page file *)
@@ -235,9 +318,11 @@ let journal_valid j =
   Bu.get_u32 j (16 + records_len) = Bu.fnv32 j 16 records_len
   && Bytes.sub_string j (16 + records_len + 4) 8 = commit_marker
 
-let recover path =
+type recover_status = No_journal | Replayed | Discarded_torn
+
+let recover_status path =
   let jpath = journal_path path in
-  if not (Sys.file_exists jpath) then false
+  if not (Sys.file_exists jpath) then No_journal
   else
     let j = read_whole_file jpath in
     if not (journal_valid j) then begin
@@ -245,7 +330,7 @@ let recover path =
          this transaction, so the pre-transaction state is intact *)
       Obs.Metrics.incr m_j_torn;
       Sys.remove jpath;
-      false
+      Discarded_torn
     end
     else begin
       let ps = Bu.get_u32 j 8 and count = Bu.get_u32 j 12 in
@@ -262,69 +347,119 @@ let recover path =
           done;
           Unix.fsync fd);
       Sys.remove jpath;
-      true
+      Replayed
     end
+
+let recover path =
+  match recover_status path with
+  | Replayed -> true
+  | No_journal | Discarded_torn -> false
 
 let open_file ?page_size path =
   ignore (recover path);
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-  let fail fmt =
+  let fail_inv fmt =
     Format.kasprintf (fun m -> Unix.close fd; invalid_arg m) fmt
   in
+  let fail ?page ~component fmt =
+    Format.kasprintf
+      (fun detail ->
+        Unix.close fd;
+        raise (Storage_error.Corruption { page; component; detail }))
+      fmt
+  in
   let len = (Unix.fstat fd).Unix.st_size in
-  if len < 12 then fail "Pager.open_file: not a page file (too short)";
+  if len < 12 then
+    fail ~component:"pager.header" "Pager.open_file: not a page file (too short)";
   let probe = Bytes.create 12 in
   pread_buf fd ~off:0 probe 12;
   if Bytes.sub_string probe 0 8 <> header_magic then
-    fail "Pager.open_file: not a page file (bad magic)";
+    fail_inv "Pager.open_file: not a page file (bad magic)";
   let ps = Bu.get_u32 probe 8 in
-  if ps < 64 then fail "Pager.open_file: corrupt header (page size)";
+  if ps < 64 then
+    fail ~component:"pager.header" "Pager.open_file: corrupt header (page size)";
   (match page_size with
   | Some p when p <> ps ->
-      fail "Pager.open_file: page size mismatch (file has %d, expected %d)" ps p
+      fail_inv "Pager.open_file: page size mismatch (file has %d, expected %d)"
+        ps p
   | Some _ | None -> ());
   if len mod ps <> 0 then
-    fail "Pager.open_file: file length is not a multiple of page_size";
+    fail ~component:"pager.header"
+      "Pager.open_file: file length is not a multiple of page_size";
   let hdr = Bytes.create ps in
   pread_buf fd ~off:0 hdr ps;
   if Bu.get_u32 hdr (ps - 4) <> Bu.fnv32 hdr 0 (ps - 4) then
-    fail "Pager.open_file: corrupt header (bad checksum)";
+    fail ~component:"pager.header"
+      "Pager.open_file: corrupt header (bad checksum)";
   let used = Bu.get_u32 hdr 12
   and live = Bu.get_u32 hdr 16
   and free_head = Bu.get_u32 hdr 20
-  and meta_len = Bu.get_u16 hdr 24 in
+  and flags = Bu.get_u16 hdr 24
+  and meta_len = Bu.get_u16 hdr 26 in
   if meta_len > meta_capacity ps then
-    fail "Pager.open_file: corrupt header (metadata length)";
+    fail ~component:"pager.header"
+      "Pager.open_file: corrupt header (metadata length)";
+  let checksums = flags land flag_checksums <> 0 in
   let meta = Bytes.sub_string hdr header_fixed meta_len in
+  let gs = group_size ps in
+  let dphys id =
+    if checksums then 2 + ((id / gs) * (gs + 1)) + (id mod gs) else id + 1
+  in
+  (* load the checksum pages, each of which is self-checksummed *)
+  let sums = Bytes.make (used * 4) '\000' in
+  if checksums && used > 0 then begin
+    let page = Bytes.create ps in
+    for g = 0 to (used - 1) / gs do
+      pread_buf fd ~off:((1 + (g * (gs + 1))) * ps) page ps;
+      if Bu.get_u32 page (ps - 4) <> Bu.fnv32 page 0 (ps - 4) then begin
+        Obs.Metrics.incr Storage_error.checksum_failures;
+        fail ~component:"pager.checksum_page"
+          "Pager.open_file: corrupt checksum page (group %d)" g
+      end;
+      let lo = g * gs in
+      for i = 0 to gs - 1 do
+        if lo + i < used then Bytes.blit page (i * 4) sums ((lo + i) * 4) 4
+      done
+    done
+  end;
   let live_map = Array.make (max 64 used) false in
   for i = 0 to used - 1 do
     live_map.(i) <- true
   done;
   (* rebuild the free list from the intrusive on-disk chain *)
   let free_list = ref [] and n_free = ref 0 in
-  let link = Bytes.create 4 in
+  let fpage = Bytes.create ps in
   let cur = ref free_head in
   while !cur <> nil do
     let id = !cur in
     if id < 0 || id >= used || not live_map.(id) then
-      fail "Pager.open_file: corrupt free list (page %d)" id;
+      fail ?page:(if id >= 0 && id < used then Some id else None)
+        ~component:"pager.free_list" "Pager.open_file: corrupt free list (page %d)"
+        id;
     live_map.(id) <- false;
     free_list := id :: !free_list;
     incr n_free;
-    pread_buf fd ~off:((id + 1) * ps) link 4;
-    cur := Bu.get_u32 link 0
+    pread_buf fd ~off:(dphys id * ps) fpage ps;
+    if checksums && Bu.fnv32 fpage 0 ps <> Bu.get_u32 sums (id * 4) then begin
+      Obs.Metrics.incr Storage_error.checksum_failures;
+      fail ~page:id ~component:"pager.free_list"
+        "Pager.open_file: corrupt free list (checksum mismatch on page %d)" id
+    end;
+    cur := Bu.get_u32 fpage 0
   done;
   if used - !n_free <> live then
-    fail "Pager.open_file: corrupt header (live count %d, found %d)" live
+    fail ~component:"pager.header"
+      "Pager.open_file: corrupt header (live count %d, found %d)" live
       (used - !n_free);
   let t =
-    make ~page_size:ps
+    make ~page_size:ps ~checksums
       (File { fd; path; live_map; dirty = Hashtbl.create 64 })
   in
   t.used <- used;
   t.live <- live;
   t.free_list <- List.rev !free_list;
   t.meta <- meta;
+  t.sums <- sums;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -332,6 +467,24 @@ let open_file ?page_size path =
 (* ------------------------------------------------------------------ *)
 
 let check_open t = if t.closed then invalid_arg "Pager: store is closed"
+
+(* write a committed image straight to the backend, bypassing the dirty
+   table, the fault plan, and the checksum bookkeeping — this is the
+   hardware losing a write, not the pager writing one *)
+let clobber_page t id b =
+  match t.backend with
+  | Memory m ->
+      if id < Array.length m.pages && m.pages.(id) <> None then
+        m.pages.(id) <- Some (Bytes.copy b)
+  | File f -> pwrite_buf f.fd ~off:(data_phys t id * t.page_size) b t.page_size
+
+(* lost writes armed by [Stale_page] land once the next sync completes *)
+let apply_stale t =
+  match t.faults with
+  | Some ({ stale = (_ :: _) as snaps; _ } as p) ->
+      List.iter (fun (id, b) -> clobber_page t id b) snaps;
+      p.stale <- []
+  | _ -> ()
 
 let sync t =
   check_open t;
@@ -342,30 +495,50 @@ let sync t =
          it must not truncate a journal that already committed *)
       raise (Fault "Pager: crashed (sync after fault)")
   | _ -> ());
-  match t.backend with
+  (match t.backend with
   | Memory _ -> () (* memory writes are applied immediately *)
   | File f ->
       if
         Hashtbl.length f.dirty > 0 || t.free_dirty || t.meta_dirty
       then begin
         (* the transaction: dirty pages, the (re-linked) free chain, and
-           always the header — everything as physical (idx, bytes) pairs *)
-        let records = ref [ (0, encode_header t) ] in
-        Hashtbl.iter
-          (fun id b -> records := (id + 1, b) :: !records)
-          f.dirty;
+           always the header — first as logical (id, bytes) pairs *)
+        let logical = ref [] in
+        Hashtbl.iter (fun id b -> logical := (id, b) :: !logical) f.dirty;
         if t.free_dirty then begin
           let rec chain = function
             | [] -> ()
             | id :: rest ->
                 let next = match rest with n :: _ -> n | [] -> nil in
-                records := (id + 1, free_chain_page t ~next) :: !records;
+                logical := (id, free_chain_page t ~next) :: !logical;
                 chain rest
           in
           chain t.free_list
         end;
+        let logical = !logical in
+        (* with checksums on, refresh the sums of every page in the
+           transaction and add the covering checksum pages as ordinary
+           physical records — they commit atomically with the data *)
+        let sum_records =
+          if not t.checksums then []
+          else begin
+            let gs = group_size t.page_size in
+            List.iter
+              (fun (id, b) -> set_sum t id (Bu.fnv32 b 0 t.page_size))
+              logical;
+            List.map
+              (fun g -> (sum_phys t g, checksum_page t g))
+              (List.sort_uniq compare
+                 (List.map (fun (id, _) -> id / gs) logical))
+          end
+        in
         let records =
-          List.sort (fun (a, _) (b, _) -> compare a b) !records
+          (0, encode_header t)
+          :: List.map (fun (id, b) -> (data_phys t id, b)) logical
+          @ sum_records
+        in
+        let records =
+          List.sort (fun (a, _) (b, _) -> compare a b) records
         in
         let count = List.length records in
         Obs.Metrics.incr m_j_commits;
@@ -419,7 +592,8 @@ let sync t =
         Hashtbl.reset f.dirty;
         t.free_dirty <- false;
         t.meta_dirty <- false
-      end
+      end);
+  apply_stale t
 
 let close t =
   match t.backend with
@@ -434,6 +608,7 @@ let close t =
       end
 
 let page_size t = t.page_size
+let checksums_enabled t = t.checksums
 let stats t = t.stats
 let physical_writes t = t.phys_writes
 
@@ -448,8 +623,61 @@ let set_meta t m =
     t.meta_dirty <- true
   end
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Media faults damage the {e committed} backend state directly — they
+   model the disk rotting underneath the pager, so they bypass the dirty
+   table and the checksum bookkeeping. *)
+let apply_media t plan =
+  let ps = t.page_size in
+  let check_page what page =
+    if page < 0 || page >= t.used then
+      invalid_arg
+        (Printf.sprintf "Pager.create_faulty: %s targets page %d (out of range)"
+           what page)
+  in
+  let committed t id =
+    match t.backend with
+    | Memory m -> (
+        match m.pages.(id) with Some b -> Bytes.copy b | None -> Bytes.make ps '\000')
+    | File f ->
+        let b = Bytes.create ps in
+        pread_buf f.fd ~off:(data_phys t id * ps) b ps;
+        b
+  in
+  List.iter
+    (fun mf ->
+      match mf with
+      | Flip_bit { page; bit } ->
+          check_page "flip_bit" page;
+          let bit = ((bit mod (ps * 8)) + (ps * 8)) mod (ps * 8) in
+          let b = committed t page in
+          let byte = bit / 8 in
+          Bytes.set b byte
+            (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit mod 8))));
+          clobber_page t page b
+      | Zero_page { page } ->
+          check_page "zero_page" page;
+          clobber_page t page (Bytes.make ps '\000')
+      | Truncate_file { keep } -> (
+          match t.backend with
+          | Memory _ ->
+              invalid_arg "Pager.create_faulty: truncate_file needs a file backend"
+          | File f ->
+              if keep < 0 then
+                invalid_arg "Pager.create_faulty: truncate_file keep < 0";
+              Unix.ftruncate f.fd (keep * ps))
+      | Stale_page { page } ->
+          check_page "stale_page" page;
+          plan.stale <- (page, committed t page) :: plan.stale)
+    plan.spec.media
+
 let create_faulty spec t =
-  t.faults <- Some { spec; reads_seen = 0; crashed = false };
+  let plan = { spec; reads_seen = 0; crashed = false; stale = [] } in
+  t.faults <- Some plan;
+  apply_media t plan;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -468,6 +696,9 @@ let is_live t id =
   match t.backend with
   | Memory m -> m.pages.(id) <> None
   | File f -> f.live_map.(id)
+
+let high_water t = t.used
+let free_pages t = t.free_list
 
 let alloc t =
   check_open t;
@@ -488,7 +719,9 @@ let alloc t =
   (match t.backend with
   | Memory m ->
       if id >= Array.length m.pages then m.pages <- grow_array m.pages None;
-      m.pages.(id) <- Some (Bytes.make t.page_size '\000')
+      m.pages.(id) <- Some (Bytes.make t.page_size '\000');
+      if t.checksums then
+        set_sum t id (Bu.fnv32 (Bytes.make t.page_size '\000') 0 t.page_size)
   | File f ->
       if id >= Array.length f.live_map then
         f.live_map <- grow_array f.live_map false;
@@ -509,14 +742,17 @@ let read t id =
   match t.backend with
   | Memory m -> (
       match m.pages.(id) with
-      | Some b -> Bytes.copy b
+      | Some b ->
+          verify_page t id b;
+          Bytes.copy b
       | None -> assert false)
   | File f -> (
       match Hashtbl.find_opt f.dirty id with
-      | Some b -> Bytes.copy b
+      | Some b -> Bytes.copy b (* not yet committed: nothing to verify *)
       | None ->
           let b = Bytes.create t.page_size in
-          pread_buf f.fd ~off:((id + 1) * t.page_size) b t.page_size;
+          pread_buf f.fd ~off:(data_phys t id * t.page_size) b t.page_size;
+          verify_page t id b;
           b)
 
 let write t id b =
@@ -528,10 +764,13 @@ let write t id b =
   match t.backend with
   | Memory m ->
       inject_write t
-        ~full:(fun () -> m.pages.(id) <- Some (Bytes.copy b))
+        ~full:(fun () ->
+          m.pages.(id) <- Some (Bytes.copy b);
+          if t.checksums then set_sum t id (Bu.fnv32 b 0 t.page_size))
         ~half:(fun () ->
           (* a torn write: the first half lands, the rest keeps its old
-             content *)
+             content — the recorded sum is intentionally NOT updated, so
+             a checksumming pager detects the tear on the next read *)
           let old =
             match m.pages.(id) with Some o -> o | None -> assert false
           in

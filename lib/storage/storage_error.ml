@@ -1,0 +1,35 @@
+(* Typed corruption errors for the storage layer.
+
+   Every detector in the stack — the pager's per-page checksums, the
+   header/free-list validation in [Pager.open_file], and the B-tree's
+   node decoder — reports damage through the single [Corruption]
+   exception, so callers can distinguish "the data on disk is bad" from
+   programming errors ([Invalid_argument]) and transient injected faults
+   ([Pager.Fault]). *)
+
+exception
+  Corruption of { page : int option; component : string; detail : string }
+
+(* Process-wide count of failed page-checksum verifications.  Lives here
+   (not in Pager) so the B-tree and verifier can bump it for damage they
+   detect above the pager. *)
+let checksum_failures =
+  Obs.Metrics.counter ~subsystem:"storage"
+    ~help:"page reads whose content failed checksum verification"
+    "checksum_failures"
+
+let corruptf ?page ~component fmt =
+  Format.kasprintf
+    (fun detail -> raise (Corruption { page; component; detail }))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Corruption { page; component; detail } ->
+        Some
+          (Printf.sprintf "Storage_error.Corruption(%s%s): %s" component
+             (match page with
+             | Some p -> Printf.sprintf ", page %d" p
+             | None -> "")
+             detail)
+    | _ -> None)

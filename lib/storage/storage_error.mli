@@ -1,0 +1,24 @@
+(** Typed corruption errors shared by the whole storage stack.
+
+    Raised instead of bare [Failure]/[Invalid_argument] whenever
+    on-disk data fails validation: a page-checksum mismatch, a mangled
+    page-file header, a broken free-list chain, or an undecodable
+    B-tree node.  Catch [Corruption] to distinguish media damage from
+    API misuse. *)
+
+exception
+  Corruption of { page : int option; component : string; detail : string }
+(** [page] is the logical page id when the damage is attributable to one
+    page; [component] names the detector (["pager.page"],
+    ["pager.header"], ["pager.free_list"], ["pager.checksum_page"],
+    ["btree.node"], ["btree.meta"], ...); [detail] is the human-readable
+    diagnostic. *)
+
+val corruptf :
+  ?page:int -> component:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [corruptf ?page ~component fmt ...] raises {!Corruption} with a
+    formatted [detail]. *)
+
+val checksum_failures : Obs.Metrics.counter
+(** The process-wide [storage.checksum_failures] counter, incremented on
+    every page read whose content fails verification. *)

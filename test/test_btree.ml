@@ -430,7 +430,9 @@ let test_corrupted_page_detected () =
   Storage.Pager.write pager victim (Bytes.make 256 '\xEE');
   match Btree.check t with
   | () -> Alcotest.fail "corruption not detected"
-  | exception (Invalid_argument _ | Failure _) -> ()
+  | exception Storage.Storage_error.Corruption { page; component; _ } ->
+      Alcotest.(check int) "damaged page identified" victim (Option.get page);
+      Alcotest.(check string) "btree detector" "btree.node" component
 
 (* a longer soak: interleaved inserts, deletes, batches and scans with
    periodic invariant checks, at realistic page size *)

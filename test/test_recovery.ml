@@ -186,8 +186,92 @@ let prop_crash_free_list =
           Pager.close p;
           ok))
 
+(* recover_status distinguishes the three outcomes the CLI's exit codes
+   report: no journal, a committed journal replayed, a torn journal
+   discarded. *)
+
+let status_t =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.pp_print_string ppf
+        (match s with
+        | Pager.No_journal -> "No_journal"
+        | Pager.Replayed -> "Replayed"
+        | Pager.Discarded_torn -> "Discarded_torn"))
+    ( = )
+
+let test_status_no_journal () =
+  with_temp_pages (fun path ->
+      let p = Pager.create_file ~page_size:256 path in
+      let id = Pager.alloc p in
+      Pager.write p id (Bytes.make 256 'a');
+      Pager.sync p;
+      Pager.close p;
+      Alcotest.check status_t "clean file" Pager.No_journal
+        (Pager.recover_status path))
+
+let test_status_discarded_torn () =
+  with_temp_pages (fun path ->
+      let p = Pager.create_file ~page_size:256 path in
+      let id = Pager.alloc p in
+      Pager.write p id (Bytes.make 256 'a');
+      Pager.sync p;
+      Pager.close p;
+      (* a torn journal: right magic, never reached the commit marker *)
+      let oc = open_out_bin (Pager.journal_path path) in
+      output_string oc "UJRNL1\n\000half-written garbage";
+      close_out oc;
+      Alcotest.check status_t "torn journal" Pager.Discarded_torn
+        (Pager.recover_status path);
+      Alcotest.(check bool) "journal removed" false
+        (Sys.file_exists (Pager.journal_path path));
+      (* the pre-transaction state is intact *)
+      let p = Pager.open_file path in
+      Alcotest.(check char) "old content" 'a' (Bytes.get (Pager.read p id) 0);
+      Pager.close p)
+
+let test_status_replayed () =
+  with_temp_pages (fun path ->
+      (* crash on the very last physical write of a commit: the journal
+         is fully durable, only the checkpoint is incomplete *)
+      let build fault =
+        let p = Pager.create_file ~page_size:256 path in
+        let id = Pager.alloc p in
+        Pager.write p id (Bytes.make 256 'a');
+        Pager.sync p;
+        (match fault with
+        | Some s -> ignore (Pager.create_faulty s p)
+        | None -> ());
+        (try
+           Pager.write p id (Bytes.make 256 'b');
+           Pager.sync p
+         with Pager.Fault _ -> ());
+        (try Pager.close p with Pager.Fault _ -> ());
+        Pager.physical_writes p
+      in
+      let w = build None in
+      Sys.remove path;
+      ignore (build (Some { Pager.no_faults with fail_write = Some w }));
+      Alcotest.check status_t "committed journal" Pager.Replayed
+        (Pager.recover_status path);
+      (* replay restored the in-flight commit *)
+      let p = Pager.open_file path in
+      Alcotest.(check char) "new content" 'b' (Bytes.get (Pager.read p 0) 0);
+      Pager.close p)
+
+let status_suite =
+  [
+    Alcotest.test_case "no journal" `Quick test_status_no_journal;
+    Alcotest.test_case "torn journal discarded" `Quick
+      test_status_discarded_torn;
+    Alcotest.test_case "committed journal replayed" `Quick
+      test_status_replayed;
+  ]
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_crash_recovery; prop_crash_free_list ]
 
-let () = Alcotest.run "recovery" [ ("crash", qsuite) ]
+let () =
+  Alcotest.run "recovery"
+    [ ("crash", qsuite); ("recover_status", status_suite) ]

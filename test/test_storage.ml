@@ -127,8 +127,11 @@ let with_temp_pages name f =
     (fun () -> f path)
 
 let test_file_pager () =
+  (* checksums off: this test pins the raw physical layout (logical page
+     [i] at physical [i + 1]); the checksummed layout has its own tests
+     in test_corruption.ml *)
   with_temp_pages "uindex_pager" (fun path ->
-      let p = Pager.create_file ~page_size:128 path in
+      let p = Pager.create_file ~page_size:128 ~checksums:false path in
       let a = Pager.alloc p and b = Pager.alloc p in
       Pager.write p a (Bytes.make 128 'a');
       Pager.write p b (Bytes.make 128 'b');
@@ -232,8 +235,10 @@ let test_recover_torn_journal () =
       Pager.close p)
 
 let test_recover_committed_journal () =
+  (* checksums off so the transaction is exactly one dirty page + header
+     (no checksum-page records) and the write counts below stay exact *)
   with_temp_pages "uindex_commit" (fun path ->
-      let p = Pager.create_file ~page_size:128 path in
+      let p = Pager.create_file ~page_size:128 ~checksums:false path in
       let a = Pager.alloc p in
       Pager.write p a (Bytes.make 128 'a');
       Pager.sync p;
@@ -353,8 +358,12 @@ let test_file_pager_reopen () =
       output_string oc "stray";
       close_out oc;
       Alcotest.check_raises "bad length"
-        (Invalid_argument
-           "Pager.open_file: file length is not a multiple of page_size")
+        (Storage.Storage_error.Corruption
+           {
+             page = None;
+             component = "pager.header";
+             detail = "Pager.open_file: file length is not a multiple of page_size";
+           })
         (fun () -> ignore (Pager.open_file ~page_size:256 path)))
 
 let test_buffer_pool () =
