@@ -101,6 +101,79 @@ let check_checksum_ab path j =
     rows;
   List.length rows
 
+(* The serve_throughput section carries two invariants.  Correctness:
+   every thread count's clients must have received byte-identical reply
+   streams (one digest per row; all rows must agree — concurrent serving
+   returns exactly the sequential answers).  Scaling: on a multi-core
+   host (serve_cores >= 2, i.e. any CI runner) queries/sec with 4 worker
+   threads must be at least that with 1 (each row is best-of-3, so a
+   scheduler hiccup doesn't trip this); on a single core, where 4
+   CPU-bound workers cannot beat 1 by construction, the gate degrades to
+   an anti-collapse floor of half the single-thread rate. *)
+let check_serve_throughput path j =
+  let rows =
+    match get path "serve_throughput" j with
+    | Obs.Json.List (_ :: _ as rows) -> rows
+    | Obs.Json.List [] -> fail "%s: serve_throughput is empty" path
+    | _ -> fail "%s: serve_throughput is not a list" path
+  in
+  let parsed =
+    List.map
+      (fun row ->
+        match
+          ( Obs.Json.(member "threads" row |> Option.map to_int),
+            Obs.Json.(member "qps" row),
+            Obs.Json.(member "digest" row |> Option.map to_str),
+            Obs.Json.(member "p99_us" row) )
+        with
+        | Some (Some threads), Some qps, Some (Some digest), Some _ ->
+            let qps =
+              match qps with
+              | Obs.Json.Float f -> f
+              | Obs.Json.Int i -> float_of_int i
+              | _ -> fail "%s: serve_throughput qps not a number" path
+            in
+            (threads, qps, digest)
+        | _ -> fail "%s: malformed serve_throughput row" path)
+      rows
+  in
+  (match parsed with
+  | (_, _, d) :: rest ->
+      List.iter
+        (fun (threads, _, d') ->
+          if d' <> d then
+            fail
+              "serve_throughput: %d-thread answers differ from sequential \
+               (digest %s vs %s) — concurrent readers returned different \
+               rows"
+              threads d' d)
+        rest
+  | [] -> ());
+  let qps_at n =
+    match List.find_opt (fun (t, _, _) -> t = n) parsed with
+    | Some (_, q, _) -> q
+    | None -> fail "%s: serve_throughput has no %d-thread row" path n
+  in
+  let q1 = qps_at 1 and q4 = qps_at 4 in
+  let cores =
+    match Obs.Json.(get path "serve_cores" j |> to_int) with
+    | Some n -> n
+    | None -> fail "%s: serve_cores is not an int" path
+  in
+  if cores >= 2 then begin
+    if q4 < q1 then
+      fail
+        "serve_throughput: 4 workers slower than 1 on %d cores (%.1f vs \
+         %.1f queries/s)"
+        cores q4 q1
+  end
+  else if q4 < 0.5 *. q1 then
+    fail
+      "serve_throughput: single-core collapse — 4 workers at %.1f \
+       queries/s, under half the 1-worker %.1f"
+      q4 q1;
+  List.length parsed
+
 let table1_rows path j =
   match get path "table1" j with
   | Obs.Json.List rows ->
@@ -150,7 +223,9 @@ let () =
     want;
   let n_ab = check_cache_ab results_path r in
   let n_ck = check_checksum_ab results_path r in
+  let n_sv = check_serve_throughput results_path r in
   Printf.printf
     "check_results: %d table1 rows match %s; %d cache A/B rows warm<=cold \
-     with hits; %d checksum A/B rows read-identical\n"
-    (List.length want) expected_path n_ab n_ck
+     with hits; %d checksum A/B rows read-identical; %d serve rows \
+     digest-identical with 4>=1 scaling\n"
+    (List.length want) expected_path n_ab n_ck n_sv

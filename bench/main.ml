@@ -975,13 +975,152 @@ let run_timing () =
       | None -> ())
     (List.sort compare names)
 
+(* --- serve throughput: the concurrent query service -------------------------- *)
+
+(* N client domains with persistent connections fire a fixed query mix at
+   an in-process server with N workers; every client must get replies
+   byte-identical to every other (one digest per row — check_results
+   asserts the digests agree across thread counts, i.e. concurrent
+   serving returns exactly the sequential answers).  Wall-clock, so this
+   section runs even under UINDEX_BENCH_SKIP_TIMING (qps and p99 are what
+   it exists to measure); best-of-3 per thread count damps scheduler
+   noise. *)
+type serve_row = {
+  sv_threads : int;
+  sv_queries : int;
+  sv_qps : float;
+  sv_p50_us : float;
+  sv_p99_us : float;
+  sv_digest : string;
+}
+
+let run_serve_throughput (e : Dg.exp1) =
+  section "Serve throughput: N clients vs N workers, snapshot per request";
+  let module Db = Uindex.Db in
+  let module Server = Uindex_server.Server in
+  let module Service = Uindex_server.Service in
+  let module Client = Uindex_server.Client in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  Db.attach_index db e.path_age;
+  let svc = Service.create ~schema:e.ext.b.schema db in
+  let mix =
+    [
+      "query (Red, Bus*)";
+      "query (White, Vehicle*)";
+      "query-forward (Red, Bus*)";
+      "query ([50-60], Employee*, Company*, Vehicle*)";
+    ]
+  in
+  let total_queries = if quick then 240 else 480 in
+  let dir = Filename.temp_file "uindex_bench_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let one_run threads =
+    let path = Filename.concat dir (Printf.sprintf "srv%d.sock" threads) in
+    let config =
+      {
+        Server.addr = Server.Unix_sock path;
+        workers = threads;
+        backlog = 64;
+        request_timeout = 30.;
+      }
+    in
+    let server = Server.start svc config in
+    Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+    let per_client = total_queries / threads in
+    let t0 = Unix.gettimeofday () in
+    (* clients are pure I/O, so they ride on systhreads: the domains —
+       and the parallelism under test — belong to the server's workers *)
+    let slots = Array.make threads None in
+    let clients =
+      List.init threads (fun k ->
+          Thread.create
+            (fun () ->
+              let c = Client.connect_unix path in
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              let lat = Array.make per_client 0. in
+              let cycle = Array.make (List.length mix) "" in
+              for i = 0 to per_client - 1 do
+                let line = List.nth mix (i mod List.length mix) in
+                let q0 = Unix.gettimeofday () in
+                let raw = Client.request_raw c line in
+                lat.(i) <- Unix.gettimeofday () -. q0;
+                (* the stream must be the first mix cycle repeating
+                   exactly: snapshots make replies deterministic *)
+                let j = i mod List.length mix in
+                if i < List.length mix then cycle.(j) <- raw
+                else if raw <> cycle.(j) then
+                  failwith "serve_throughput: reply drifted between cycles"
+              done;
+              (* digest one canonical cycle, comparable across any
+                 thread count and client count *)
+              slots.(k) <-
+                Some
+                  (lat, Digest.string (String.concat "\n" (Array.to_list cycle))))
+            ())
+    in
+    List.iter Thread.join clients;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let results =
+      Array.to_list slots
+      |> List.map (function
+           | Some r -> r
+           | None -> failwith "serve_throughput: a client thread died")
+    in
+    (* every client ran the same request sequence: their reply streams —
+       and hence digests — must be identical *)
+    let digest =
+      match results with
+      | (_, d) :: rest ->
+          List.iter
+            (fun (_, d') ->
+              if d' <> d then
+                failwith "serve_throughput: clients got different answers")
+            rest;
+          d
+      | [] -> assert false
+    in
+    let lats = Array.concat (List.map fst results) in
+    Array.sort compare lats;
+    let pct p =
+      1e6 *. lats.(min (Array.length lats - 1)
+                     (p * Array.length lats / 100))
+    in
+    {
+      sv_threads = threads;
+      sv_queries = per_client * threads;
+      sv_qps = float_of_int (per_client * threads) /. elapsed;
+      sv_p50_us = pct 50;
+      sv_p99_us = pct 99;
+      sv_digest = digest;
+    }
+  in
+  let best threads =
+    let runs = List.init 3 (fun _ -> one_run threads) in
+    List.fold_left
+      (fun acc r -> if r.sv_qps > acc.sv_qps then r else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  let rows = List.map best [ 1; 2; 4 ] in
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%d thread(s): %7.1f queries/s  p50 %8.1f us  p99 %8.1f us  (%d \
+         queries, digest %s)\n"
+        r.sv_threads r.sv_qps r.sv_p50_us r.sv_p99_us r.sv_queries
+        (Digest.to_hex r.sv_digest))
+    rows;
+  rows
+
 (* --- machine-readable results ---------------------------------------------- *)
 
 let json_path =
   Option.value ~default:"BENCH_results.json"
     (Sys.getenv_opt "UINDEX_BENCH_JSON")
 
-let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab =
+let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve =
   let open Obs.Json in
   let row (r : Ex.t1_row) =
     Obj
@@ -1020,10 +1159,21 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab =
         ("ns_off", Float r.ck_ns_off);
       ]
   in
+  let sv_row r =
+    Obj
+      [
+        ("threads", Int r.sv_threads);
+        ("queries", Int r.sv_queries);
+        ("qps", Float r.sv_qps);
+        ("p50_us", Float r.sv_p50_us);
+        ("p99_us", Float r.sv_p99_us);
+        ("digest", Str (Digest.to_hex r.sv_digest));
+      ]
+  in
   let j =
     Obj
       [
-        ("schema_version", Int 3);
+        ("schema_version", Int 4);
         ("quick", Bool quick);
         ("reps", Int reps);
         ("objects", Int n_objects);
@@ -1032,6 +1182,10 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab =
         ("table1", List (List.map row t1_rows));
         ("cache_ab", List (List.map ab_row cache_ab));
         ("checksum_ab", List (List.map ck_row checksum_ab));
+        (* scaling assertions only make sense with real cores to scale
+           onto; check_results keys its serve gate on this *)
+        ("serve_cores", Int (Domain.recommended_domain_count ()));
+        ("serve_throughput", List (List.map sv_row serve));
         ("metrics", Obs.Metrics.to_json Obs.Metrics.default);
       ]
   in
@@ -1060,4 +1214,7 @@ let () =
   run_buffer_pool ();
   run_entry_layout ();
   if Sys.getenv_opt "UINDEX_BENCH_SKIP_TIMING" <> Some "1" then run_timing ();
-  write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab
+  (* wall-clock by nature, so not gated on SKIP_TIMING: its qps/p99 rows
+     and cross-thread digests are what check_results gates on *)
+  let serve = run_serve_throughput e1 in
+  write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve

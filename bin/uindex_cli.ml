@@ -13,6 +13,8 @@
      corrupt      inflict deterministic media damage on a page file
      bench-table1 regenerate Table 1 (small/full size)
      shootout     page-read comparison of U-index vs CG-tree on one config
+     serve        serve the generated database over a socket (worker pool)
+     client       send request lines to a running server
 
    Exit codes: 0 success, 1 usage/IO error, 2 corruption detected,
    3 (recover) a torn journal was discarded — the last committed state
@@ -372,9 +374,35 @@ let stats_cmd =
         Index.sync ch;
         Storage.Pager.close pager;
         ignore (Storage.Pager.recover file));
+    (* exercise the request path too, so server.request_ns has a
+       distribution: the same dispatch the socket server runs *)
+    let db = Uindex.Db.create e.store in
+    Uindex.Db.attach_index db e.ch_color;
+    Uindex.Db.attach_index db e.path_age;
+    let svc = Uindex_server.Service.create ~schema:e.ext.b.schema db in
+    List.iter
+      (fun line -> ignore (Uindex_server.Service.handle_line svc line))
+      [
+        "ping";
+        "query (Red, Bus*)";
+        "query (White, Vehicle*)";
+        "query-forward (Red, Bus*)";
+        "query ([50-60], Employee*, Company*, Vehicle*)";
+        "stats";
+      ];
     if json then
       print_endline (Obs.Json.to_multiline (Obs.Metrics.to_json Obs.Metrics.default))
-    else Format.printf "%a" Obs.Metrics.pp Obs.Metrics.default
+    else begin
+      Format.printf "%a" Obs.Metrics.pp Obs.Metrics.default;
+      match
+        Obs.Metrics.find_summary Obs.Metrics.default "server.request_ns"
+      with
+      | Some s ->
+          Printf.printf
+            "request latency (ns): count=%d p50<=%d p95<=%d p99<=%d max=%d\n"
+            s.Obs.Metrics.count s.p50 s.p95 s.p99 s.max_value
+      | None -> ()
+    end
   in
   let n =
     Arg.(value & opt int 2_000 & info [ "n" ] ~doc:"Number of vehicles.")
@@ -804,6 +832,184 @@ let shootout_cmd =
     (Cmd.info "shootout" ~doc:"U-index vs CG-tree page reads (Figures 5-8).")
     Term.(const run $ n $ classes $ keys $ frac $ reps)
 
+(* --- serve / client: the concurrent query service --------------------------- *)
+
+module Server = Uindex_server.Server
+module Service = Uindex_server.Service
+module Client = Uindex_server.Client
+
+let addr_args =
+  let socket =
+    Arg.(
+      value
+      & opt string "uindex.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path (ignored with $(b,--tcp)).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen/connect on TCP instead, e.g. 127.0.0.1:7771.")
+  in
+  let combine socket tcp =
+    match tcp with
+    | None -> Server.Unix_sock socket
+    | Some spec -> (
+        match String.rindex_opt spec ':' with
+        | Some i -> (
+            let host = String.sub spec 0 i in
+            let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt port with
+            | Some p -> Server.Tcp (host, p)
+            | None ->
+                Printf.eprintf "uindex-cli: bad port in %S\n" spec;
+                exit 1)
+        | None ->
+            Printf.eprintf "uindex-cli: expected HOST:PORT, got %S\n" spec;
+            exit 1)
+  in
+  Term.(const combine $ socket $ tcp)
+
+let serve_cmd =
+  let run n_vehicles seed addr workers backlog timeout file =
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    let b = e.ext.b in
+    let db = Uindex.Db.create e.store in
+    (* arity-1 route: the on-file index when given, else the in-memory one;
+       a --file index must have been built with the same -n/--seed so its
+       entries match the regenerated store *)
+    let file_pager =
+      match file with
+      | None ->
+          Uindex.Db.attach_index db e.ch_color;
+          None
+      | Some f ->
+          if not (Sys.file_exists f) then begin
+            Printf.eprintf "uindex-cli: no such file: %s\n" f;
+            exit 1
+          end;
+          let pager = Storage.Pager.open_file f in
+          let ch =
+            Index.attach_class_hierarchy pager b.enc ~root:b.vehicle
+              ~attr:"color"
+          in
+          Uindex.Db.attach_index db ch;
+          Some pager
+    in
+    Uindex.Db.attach_index db e.path_age;
+    let svc = Service.create ~schema:b.schema db in
+    let config = { (Server.default_config addr) with workers; backlog;
+                   request_timeout = timeout } in
+    let server = Server.start svc config in
+    let stop = Atomic.make false in
+    let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigterm on_signal;
+    Sys.set_signal Sys.sigint on_signal;
+    (match Server.bound_addr server with
+    | Unix.ADDR_UNIX p -> Printf.printf "listening on %s\n%!" p
+    | Unix.ADDR_INET (ip, port) ->
+        Printf.printf "listening on %s:%d\n%!" (Unix.string_of_inet_addr ip)
+          port);
+    while not (Atomic.get stop) do
+      try Unix.sleepf 0.1
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    print_endline "shutting down";
+    Server.stop server;
+    Option.iter Storage.Pager.close file_pager
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker domains.")
+  in
+  let backlog =
+    Arg.(
+      value & opt int 64
+      & info [ "backlog" ]
+          ~doc:"Queued connections before shedding with an overloaded reply.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline and socket timeout; 0 disables.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Serve the class-hierarchy index from this page file (written \
+             by $(b,build) with the same $(b,-n)/$(b,--seed)) instead of \
+             the in-memory one.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the generated vehicle database over a socket: snapshot-\
+          isolated readers on a fixed worker pool.  SIGTERM/SIGINT shut \
+          down gracefully (drain, sync, exit 0).")
+    Term.(
+      const run $ n $ seed $ addr_args $ workers $ backlog $ timeout $ file)
+
+let client_cmd =
+  let run addr requests =
+    (* a server that vanishes mid-request should be an error message,
+       not a SIGPIPE death *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let c =
+      match
+        match addr with
+        | Server.Unix_sock path -> Client.connect_unix path
+        | Server.Tcp (host, port) -> Client.connect_tcp host port
+      with
+      | c -> c
+      | exception Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "uindex-cli: cannot connect: %s\n"
+            (Unix.error_message err);
+          exit 1
+    in
+    let failures = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        List.iter
+          (fun line ->
+            match Client.request_raw c line with
+            | raw ->
+                print_endline raw;
+                (match Obs.Json.of_string raw with
+                | j when Uindex_server.Protocol.response_is_ok j -> ()
+                | _ -> incr failures
+                | exception Obs.Json.Parse_error _ -> incr failures)
+            | exception Client.Closed_by_server ->
+                print_endline "(connection closed by server)";
+                incr failures)
+          requests);
+    if !failures > 0 then exit 1
+  in
+  let requests =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request lines: $(b,ping), $(b,stats), $(b,quit), $(b,query \
+             <q>), $(b,query-forward <q>) with $(i,<q>) in the paper's \
+             syntax.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send request lines to a running $(b,serve) instance and print \
+          each raw JSON reply.  Exits 1 if any reply is not ok.")
+    Term.(const run $ addr_args $ requests)
+
 let () =
   let doc = "A uniform indexing scheme for object-oriented databases (U-index)" in
   exit
@@ -823,4 +1029,6 @@ let () =
             corrupt_cmd;
             table1_cmd;
             shootout_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -9,11 +9,18 @@ type t = {
   store : Store.t;
   mutable indexes : Index.t list;
   mutable cache_pages : int;  (* 0 = uncached, the paper's accounting *)
+  writer : Mutex.t;
+      (* serializes every mutation (and session pinning, so a session
+         never pins a half-applied commit) *)
 }
 
 let create ?(cache_pages = 0) store =
   if cache_pages < 0 then invalid_arg "Db.create: negative cache_pages";
-  { store; indexes = []; cache_pages }
+  { store; indexes = []; cache_pages; writer = Mutex.create () }
+
+let with_writer t f =
+  Mutex.lock t.writer;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) f
 
 let store t = t.store
 let indexes t = t.indexes
@@ -21,20 +28,29 @@ let cache_pages t = t.cache_pages
 
 let set_cache_pages t n =
   if n < 0 then invalid_arg "Db.set_cache_pages: negative capacity";
+  with_writer t @@ fun () ->
   t.cache_pages <- n;
   List.iter (fun idx -> Index.set_cache_pages idx n) t.indexes
 
-let add_index t idx =
+let register ?(build = true) t idx =
   (* pools are per-pager: each index gets its own, sized by the db-wide
      knob, unless the caller attached one already *)
   if t.cache_pages > 0 && Index.pool idx = None then
     Index.set_cache_pages idx t.cache_pages;
-  Index.build idx t.store;
+  if build then Index.build idx t.store;
   Log.debug (fun m ->
       m "registered index (%d entries)" (Index.entry_count idx));
   t.indexes <- t.indexes @ [ idx ]
 
+let add_index t idx = with_writer t (fun () -> register t idx)
+
+let attach_index t idx =
+  (* the index already holds its entries (e.g. it was re-opened from a
+     page file): register it without rebuilding *)
+  with_writer t (fun () -> register ~build:false t idx)
+
 let remove_index t idx =
+  with_writer t @@ fun () ->
   t.indexes <- List.filter (fun i -> i != idx) t.indexes
 
 (* Objects whose index entries can change when [oid]'s attributes change:
@@ -58,19 +74,68 @@ let reindex_around t f oid =
     t.indexes old_keys
 
 let insert t ~cls attrs =
+  with_writer t @@ fun () ->
   let oid = Store.insert t.store ~cls attrs in
   List.iter (fun idx -> Index.index_object idx t.store oid) t.indexes;
   oid
 
 let delete t oid =
+  with_writer t @@ fun () ->
   List.iter (fun idx -> Index.deindex_object idx t.store oid) t.indexes;
   Store.delete t.store oid
 
 let set_attr t oid attr v =
+  with_writer t @@ fun () ->
   reindex_around t (fun () -> Store.set_attr t.store oid attr v) oid
 
 let query ?(algo = `Parallel) _t idx q = Exec.run ~algo idx q
-let sync t = List.iter Index.sync t.indexes
+let sync t = with_writer t @@ fun () -> List.iter Index.sync t.indexes
+
+(* --- snapshot sessions ---------------------------------------------------- *)
+
+type session = {
+  views : (Index.t * Index.t) list;  (* (live index, pinned view) *)
+  mutable open_ : bool;
+}
+
+let open_session t =
+  (* pin under the writer lock: all views see the same committed cut,
+     never a half-applied mutation *)
+  with_writer t @@ fun () ->
+  let views = ref [] in
+  (try
+     List.iter
+       (fun idx -> views := (idx, Index.snapshot_view idx) :: !views)
+       t.indexes
+   with e ->
+     List.iter (fun (_, v) -> Index.release_view v) !views;
+     raise e);
+  { views = List.rev !views; open_ = true }
+
+let close_session s =
+  if s.open_ then begin
+    s.open_ <- false;
+    List.iter (fun (_, v) -> Index.release_view v) s.views
+  end
+
+let with_session t f =
+  let s = open_session t in
+  Fun.protect ~finally:(fun () -> close_session s) (fun () -> f s)
+
+let session_view s idx =
+  if not s.open_ then invalid_arg "Db.session_view: session is closed";
+  match List.assq_opt idx s.views with
+  | Some v -> v
+  | None ->
+      if List.exists (fun (_, v) -> v == idx) s.views then idx
+      else
+        invalid_arg
+          "Db.session_view: index was not registered when the session opened"
+
+let session_indexes s = List.map snd s.views
+
+let session_query ?(algo = `Parallel) s idx q =
+  Exec.run ~algo (session_view s idx) q
 
 let check t =
   List.iter

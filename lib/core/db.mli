@@ -6,7 +6,18 @@
     the store mutation, and recomputing: each affected entry is one plain
     B-tree insert/delete, and because entries of one path prefix are
     clustered the deletions arrive in key order (the paper's batch
-    observation). *)
+    observation).
+
+    {b Concurrency model.}  One writer, many snapshot readers.  Every
+    mutating operation ({!insert}, {!delete}, {!set_attr}, {!sync},
+    index (de)registration) serializes on an internal writer lock, so
+    writers may come from any thread.  Readers open a {!session}, which
+    pins — atomically with respect to writers — a snapshot view of every
+    registered index; queries through the session see exactly the
+    committed state at pin time (snapshot isolation) no matter how the
+    writer proceeds.  {!query} (without a session) reads the {e live}
+    index and belongs to the writer side: do not call it concurrently
+    with mutations. *)
 
 module Schema := Oodb_schema.Schema
 module Store := Objstore.Store
@@ -26,6 +37,11 @@ val add_index : t -> Index.t -> unit
     If the database was created with [cache_pages > 0] and the index has
     no pool yet, a shared pool of that many pages is attached first (one
     pool per index: pools are tied to the index's pager). *)
+
+val attach_index : t -> Index.t -> unit
+(** Like {!add_index} but without rebuilding — for an index that already
+    holds its entries, e.g. one re-opened from a page file with
+    {!Index.attach_class_hierarchy}. *)
 
 val cache_pages : t -> int
 
@@ -53,3 +69,38 @@ val sync : t -> unit
 val check : t -> unit
 (** Verifies every index: B-tree invariants hold and the entry set equals
     what a full rebuild from the store would produce.  For tests. *)
+
+(** {1 Snapshot sessions} *)
+
+type session
+(** A reader's handle: a snapshot view of every index, all pinned at the
+    same committed cut.  One session belongs to one thread; any number
+    of sessions may run concurrently with each other and with the
+    writer. *)
+
+val open_session : t -> session
+(** Pins a session at the current committed state (taking the writer
+    lock briefly, so the cut is never mid-mutation).  File-backed
+    indexes must have been synced at least once.  Release with
+    {!close_session}. *)
+
+val close_session : session -> unit
+(** Releases every pinned view (idempotent).  Queries through a closed
+    session raise [Invalid_argument]. *)
+
+val with_session : t -> (session -> 'a) -> 'a
+(** [with_session t f] opens a session, runs [f], and always closes it. *)
+
+val session_query :
+  ?algo:[ `Forward | `Parallel ] -> session -> Index.t -> Query.t -> Exec.outcome
+(** [session_query s idx q] runs [q] against the session's pinned view
+    of [idx] (pass the live index; the session maps it to its view).
+    [outcome.page_reads] counts reads on the view's own snapshot. *)
+
+val session_view : session -> Index.t -> Index.t
+(** The session's pinned view of a live index (a view argument is
+    returned unchanged).  Raises [Invalid_argument] if the index was not
+    registered when the session opened. *)
+
+val session_indexes : session -> Index.t list
+(** Every pinned view, in registration order. *)

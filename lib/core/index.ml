@@ -273,6 +273,39 @@ let build t store =
       |> Btree.insert_batch t.tree)
     t.specs
 
+(* --- snapshot views ------------------------------------------------------ *)
+
+let snapshot_view t =
+  let parent = Btree.pager t.tree in
+  let snap = Storage.Pager.snapshot parent in
+  let tree =
+    try
+      if Storage.Pager.durable parent then
+        (* the committed B-tree root is named by the committed header
+           metadata (recorded by Btree.sync) *)
+        Btree.reattach ~config:(Btree.config t.tree) snap
+      else
+        (* memory pagers commit every write immediately, so the live root
+           is the committed root (the header metadata may be stale
+           between Btree.syncs) *)
+        Btree.attach ~config:(Btree.config t.tree) snap
+          ~root:(Btree.root t.tree)
+    with e ->
+      Storage.Pager.release_snapshot snap;
+      raise e
+  in
+  (* no pool: a pool caches the live image, which may be ahead of the
+     pinned snapshot *)
+  { t with tree }
+
+let release_view v =
+  let pager = Btree.pager v.tree in
+  if not (Storage.Pager.is_snapshot pager) then
+    invalid_arg "Uindex.release_view: not a snapshot view";
+  Storage.Pager.release_snapshot pager
+
+let is_view t = Storage.Pager.is_snapshot (Btree.pager t.tree)
+
 let entry_count t = Btree.length t.tree
 
 let pp_stats ppf t =

@@ -152,5 +152,26 @@ val sync : t -> unit
 (** {!Btree.sync} on the underlying tree: persists the root and commits
     buffered pages when the index lives on a file-backed pager. *)
 
+val snapshot_view : t -> t
+(** [snapshot_view t] pins the index's last committed image
+    ({!Storage.Pager.snapshot}) and attaches a read-only index over it:
+    queries against the view answer from that image — with their page
+    reads accounted in the view's own pager stats — no matter what the
+    writer inserts, deletes or syncs concurrently.  For a file-backed
+    index the view answers from the last {!sync} (raises
+    {!Storage.Storage_error.Corruption} if the index was never synced);
+    for an in-memory index it answers from the current state.  Views
+    attach without a buffer pool (a pool caches the live image).
+    Release with {!release_view}; one view belongs to one thread at a
+    time.  Do not call the mutating operations, {!sync}, or
+    {!add_path}/{!set_cache_pages} on a view. *)
+
+val release_view : t -> unit
+(** Release a view's pinned snapshot (idempotent), folding its read
+    accounting into the parent pager's stats.  Raises
+    [Invalid_argument] if the argument is not a view. *)
+
+val is_view : t -> bool
+
 val entry_count : t -> int
 val pp_stats : Format.formatter -> t -> unit

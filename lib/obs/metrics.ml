@@ -1,9 +1,16 @@
-type counter = { c_value : int ref }
-type gauge = { g_value : int ref }
+(* Counters and gauges are single atomic words, so hot paths pay one
+   fetch-and-add per event even with concurrent snapshot readers and
+   server workers.  Histograms mutate several fields per observation, so
+   each carries its own mutex; registries guard their table with one more
+   for the (rare) registration and export paths. *)
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : int Atomic.t }
 
 let n_buckets = 64
 
 type histogram = {
+  h_lock : Mutex.t;
   mutable h_count : int;
   mutable h_sum : int;
   mutable h_max : int;
@@ -17,60 +24,63 @@ type instrument =
 
 type entry = { help : string; inst : instrument }
 
-type registry = { table : (string, entry) Hashtbl.t }
+type registry = { lock : Mutex.t; table : (string, entry) Hashtbl.t }
 
-let create_registry () = { table = Hashtbl.create 64 }
+let create_registry () = { lock = Mutex.create (); table = Hashtbl.create 64 }
 let default = create_registry ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let qualify ~subsystem name = subsystem ^ "." ^ name
 
-let counter ?(registry = default) ~subsystem ?(help = "") name =
-  let key = qualify ~subsystem name in
+let register registry ~key ~help ~make ~cast ~kind =
+  with_lock registry.lock @@ fun () ->
   match Hashtbl.find_opt registry.table key with
-  | Some { inst = Counter c; _ } -> c
-  | Some _ ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %s is already registered as a different kind"
-           key)
+  | Some { inst; _ } -> (
+      match cast inst with
+      | Some i -> i
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Metrics: %s is already registered as a different kind" key))
   | None ->
-      let c = { c_value = ref 0 } in
-      Hashtbl.add registry.table key { help; inst = Counter c };
-      c
+      let i = make () in
+      Hashtbl.add registry.table key { help; inst = kind i };
+      i
+
+let counter ?(registry = default) ~subsystem ?(help = "") name =
+  register registry ~key:(qualify ~subsystem name) ~help
+    ~make:(fun () -> { c_value = Atomic.make 0 })
+    ~cast:(function Counter c -> Some c | _ -> None)
+    ~kind:(fun c -> Counter c)
 
 let gauge ?(registry = default) ~subsystem ?(help = "") name =
-  let key = qualify ~subsystem name in
-  match Hashtbl.find_opt registry.table key with
-  | Some { inst = Gauge g; _ } -> g
-  | Some _ ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %s is already registered as a different kind"
-           key)
-  | None ->
-      let g = { g_value = ref 0 } in
-      Hashtbl.add registry.table key { help; inst = Gauge g };
-      g
+  register registry ~key:(qualify ~subsystem name) ~help
+    ~make:(fun () -> { g_value = Atomic.make 0 })
+    ~cast:(function Gauge g -> Some g | _ -> None)
+    ~kind:(fun g -> Gauge g)
 
 let histogram ?(registry = default) ~subsystem ?(help = "") name =
-  let key = qualify ~subsystem name in
-  match Hashtbl.find_opt registry.table key with
-  | Some { inst = Histogram h; _ } -> h
-  | Some _ ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %s is already registered as a different kind"
-           key)
-  | None ->
-      let h =
-        { h_count = 0; h_sum = 0; h_max = 0; buckets = Array.make n_buckets 0 }
-      in
-      Hashtbl.add registry.table key { help; inst = Histogram h };
-      h
+  register registry ~key:(qualify ~subsystem name) ~help
+    ~make:(fun () ->
+      {
+        h_lock = Mutex.create ();
+        h_count = 0;
+        h_sum = 0;
+        h_max = 0;
+        buckets = Array.make n_buckets 0;
+      })
+    ~cast:(function Histogram h -> Some h | _ -> None)
+    ~kind:(fun h -> Histogram h)
 
-let incr c = Stdlib.incr c.c_value
-let add c n = c.c_value := !(c.c_value) + n
-let value c = !(c.c_value)
+let incr c = ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
 
-let set g v = g.g_value := v
-let gauge_value g = !(g.g_value)
+let set g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
 
 (* bucket index: 0 holds exactly 0; index i >= 1 holds [2^(i-1), 2^i) *)
 let bucket_of v =
@@ -88,6 +98,7 @@ let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
 
 let observe h v =
   let v = max 0 v in
+  with_lock h.h_lock @@ fun () ->
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum + v;
   if v > h.h_max then h.h_max <- v;
@@ -105,9 +116,11 @@ type histogram_summary = {
   max_value : int;
   p50 : int;
   p90 : int;
+  p95 : int;
   p99 : int;
 }
 
+(* callers hold h.h_lock *)
 let quantile h q =
   if h.h_count = 0 then 0
   else begin
@@ -122,39 +135,48 @@ let quantile h q =
   end
 
 let summary h =
+  with_lock h.h_lock @@ fun () ->
   {
     count = h.h_count;
     sum = h.h_sum;
     max_value = h.h_max;
     p50 = quantile h 0.5;
     p90 = quantile h 0.9;
+    p95 = quantile h 0.95;
     p99 = quantile h 0.99;
   }
 
 (* --- snapshot / export -------------------------------------------------- *)
 
 let sorted_entries r =
-  Hashtbl.fold (fun k e acc -> (k, e) :: acc) r.table []
+  with_lock r.lock (fun () ->
+      Hashtbl.fold (fun k e acc -> (k, e) :: acc) r.table [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let find r key =
-  match Hashtbl.find_opt r.table key with
+  match with_lock r.lock (fun () -> Hashtbl.find_opt r.table key) with
   | Some { inst = Counter c; _ } -> Some (value c)
   | Some { inst = Gauge g; _ } -> Some (gauge_value g)
   | Some { inst = Histogram _; _ } | None -> None
 
+let find_summary r key =
+  match with_lock r.lock (fun () -> Hashtbl.find_opt r.table key) with
+  | Some { inst = Histogram h; _ } -> Some (summary h)
+  | Some _ | None -> None
+
 let reset r =
-  Hashtbl.iter
-    (fun _ e ->
+  List.iter
+    (fun (_, e) ->
       match e.inst with
-      | Counter c -> c.c_value := 0
-      | Gauge g -> g.g_value := 0
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0
       | Histogram h ->
-          h.h_count <- 0;
-          h.h_sum <- 0;
-          h.h_max <- 0;
-          Array.fill h.buckets 0 n_buckets 0)
-    r.table
+          with_lock h.h_lock (fun () ->
+              h.h_count <- 0;
+              h.h_sum <- 0;
+              h.h_max <- 0;
+              Array.fill h.buckets 0 n_buckets 0))
+    (sorted_entries r)
 
 let pp ppf r =
   let entries = sorted_entries r in
@@ -177,9 +199,21 @@ let pp ppf r =
       | Histogram h ->
           let s = summary h in
           Format.fprintf ppf
-            "  %-40s count=%d sum=%d max=%d p50<=%d p90<=%d p99<=%d@." key
-            s.count s.sum s.max_value s.p50 s.p90 s.p99)
+            "  %-40s count=%d sum=%d max=%d p50<=%d p90<=%d p95<=%d p99<=%d@."
+            key s.count s.sum s.max_value s.p50 s.p90 s.p95 s.p99)
     entries
+
+let summary_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum", Json.Int s.sum);
+      ("max", Json.Int s.max_value);
+      ("p50", Json.Int s.p50);
+      ("p90", Json.Int s.p90);
+      ("p95", Json.Int s.p95);
+      ("p99", Json.Int s.p99);
+    ]
 
 let to_json r =
   let entries = sorted_entries r in
@@ -189,16 +223,5 @@ let to_json r =
          match e.inst with
          | Counter c -> (key, Json.Int (value c))
          | Gauge g -> (key, Json.Int (gauge_value g))
-         | Histogram h ->
-             let s = summary h in
-             ( key,
-               Json.Obj
-                 [
-                   ("count", Json.Int s.count);
-                   ("sum", Json.Int s.sum);
-                   ("max", Json.Int s.max_value);
-                   ("p50", Json.Int s.p50);
-                   ("p90", Json.Int s.p90);
-                   ("p99", Json.Int s.p99);
-                 ] ))
+         | Histogram h -> (key, summary_json (summary h)))
        entries)

@@ -17,7 +17,16 @@
     Instruments default to the process-wide {!default} registry; tests
     can create private registries.  Histograms bucket by powers of two
     ([0], [1], [2–3], [4–7], ...), which spans page-read counts and
-    nanosecond latencies alike in 63 buckets. *)
+    nanosecond latencies alike in 63 buckets.
+
+    {b Thread safety.}  Every operation in this interface is safe to call
+    from concurrent threads and domains.  Counters and gauges are single
+    atomic words ({!incr}/{!add} are one fetch-and-add, never a lock);
+    histogram observations and summaries serialize on a per-histogram
+    mutex; registration and export take a per-registry mutex.  Exports
+    ({!pp}, {!to_json}, {!summary}) are internally consistent per
+    instrument but not a cross-instrument atomic snapshot — concurrent
+    increments may land between two instruments' readouts. *)
 
 type registry
 
@@ -66,12 +75,24 @@ type histogram_summary = {
   max_value : int;
   p50 : int;
   p90 : int;
+  p95 : int;
   p99 : int;
       (** quantiles are upper bounds of the containing log2 bucket — exact
           enough to read orders of magnitude, cheap enough for hot paths *)
 }
 
 val summary : histogram -> histogram_summary
+
+val find_summary : registry -> string -> histogram_summary option
+(** [find_summary r "server.request_ns"] is the current summary of the
+    histogram with that fully-qualified name; [None] for counters, gauges
+    and unknown names.  This is how the CLI and the server's [stats]
+    response surface request-latency percentiles. *)
+
+val summary_json : histogram_summary -> Json.t
+(** [{"count": ..., "sum": ..., "max": ..., "p50": ..., "p90": ...,
+    "p95": ..., "p99": ...}] — the same rendering {!to_json} uses for
+    histogram members. *)
 
 (* {1 Snapshot and export} *)
 
@@ -91,5 +112,5 @@ val pp : Format.formatter -> registry -> unit
 val to_json : registry -> Json.t
 (** [{"subsystem.name": value, ...}] for counters/gauges, and
     [{"subsystem.name": {"count": ..., "sum": ..., "max": ...,
-    "p50": ..., "p90": ..., "p99": ...}}] for histograms, sorted by
-    name. *)
+    "p50": ..., "p90": ..., "p95": ..., "p99": ...}}] for histograms,
+    sorted by name. *)

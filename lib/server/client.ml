@@ -1,0 +1,32 @@
+module Json = Obs.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd }
+
+let connect_tcp host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd }
+
+let connect_addr = function
+  | Unix.ADDR_UNIX path -> connect_unix path
+  | Unix.ADDR_INET (ip, port) -> connect_tcp (Unix.string_of_inet_addr ip) port
+
+exception Closed_by_server
+
+let request_raw t line =
+  Protocol.write_frame t.fd line;
+  match Protocol.read_frame t.fd with
+  | Protocol.Frame payload -> payload
+  | Protocol.Eof | Protocol.Truncated -> raise Closed_by_server
+  | Protocol.Too_large _ -> raise Closed_by_server
+
+let request t line = Json.of_string (request_raw t line)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

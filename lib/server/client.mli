@@ -1,0 +1,25 @@
+(** A minimal blocking client for the wire protocol: one connection, one
+    request in flight at a time.  Not thread-safe — one client per
+    thread. *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : string -> int -> t
+
+val connect_addr : Unix.sockaddr -> t
+(** Connects to whatever {!Server.bound_addr} returned. *)
+
+exception Closed_by_server
+(** The server closed the connection instead of replying — e.g. after
+    [quit], a fatal framing error, or shutdown. *)
+
+val request_raw : t -> string -> string
+(** Sends one request line, returns the raw response payload —
+    byte-exact, for differential comparison across clients.  Raises
+    {!Closed_by_server}, or [Unix.Unix_error] on transport failure. *)
+
+val request : t -> string -> Obs.Json.t
+(** {!request_raw} parsed as JSON. *)
+
+val close : t -> unit

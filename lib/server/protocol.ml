@@ -1,0 +1,121 @@
+module Json = Obs.Json
+
+let max_frame = 1 lsl 20
+
+(* --- framing ---------------------------------------------------------- *)
+
+(* read exactly [len] bytes; false on EOF before they all arrived *)
+let rec read_full fd b off len =
+  len = 0
+  ||
+  let n = Unix.read fd b off len in
+  n > 0 && read_full fd b (off + n) (len - n)
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg "Protocol.write_frame: payload too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  let rec go off len =
+    if len > 0 then begin
+      let w = Unix.write fd b off len in
+      go (off + w) (len - w)
+    end
+  in
+  go 0 (4 + n)
+
+type read_result =
+  | Frame of string
+  | Eof
+  | Too_large of int
+  | Truncated
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  let n0 = Unix.read fd hdr 0 4 in
+  if n0 = 0 then Eof
+  else if not (read_full fd hdr n0 (4 - n0)) then Truncated
+  else
+    (* u32, so a hostile length can not read as negative *)
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) land 0xFFFFFFFF in
+    if len > max_frame then Too_large len
+    else
+      let b = Bytes.create len in
+      if read_full fd b 0 len then Frame (Bytes.to_string b) else Truncated
+
+(* --- requests --------------------------------------------------------- *)
+
+type request =
+  | Query of { algo : [ `Parallel | `Forward ]; text : string }
+  | Stats
+  | Ping
+  | Quit
+
+let parse_request s =
+  let s = String.trim s in
+  let word, rest =
+    match String.index_opt s ' ' with
+    | Some i ->
+        ( String.sub s 0 i,
+          String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, "")
+  in
+  match (String.lowercase_ascii word, rest) with
+  | "ping", "" -> Ok Ping
+  | "stats", "" -> Ok Stats
+  | "quit", "" -> Ok Quit
+  | "query", "" -> Error "query: missing query text"
+  | "query", text -> Ok (Query { algo = `Parallel; text })
+  | "query-forward", "" -> Error "query-forward: missing query text"
+  | "query-forward", text -> Ok (Query { algo = `Forward; text })
+  | "", _ -> Error "empty request"
+  | w, _ -> Error (Printf.sprintf "unknown command %S" w)
+
+let request_to_string = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Quit -> "quit"
+  | Query { algo = `Parallel; text } -> "query " ^ text
+  | Query { algo = `Forward; text } -> "query-forward " ^ text
+
+(* --- responses -------------------------------------------------------- *)
+
+type error_kind =
+  | Bad_request
+  | Parse_error
+  | Unroutable
+  | Timeout
+  | Overloaded
+  | Frame_too_large
+  | Internal
+
+let error_kind_name = function
+  | Bad_request -> "bad_request"
+  | Parse_error -> "parse_error"
+  | Unroutable -> "unroutable"
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
+  | Frame_too_large -> "frame_too_large"
+  | Internal -> "internal"
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let error ?(detail = "") kind =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [
+            ("kind", Json.Str (error_kind_name kind));
+            ("detail", Json.Str detail);
+          ] );
+    ]
+
+let response_is_ok j = Json.member "ok" j = Some (Json.Bool true)
+
+let response_error_kind j =
+  match Json.member "error" j with
+  | Some e -> Option.bind (Json.member "kind" e) Json.to_str
+  | None -> None

@@ -1,0 +1,64 @@
+(** The wire protocol: length-prefixed frames carrying text requests and
+    JSON responses.
+
+    A frame is a 4-byte big-endian unsigned payload length followed by
+    that many payload bytes.  Requests are one-line text commands
+    ([ping], [stats], [quit], [query <q>], [query-forward <q>] where
+    [<q>] uses the paper's query syntax — see [Qparse]); responses are
+    one {!Obs.Json} object per request: [{"ok": true, ...}] on success,
+    [{"ok": false, "error": {"kind": ..., "detail": ...}}] on a typed
+    error.  Frames longer than {!max_frame} are rejected without being
+    read, so a hostile length prefix cannot balloon server memory. *)
+
+val max_frame : int
+(** Maximum payload bytes per frame (1 MiB), both directions. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Raises [Invalid_argument] if the payload exceeds {!max_frame};
+    [Unix.Unix_error] on I/O failure. *)
+
+type read_result =
+  | Frame of string  (** one complete payload *)
+  | Eof  (** clean close: the peer finished before any header byte *)
+  | Too_large of int
+      (** header announced this many bytes (> {!max_frame}); nothing
+          further was read, and the stream position is unrecoverable *)
+  | Truncated  (** the peer disconnected mid-frame *)
+
+val read_frame : Unix.file_descr -> read_result
+(** Blocking read of one frame.  [Unix.Unix_error] propagates — with a
+    receive timeout set, a stalled peer surfaces as
+    [EAGAIN]/[EWOULDBLOCK]. *)
+
+type request =
+  | Query of { algo : [ `Parallel | `Forward ]; text : string }
+  | Stats
+  | Ping
+  | Quit
+
+val parse_request : string -> (request, string) result
+(** Case-insensitive on the command word; the query text is passed
+    through verbatim. *)
+
+val request_to_string : request -> string
+(** Inverse of {!parse_request} (canonical spelling). *)
+
+type error_kind =
+  | Bad_request  (** unparseable command *)
+  | Parse_error  (** query text rejected by [Qparse] *)
+  | Unroutable  (** no index serves this query's arity *)
+  | Timeout  (** the request exceeded its deadline *)
+  | Overloaded  (** accept queue full; retry later *)
+  | Frame_too_large
+  | Internal
+
+val error_kind_name : error_kind -> string
+
+val ok : (string * Obs.Json.t) list -> Obs.Json.t
+(** [{"ok": true, <fields>}]. *)
+
+val error : ?detail:string -> error_kind -> Obs.Json.t
+(** [{"ok": false, "error": {"kind": ..., "detail": ...}}]. *)
+
+val response_is_ok : Obs.Json.t -> bool
+val response_error_kind : Obs.Json.t -> string option

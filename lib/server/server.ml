@@ -1,0 +1,227 @@
+module Json = Obs.Json
+
+let src = Logs.Src.create "uindex.server" ~doc:"query service socket server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  workers : int;
+  backlog : int;
+  request_timeout : float;  (* seconds; 0. = no deadline *)
+}
+
+let default_config addr =
+  { addr; workers = 4; backlog = 64; request_timeout = 5. }
+
+type conn = { fd : Unix.file_descr; enqueued_at : float }
+
+type t = {
+  service : Service.t;
+  config : config;
+  listen_fd : Unix.file_descr;
+  queue : conn Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  stopping : bool Atomic.t;
+  mutable acceptor : unit Domain.t option;
+  mutable pool : unit Domain.t list;
+}
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_quietly fd json =
+  try Protocol.write_frame fd (Json.to_string json)
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+(* --- binding ---------------------------------------------------------- *)
+
+let unlink_stale_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> invalid_arg (Printf.sprintf "Server: %s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let bind_listener config =
+  match config.addr with
+  | Unix_sock path ->
+      unlink_stale_socket path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd (max 8 config.backlog);
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let ip = Unix.inet_addr_of_string host in
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd (max 8 config.backlog);
+      fd
+
+let bound_addr t = Unix.getsockname t.listen_fd
+
+(* --- acceptor --------------------------------------------------------- *)
+
+let enqueue t fd =
+  Mutex.lock t.qlock;
+  let full = Queue.length t.queue >= t.config.backlog in
+  if not full then begin
+    Queue.push { fd; enqueued_at = Unix.gettimeofday () } t.queue;
+    Condition.signal t.qcond
+  end;
+  Mutex.unlock t.qlock;
+  if full then begin
+    (* shed load in the acceptor: a typed reply beats a hung client *)
+    Log.warn (fun m -> m "accept queue full (%d): shedding" t.config.backlog);
+    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1. with Unix.Unix_error _ -> ());
+    send_quietly fd (Protocol.error ~detail:"accept queue full" Protocol.Overloaded);
+    close_quietly fd
+  end
+
+let rec accept_loop t =
+  if not (Atomic.get t.stopping) then begin
+    (* poll with a timeout so a quiet listener still notices [stop] *)
+    (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ -> enqueue t fd
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    accept_loop t
+  end
+
+(* --- workers ---------------------------------------------------------- *)
+
+(* next queued connection; None only when stopping AND the queue has
+   drained — pending requests are served through shutdown *)
+let pop t =
+  Mutex.lock t.qlock;
+  while Queue.is_empty t.queue && not (Atomic.get t.stopping) do
+    Condition.wait t.qcond t.qlock
+  done;
+  let c = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.qlock;
+  c
+
+let serve_conn t conn =
+  let timeout = t.config.request_timeout in
+  let fd = conn.fd in
+  if timeout > 0. then begin
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+  end;
+  if timeout > 0. && Unix.gettimeofday () -. conn.enqueued_at > timeout then begin
+    (* went stale waiting in the accept queue: tell the client, not limbo *)
+    send_quietly fd (Protocol.error ~detail:"queued past deadline" Protocol.Timeout);
+    close_quietly fd
+  end
+  else
+    let rec loop () =
+      match Protocol.read_frame fd with
+      | Protocol.Eof | Protocol.Truncated -> close_quietly fd
+      | Protocol.Too_large n ->
+          (* stream position is unrecoverable after a hostile length *)
+          send_quietly fd
+            (Protocol.error
+               ~detail:(Printf.sprintf "frame of %d bytes exceeds %d" n Protocol.max_frame)
+               Protocol.Frame_too_large);
+          close_quietly fd
+      | Protocol.Frame payload -> (
+          match Protocol.parse_request payload with
+          | Error msg ->
+              send_quietly fd (Protocol.error ~detail:msg Protocol.Bad_request);
+              loop ()
+          | Ok Protocol.Quit ->
+              send_quietly fd (Service.handle t.service Protocol.Quit);
+              close_quietly fd
+          | Ok req ->
+              let deadline =
+                if timeout > 0. then Some (Unix.gettimeofday () +. timeout)
+                else None
+              in
+              send_quietly fd (Service.handle ?deadline t.service req);
+              loop ())
+    in
+    try loop ()
+    with
+    | Unix.Unix_error
+        ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT | Unix.ECONNRESET
+          | Unix.EPIPE ),
+          _,
+          _ ) ->
+        close_quietly fd
+
+let worker_loop t =
+  let rec go () =
+    match pop t with
+    | None -> ()
+    | Some conn ->
+        (* a worker must survive anything one connection throws at it *)
+        (try serve_conn t conn
+         with e ->
+           Log.err (fun m -> m "worker: %s" (Printexc.to_string e));
+           close_quietly conn.fd);
+        go ()
+  in
+  go ()
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let start service config =
+  if config.workers < 1 then invalid_arg "Server.start: workers < 1";
+  if config.backlog < 1 then invalid_arg "Server.start: backlog < 1";
+  (* a peer that disconnects mid-reply must surface as EPIPE on the
+     write, not kill the process *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = bind_listener config in
+  let t =
+    {
+      service;
+      config;
+      listen_fd;
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = Atomic.make false;
+      acceptor = None;
+      pool = [];
+    }
+  in
+  t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
+  t.pool <-
+    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Log.info (fun m -> m "serving with %d workers" config.workers);
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Mutex.lock t.qlock;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qlock;
+    Option.iter Domain.join t.acceptor;
+    t.acceptor <- None;
+    (* wake workers again in case they raced the first broadcast *)
+    Mutex.lock t.qlock;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qlock;
+    List.iter Domain.join t.pool;
+    t.pool <- [];
+    (* the pool drained the queue before exiting; anything left was
+       enqueued in the closing race — refuse it cleanly *)
+    Queue.iter
+      (fun c ->
+        send_quietly c.fd (Protocol.error ~detail:"server stopping" Protocol.Overloaded);
+        close_quietly c.fd)
+      t.queue;
+    Queue.clear t.queue;
+    close_quietly t.listen_fd;
+    (match t.config.addr with
+    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    (* drain-then-sync: shutdown leaves nothing in the journal *)
+    Uindex.Db.sync (Service.db t.service);
+    Log.info (fun m -> m "stopped")
+  end

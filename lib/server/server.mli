@@ -1,0 +1,49 @@
+(** The socket server: a fixed worker pool serving the wire protocol over
+    a Unix-domain or TCP listener.
+
+    One acceptor domain polls the listener and pushes connections onto a
+    bounded queue; [workers] domains pop connections and serve requests
+    through {!Service.handle}.  Overflowing the queue gets the client a
+    typed [overloaded] reply instead of a hang; a connection that waited
+    in the queue past the request timeout gets a [timeout] reply; socket
+    reads and writes carry OS-level timeouts so a stalled peer can never
+    pin a worker.  Workers survive every per-connection failure.
+
+    {!stop} is graceful: the acceptor quits, workers finish every queued
+    connection, the listener closes (Unix-domain socket files are
+    unlinked), and the database syncs — after a clean stop the journal is
+    empty. *)
+
+type addr =
+  | Unix_sock of string  (** path to a Unix-domain socket *)
+  | Tcp of string * int  (** dotted-quad bind address and port; port [0]
+                             picks an ephemeral port (see {!bound_addr}) *)
+
+type config = {
+  addr : addr;
+  workers : int;  (** worker domains (>= 1) *)
+  backlog : int;  (** max queued connections before shedding (>= 1) *)
+  request_timeout : float;
+      (** per-request deadline and socket timeout in seconds; [0.]
+          disables both *)
+}
+
+val default_config : addr -> config
+(** 4 workers, backlog 64, 5 s timeout. *)
+
+type t
+
+val start : Service.t -> config -> t
+(** Binds, listens and spawns the acceptor and worker domains.  Raises
+    [Unix.Unix_error] if the address cannot be bound and
+    [Invalid_argument] on nonsensical config or a non-socket file at a
+    Unix-domain path (a stale socket file is unlinked and rebound).
+    Sets the process's [SIGPIPE] disposition to ignore, so peers that
+    vanish mid-reply surface as [EPIPE] writes. *)
+
+val stop : t -> unit
+(** Graceful shutdown as described above; blocks until every domain has
+    joined and the database has synced.  Idempotent. *)
+
+val bound_addr : t -> Unix.sockaddr
+(** The listener's actual address — the chosen port for [Tcp (_, 0)]. *)

@@ -1,0 +1,132 @@
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Schema = Oodb_schema.Schema
+module Value = Objstore.Value
+module Db = Uindex.Db
+module Index = Uindex.Index
+module Query = Uindex.Query
+module Qparse = Uindex.Qparse
+
+let requests = Metrics.counter ~subsystem:"server" "requests"
+let request_errors = Metrics.counter ~subsystem:"server" "request_errors"
+
+let request_ns =
+  Metrics.histogram ~subsystem:"server"
+    ~help:"request handling latency (ns)" "request_ns"
+
+type t = {
+  db : Db.t;
+  schema : Schema.t;
+  route : (int * Index.t) list;  (* query arity -> serving index *)
+}
+
+let create ~schema db =
+  let route =
+    List.map (fun idx -> (Index.arity idx, idx)) (Db.indexes db)
+  in
+  { db; schema; route }
+
+let db t = t.db
+
+(* --- rendering -------------------------------------------------------- *)
+
+let value_json = function
+  | Value.Null -> Json.Null
+  | Value.Int i -> Json.Int i
+  | Value.Str s -> Json.Str s
+  | Value.Ref o -> Json.Obj [ ("ref", Json.Int o) ]
+  | Value.Ref_set os -> Json.List (List.map (fun o -> Json.Int o) os)
+
+let binding_json schema (b : Uindex.Exec.binding) =
+  Json.Obj
+    [
+      ("value", value_json b.value);
+      ( "comps",
+        Json.List
+          (List.map
+             (fun (cls, oid) ->
+               Json.List [ Json.Str (Schema.name schema cls); Json.Int oid ])
+             b.comps) );
+    ]
+
+(* A canonical row order: Exec already returns a deterministic order per
+   snapshot, but sorting rendered rows makes concurrent replies
+   byte-comparable against a sequential baseline without trusting that. *)
+let rows_json schema bindings =
+  let rendered = List.map (binding_json schema) bindings in
+  let keyed = List.map (fun j -> (Json.to_string j, j)) rendered in
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) keyed
+  in
+  Json.List (List.map snd sorted)
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let stats_response () =
+  let latency =
+    match Metrics.find_summary Metrics.default "server.request_ns" with
+    | Some s -> Metrics.summary_json s
+    | None -> Json.Null
+  in
+  Protocol.ok
+    [
+      ("type", Json.Str "stats");
+      ("request_latency", latency);
+      ("metrics", Metrics.to_json Metrics.default);
+    ]
+
+let query_response t ~algo text =
+  match Qparse.parse t.schema text with
+  | exception Qparse.Parse_error msg ->
+      Protocol.error ~detail:msg Protocol.Parse_error
+  | q -> (
+      let arity = List.length q.Query.comps in
+      match List.assoc_opt arity t.route with
+      | None ->
+          Protocol.error
+            ~detail:
+              (Printf.sprintf "no index serves arity-%d queries" arity)
+            Protocol.Unroutable
+      | Some idx ->
+          let out =
+            Db.with_session t.db (fun s -> Db.session_query ~algo s idx q)
+          in
+          Protocol.ok
+            [
+              ("type", Json.Str "rows");
+              ("count", Json.Int (List.length out.bindings));
+              ("rows", rows_json t.schema out.bindings);
+              ("page_reads", Json.Int out.page_reads);
+              ("pool_hits", Json.Int out.pool_hits);
+              ("entries_scanned", Json.Int out.entries_scanned);
+            ])
+
+let handle ?deadline t (req : Protocol.request) =
+  Metrics.incr requests;
+  let resp =
+    Metrics.observe_span request_ns @@ fun () ->
+    let expired =
+      match deadline with
+      | Some d -> Unix.gettimeofday () > d
+      | None -> false
+    in
+    if expired then
+      Protocol.error ~detail:"deadline exceeded before execution"
+        Protocol.Timeout
+    else
+      match req with
+      | Protocol.Ping -> Protocol.ok [ ("type", Json.Str "pong") ]
+      | Protocol.Quit -> Protocol.ok [ ("type", Json.Str "bye") ]
+      | Protocol.Stats -> stats_response ()
+      | Protocol.Query { algo; text } -> (
+          try query_response t ~algo text
+          with e ->
+            Protocol.error ~detail:(Printexc.to_string e) Protocol.Internal)
+  in
+  if not (Protocol.response_is_ok resp) then Metrics.incr request_errors;
+  resp
+
+let handle_line ?deadline t line =
+  match Protocol.parse_request line with
+  | Error msg -> Protocol.error ~detail:msg Protocol.Bad_request
+  | Ok req -> handle ?deadline t req

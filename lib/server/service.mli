@@ -1,0 +1,34 @@
+(** Request dispatch: a {!Uindex.Db} behind the wire protocol.
+
+    A service routes each parsed query to the registered index whose
+    {!Uindex.Index.arity} matches the query's component count — the same
+    routing the CLI's [query] command performs — and executes it inside a
+    {!Uindex.Db.session}, so every request sees one committed snapshot no
+    matter what the writer does meanwhile.
+
+    Rows are rendered in a canonical sorted order, so two replies to the
+    same query against the same snapshot are byte-identical regardless of
+    which worker (or process) produced them.
+
+    Handling is thread-safe: any number of threads may call {!handle} on
+    one service concurrently. *)
+
+type t
+
+val create : schema:Oodb_schema.Schema.t -> Uindex.Db.t -> t
+(** Snapshots the database's current index registration into a routing
+    table (indexes registered later are not served). *)
+
+val db : t -> Uindex.Db.t
+
+val handle : ?deadline:float -> t -> Protocol.request -> Obs.Json.t
+(** Executes one request and returns the response document.  [?deadline]
+    is an absolute [Unix.gettimeofday] instant; a request that starts
+    after its deadline gets a [timeout] error instead of running.  Never
+    raises: execution failures become [internal] error responses.
+    Observes the [server.requests], [server.request_errors] and
+    [server.request_ns] instruments in {!Obs.Metrics.default}. *)
+
+val handle_line : ?deadline:float -> t -> string -> Obs.Json.t
+(** {!Protocol.parse_request} then {!handle}; unparseable request lines
+    become [bad_request] error responses. *)

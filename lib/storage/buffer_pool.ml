@@ -16,6 +16,7 @@ type node = {
 type t = {
   pager : Pager.t;
   capacity : int;
+  lock : Mutex.t;  (* LRU surgery is multi-field: serialize everything *)
   table : (int, node) Hashtbl.t;
   mutable head : node option;  (* most recently used *)
   mutable tail : node option;  (* least recently used *)
@@ -25,11 +26,16 @@ type t = {
   mutable relinks : int;  (* hits that paid the unlink+push_front *)
 }
 
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let create ~capacity pager =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
   {
     pager;
     capacity;
+    lock = Mutex.create ();
     table = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
@@ -63,16 +69,15 @@ let evict_lru t =
       Hashtbl.remove t.table n.page_id;
       t.evictions <- t.evictions + 1;
       Obs.Metrics.incr m_evictions;
-      let s = Pager.stats t.pager in
-      s.Stats.pool_evictions <- s.Stats.pool_evictions + 1
+      Pager.record_pool_event t.pager `Eviction
 
 let read t id =
+  with_lock t @@ fun () ->
   match Hashtbl.find_opt t.table id with
   | Some n ->
       t.hits <- t.hits + 1;
       Obs.Metrics.incr m_hits;
-      let s = Pager.stats t.pager in
-      s.Stats.pool_hits <- s.Stats.pool_hits + 1;
+      Pager.record_pool_event t.pager `Hit;
       (* fast path: a hit on the MRU node needs no list surgery.  The
          node must be compared directly — [t.head != Some n] allocates a
          fresh [Some] and physical inequality against it is always
@@ -87,8 +92,7 @@ let read t id =
   | None ->
       t.misses <- t.misses + 1;
       Obs.Metrics.incr m_misses;
-      let s = Pager.stats t.pager in
-      s.Stats.pool_misses <- s.Stats.pool_misses + 1;
+      Pager.record_pool_event t.pager `Miss;
       let data = Pager.read t.pager id in
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
       let n = { page_id = id; data; prev = None; next = None } in
@@ -101,11 +105,13 @@ let read t id =
    pool caches read traffic, and the pager remains the source of truth.
    Recency is deliberately untouched: an update is not a read. *)
 let update t id data =
+  with_lock t @@ fun () ->
   match Hashtbl.find_opt t.table id with
   | Some n -> n.data <- Bytes.copy data
   | None -> ()
 
 let invalidate t id =
+  with_lock t @@ fun () ->
   match Hashtbl.find_opt t.table id with
   | Some n ->
       unlink t n;
@@ -113,18 +119,20 @@ let invalidate t id =
   | None -> ()
 
 let flush t =
+  with_lock t @@ fun () ->
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None
 
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
-let relinks t = t.relinks
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+let evictions t = with_lock t (fun () -> t.evictions)
+let relinks t = with_lock t (fun () -> t.relinks)
 let capacity t = t.capacity
 let pager t = t.pager
 
 let lru_order t =
+  with_lock t @@ fun () ->
   let rec go acc = function
     | None -> List.rev acc
     | Some n -> go (n.page_id :: acc) n.next
@@ -132,7 +140,8 @@ let lru_order t =
   go [] t.head
 
 let hit_rate t =
+  with_lock t @@ fun () ->
   let total = t.hits + t.misses in
   if total = 0 then 0. else float_of_int t.hits /. float_of_int total
 
-let resident t = Hashtbl.length t.table
+let resident t = with_lock t (fun () -> Hashtbl.length t.table)

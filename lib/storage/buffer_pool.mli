@@ -22,7 +22,16 @@
     writes or frees — see DESIGN.md §7.  A pool is tied to one open
     pager instance: journal [recover] runs on closed files, so a pager
     reopened after recovery starts with a fresh (empty, trivially
-    coherent) pool. *)
+    coherent) pool.
+
+    {b Thread safety.}  All operations serialize on an internal
+    per-pool mutex, so a pool is safe to share between threads.  Note
+    the pool mirrors its counters into the pager's {!Stats.t}, which is
+    owned by the writer thread — so a shared pool still belongs to the
+    {e writer side} of the pager's single-writer contract.  Snapshot
+    sessions never read through a pool: a pool caches the live image,
+    which may be ahead of a pinned snapshot, so views attach without one
+    (see [Index.snapshot_view]). *)
 
 type t
 

@@ -80,16 +80,6 @@ let group_size page_size = (page_size / 4) - 1
 (* Types                                                               *)
 (* ------------------------------------------------------------------ *)
 
-type backend =
-  | Memory of { mutable pages : Bytes.t option array }
-  | File of {
-      fd : Unix.file_descr;
-      path : string;
-      mutable live_map : bool array;
-      dirty : (int, Bytes.t) Hashtbl.t;
-          (* logical id -> content written since the last sync *)
-    }
-
 type media_fault =
   | Flip_bit of { page : int; bit : int }
   | Zero_page of { page : int }
@@ -115,7 +105,31 @@ type fault_plan = {
          backend after the next sync completes — a lost write *)
 }
 
-type t = {
+type backend =
+  | Memory of { mutable pages : Bytes.t option array }
+  | File of {
+      fd : Unix.file_descr;
+      path : string;
+      mutable live_map : bool array;
+      dirty : (int, Bytes.t) Hashtbl.t;
+          (* logical id -> content written since the last sync *)
+    }
+  | Snap of snap
+
+(* An immutable read view of the parent's last committed image.  The
+   snapshot starts empty and reads through to the parent's committed
+   storage; when the writer is about to overwrite a committed page (a
+   Memory write/free, or a File checkpoint), the old image is stashed
+   into the overlay of every live snapshot that can still see it
+   (copy-on-commit).  Overlay entries are immutable once added. *)
+and snap = {
+  parent : t;
+  overlay : (int, Bytes.t) Hashtbl.t;  (* stashed committed images *)
+  snap_live : bool array;  (* committed liveness at pin time *)
+  mutable released : bool;
+}
+
+and t = {
   page_size : int;
   checksums : bool;
   mutable backend : backend;
@@ -130,7 +144,21 @@ type t = {
   mutable sums : Bytes.t;  (* u32 FNV-1a per logical page (checksums on) *)
   mutable faults : fault_plan option;
   stats : Stats.t;
+  lock : Mutex.t;
+      (* serializes every state-touching operation on this pager with the
+         reads of snapshots pinned on it (they share the fd / page array) *)
+  mutable snaps : t list;  (* live snapshots pinned on this pager *)
+  (* last committed allocation state (File backend; for Memory the live
+     fields are the committed state, and for Snap these are frozen) *)
+  mutable committed_meta : string;
+  mutable committed_used : int;
+  mutable committed_free : int list;
+  mutable committed_live : int;
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* physical index of logical page [id] *)
 let data_phys t id =
@@ -276,6 +304,12 @@ let make ~page_size ~checksums backend =
     sums = Bytes.create 0;
     faults = None;
     stats = Stats.create ();
+    lock = Mutex.create ();
+    snaps = [];
+    committed_meta = "";
+    committed_used = 0;
+    committed_free = [];
+    committed_live = 0;
   }
 
 let create ?(page_size = 1024) ?(checksums = false) () =
@@ -460,6 +494,10 @@ let open_file ?page_size path =
   t.free_list <- List.rev !free_list;
   t.meta <- meta;
   t.sums <- sums;
+  t.committed_meta <- t.meta;
+  t.committed_used <- t.used;
+  t.committed_free <- t.free_list;
+  t.committed_live <- t.live;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -477,6 +515,7 @@ let clobber_page t id b =
       if id < Array.length m.pages && m.pages.(id) <> None then
         m.pages.(id) <- Some (Bytes.copy b)
   | File f -> pwrite_buf f.fd ~off:(data_phys t id * t.page_size) b t.page_size
+  | Snap _ -> invalid_arg "Pager: cannot clobber a snapshot"
 
 (* lost writes armed by [Stale_page] land once the next sync completes *)
 let apply_stale t =
@@ -486,7 +525,38 @@ let apply_stale t =
       p.stale <- []
   | _ -> ()
 
-let sync t =
+(* Called with [t.lock] held, just before page [id]'s committed image is
+   overwritten: preserve that image in the overlay of every live snapshot
+   that pinned it and has not stashed it yet.  [fetch] reads the current
+   committed image lazily (at most once per call); overlays may share the
+   fetched buffer because committed images are replaced, never mutated in
+   place, and overlay reads hand out copies. *)
+let stash_committed t id fetch =
+  match t.snaps with
+  | [] -> ()
+  | snaps ->
+      let cached = ref None in
+      let get () =
+        match !cached with
+        | Some b -> b
+        | None ->
+            let b = fetch () in
+            cached := Some b;
+            b
+      in
+      List.iter
+        (fun s ->
+          match s.backend with
+          | Snap sn
+            when (not sn.released)
+                 && id < s.used
+                 && sn.snap_live.(id)
+                 && not (Hashtbl.mem sn.overlay id) ->
+              Hashtbl.add sn.overlay id (get ())
+          | _ -> ())
+        snaps
+
+let sync_locked t =
   check_open t;
   Obs.Metrics.incr m_syncs;
   (match t.faults with
@@ -496,6 +566,7 @@ let sync t =
       raise (Fault "Pager: crashed (sync after fault)")
   | _ -> ());
   (match t.backend with
+  | Snap _ -> invalid_arg "Pager.sync: snapshot is read-only"
   | Memory _ -> () (* memory writes are applied immediately *)
   | File f ->
       if
@@ -516,6 +587,17 @@ let sync t =
           chain t.free_list
         end;
         let logical = !logical in
+        (* copy-on-commit: the checkpoint below overwrites these pages'
+           committed images in place, so stash the old images for any
+           snapshot still reading them *)
+        List.iter
+          (fun (id, _) ->
+            stash_committed t id (fun () ->
+                let b = Bytes.create t.page_size in
+                pread_buf f.fd ~off:(data_phys t id * t.page_size) b
+                  t.page_size;
+                b))
+          logical;
         (* with checksums on, refresh the sums of every page in the
            transaction and add the covering checksum pages as ordinary
            physical records — they commit atomically with the data *)
@@ -591,20 +673,120 @@ let sync t =
         Sys.remove (journal_path f.path);
         Hashtbl.reset f.dirty;
         t.free_dirty <- false;
-        t.meta_dirty <- false
+        t.meta_dirty <- false;
+        (* the checkpoint is durable: this allocation state is what the
+           next snapshot pins *)
+        t.committed_meta <- t.meta;
+        t.committed_used <- t.used;
+        t.committed_free <- t.free_list;
+        t.committed_live <- t.live
       end);
   apply_stale t
 
+let sync t =
+  match t.backend with
+  | Snap _ -> invalid_arg "Pager.sync: snapshot is read-only"
+  | Memory _ | File _ -> with_lock t (fun () -> sync_locked t)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_snapshot t = match t.backend with Snap _ -> true | _ -> false
+
+let durable t =
+  match t.backend with
+  | File _ -> true
+  | Memory _ -> false
+  | Snap sn -> ( match sn.parent.backend with File _ -> true | _ -> false)
+
+let live_snapshots t = with_lock t (fun () -> List.length t.snaps)
+
+let snapshot t =
+  with_lock t @@ fun () ->
+  check_open t;
+  let used, live, free_list, meta, snap_live =
+    match t.backend with
+    | Snap _ -> invalid_arg "Pager.snapshot: cannot snapshot a snapshot"
+    | Memory m ->
+        (* memory writes apply immediately, so committed = current *)
+        let sl = Array.init t.used (fun i -> m.pages.(i) <> None) in
+        (t.used, t.live, t.free_list, t.meta, sl)
+    | File _ ->
+        let sl = Array.make t.committed_used true in
+        List.iter
+          (fun id -> if id < t.committed_used then sl.(id) <- false)
+          t.committed_free;
+        ( t.committed_used,
+          t.committed_live,
+          t.committed_free,
+          t.committed_meta,
+          sl )
+  in
+  let s =
+    {
+      page_size = t.page_size;
+      checksums = t.checksums;
+      backend =
+        Snap
+          {
+            parent = t;
+            overlay = Hashtbl.create 16;
+            snap_live;
+            released = false;
+          };
+      used;
+      free_list;
+      live;
+      closed = false;
+      meta;
+      meta_dirty = false;
+      free_dirty = false;
+      phys_writes = 0;
+      (* the pinned checksums: a media fault that rots a committed page
+         under a snapshot is still detected on that snapshot's reads *)
+      sums = Bytes.copy t.sums;
+      faults = None;
+      stats = Stats.create ();
+      lock = Mutex.create ();  (* unused: snapshot ops take the parent's *)
+      snaps = [];
+      committed_meta = meta;
+      committed_used = used;
+      committed_free = free_list;
+      committed_live = live;
+    }
+  in
+  t.snaps <- s :: t.snaps;
+  s
+
+let release_snapshot s =
+  match s.backend with
+  | Snap sn ->
+      with_lock sn.parent @@ fun () ->
+      if not sn.released then begin
+        sn.released <- true;
+        s.closed <- true;
+        sn.parent.snaps <- List.filter (fun x -> x != s) sn.parent.snaps;
+        Stats.merge_into ~into:sn.parent.stats s.stats
+      end
+  | Memory _ | File _ -> invalid_arg "Pager.release_snapshot: not a snapshot"
+
 let close t =
   match t.backend with
-  | Memory _ -> t.closed <- true
+  | Snap _ -> release_snapshot t
+  | Memory _ -> with_lock t (fun () -> t.closed <- true)
   | File f ->
+      with_lock t @@ fun () ->
       if not t.closed then begin
         let fin () =
           t.closed <- true;
           Unix.close f.fd
         in
-        (match sync t with () -> fin () | exception e -> fin (); raise e)
+        (match sync_locked t with
+        | () -> fin ()
+        | exception e ->
+            fin ();
+            raise e)
       end
 
 let page_size t = t.page_size
@@ -612,9 +794,24 @@ let checksums_enabled t = t.checksums
 let stats t = t.stats
 let physical_writes t = t.phys_writes
 
+(* Buffer pools mirror their events here rather than poking the record
+   directly, so every mutation of a pager's stats — page ops, pool
+   events, snapshot merges — serializes on the same lock. *)
+let record_pool_event t ev =
+  with_lock t @@ fun () ->
+  match ev with
+  | `Hit -> t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1
+  | `Miss -> t.stats.Stats.pool_misses <- t.stats.Stats.pool_misses + 1
+  | `Eviction ->
+      t.stats.Stats.pool_evictions <- t.stats.Stats.pool_evictions + 1
+
 let meta t = t.meta
 
 let set_meta t m =
+  (match t.backend with
+  | Snap _ -> invalid_arg "Pager.set_meta: snapshot is read-only"
+  | Memory _ | File _ -> ());
+  with_lock t @@ fun () ->
   check_open t;
   if String.length m > meta_capacity t.page_size then
     invalid_arg "Pager.set_meta: metadata does not fit in the header page";
@@ -646,6 +843,7 @@ let apply_media t plan =
         let b = Bytes.create ps in
         pread_buf f.fd ~off:(data_phys t id * ps) b ps;
         b
+    | Snap _ -> invalid_arg "Pager.create_faulty: snapshots cannot arm faults"
   in
   List.iter
     (fun mf ->
@@ -663,7 +861,7 @@ let apply_media t plan =
           clobber_page t page (Bytes.make ps '\000')
       | Truncate_file { keep } -> (
           match t.backend with
-          | Memory _ ->
+          | Memory _ | Snap _ ->
               invalid_arg "Pager.create_faulty: truncate_file needs a file backend"
           | File f ->
               if keep < 0 then
@@ -675,6 +873,10 @@ let apply_media t plan =
     plan.spec.media
 
 let create_faulty spec t =
+  (match t.backend with
+  | Snap _ -> invalid_arg "Pager.create_faulty: snapshots cannot arm faults"
+  | Memory _ | File _ -> ());
+  with_lock t @@ fun () ->
   let plan = { spec; reads_seen = 0; crashed = false; stale = [] } in
   t.faults <- Some plan;
   apply_media t plan;
@@ -696,11 +898,16 @@ let is_live t id =
   match t.backend with
   | Memory m -> m.pages.(id) <> None
   | File f -> f.live_map.(id)
+  | Snap sn -> sn.snap_live.(id)
 
 let high_water t = t.used
 let free_pages t = t.free_list
 
 let alloc t =
+  (match t.backend with
+  | Snap _ -> invalid_arg "Pager.alloc: snapshot is read-only"
+  | Memory _ | File _ -> ());
+  with_lock t @@ fun () ->
   check_open t;
   Obs.Metrics.incr m_allocs;
   t.stats.allocs <- t.stats.allocs + 1;
@@ -726,7 +933,8 @@ let alloc t =
       if id >= Array.length f.live_map then
         f.live_map <- grow_array f.live_map false;
       f.live_map.(id) <- true;
-      Hashtbl.replace f.dirty id (Bytes.make t.page_size '\000'));
+      Hashtbl.replace f.dirty id (Bytes.make t.page_size '\000')
+  | Snap _ -> assert false);
   id
 
 let check_live t id =
@@ -735,34 +943,75 @@ let check_live t id =
   if not (is_live t id) then invalid_arg "Pager: page not allocated"
 
 let read t id =
-  check_live t id;
-  inject_read t;
-  Obs.Metrics.incr m_reads;
-  t.stats.reads <- t.stats.reads + 1;
   match t.backend with
-  | Memory m -> (
-      match m.pages.(id) with
-      | Some b ->
-          verify_page t id b;
-          Bytes.copy b
-      | None -> assert false)
-  | File f -> (
-      match Hashtbl.find_opt f.dirty id with
-      | Some b -> Bytes.copy b (* not yet committed: nothing to verify *)
-      | None ->
-          let b = Bytes.create t.page_size in
-          pread_buf f.fd ~off:(data_phys t id * t.page_size) b t.page_size;
-          verify_page t id b;
-          b)
+  | Snap sn ->
+      (* the snapshot's own bounds/liveness/sums are frozen, so only the
+         fetch from the parent's shared storage needs the parent's lock *)
+      check_live t id;
+      Obs.Metrics.incr m_reads;
+      t.stats.reads <- t.stats.reads + 1;
+      let b =
+        with_lock sn.parent @@ fun () ->
+        if sn.released then invalid_arg "Pager.read: snapshot was released";
+        match Hashtbl.find_opt sn.overlay id with
+        | Some b -> Bytes.copy b
+        | None -> (
+            if sn.parent.closed then
+              invalid_arg "Pager.read: parent pager is closed";
+            match sn.parent.backend with
+            | Memory m -> (
+                match m.pages.(id) with
+                | Some b -> Bytes.copy b
+                | None -> assert false (* stashed before the free *))
+            | File f ->
+                (* committed image: bypass the writer's dirty table *)
+                let b = Bytes.create t.page_size in
+                pread_buf f.fd ~off:(data_phys t id * t.page_size) b
+                  t.page_size;
+                b
+            | Snap _ -> assert false)
+      in
+      verify_page t id b;
+      b
+  | Memory _ | File _ -> (
+      with_lock t @@ fun () ->
+      check_live t id;
+      inject_read t;
+      Obs.Metrics.incr m_reads;
+      t.stats.reads <- t.stats.reads + 1;
+      match t.backend with
+      | Memory m -> (
+          match m.pages.(id) with
+          | Some b ->
+              verify_page t id b;
+              Bytes.copy b
+          | None -> assert false)
+      | File f -> (
+          match Hashtbl.find_opt f.dirty id with
+          | Some b -> Bytes.copy b (* not yet committed: nothing to verify *)
+          | None ->
+              let b = Bytes.create t.page_size in
+              pread_buf f.fd ~off:(data_phys t id * t.page_size) b t.page_size;
+              verify_page t id b;
+              b)
+      | Snap _ -> assert false)
 
 let write t id b =
+  (match t.backend with
+  | Snap _ -> invalid_arg "Pager.write: snapshot is read-only"
+  | Memory _ | File _ -> ());
   if Bytes.length b <> t.page_size then
     invalid_arg "Pager.write: wrong page size";
+  with_lock t @@ fun () ->
   check_live t id;
   Obs.Metrics.incr m_writes;
   t.stats.writes <- t.stats.writes + 1;
   match t.backend with
   | Memory m ->
+      (* memory writes commit immediately: preserve the old image for
+         pinned snapshots before it is replaced *)
+      stash_committed t id (fun () ->
+          match m.pages.(id) with Some o -> o | None -> assert false);
       inject_write t
         ~full:(fun () ->
           m.pages.(id) <- Some (Bytes.copy b);
@@ -778,15 +1027,24 @@ let write t id b =
           Bytes.blit b 0 torn 0 (t.page_size / 2);
           m.pages.(id) <- Some torn)
   | File f -> Hashtbl.replace f.dirty id (Bytes.copy b)
+  | Snap _ -> assert false
 
 let free t id =
+  (match t.backend with
+  | Snap _ -> invalid_arg "Pager.free: snapshot is read-only"
+  | Memory _ | File _ -> ());
+  with_lock t @@ fun () ->
   check_live t id;
   Obs.Metrics.incr m_frees;
   (match t.backend with
-  | Memory m -> m.pages.(id) <- None
+  | Memory m ->
+      stash_committed t id (fun () ->
+          match m.pages.(id) with Some o -> o | None -> assert false);
+      m.pages.(id) <- None
   | File f ->
       f.live_map.(id) <- false;
-      Hashtbl.remove f.dirty id);
+      Hashtbl.remove f.dirty id
+  | Snap _ -> assert false);
   t.live <- t.live - 1;
   t.free_list <- id :: t.free_list;
   t.free_dirty <- true

@@ -48,7 +48,36 @@
     {!Storage_error.Corruption} with the failing component.  Only a
     missing magic or an explicit page-size mismatch — "this is not the
     file you meant", rather than "this file is damaged" — still raise
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    {2 Snapshots and thread safety}
+
+    {!snapshot} pins an immutable read view of the pager's last committed
+    image as a read-only pager: file-backed pagers pin the on-disk state
+    of the last {!sync}, in-memory pagers (whose writes apply
+    immediately) pin the current state.  Snapshots are copy-on-commit:
+    when the writer is about to overwrite a committed page — an in-memory
+    write/free, or a file checkpoint — the old image is stashed into the
+    overlay of every snapshot that can still see it, so snapshot reads
+    cost nothing until the writer actually commits over them.  A snapshot
+    carries its own {!Stats.t} (so per-query read accounting works
+    unchanged on a view) and its own pinned checksum table (so media rot
+    under a pinned page is still detected); {!release_snapshot} folds its
+    stats back into the parent.
+
+    The concurrency contract is {e single writer, many snapshot
+    readers}: all mutating operations must come from one thread at a
+    time (callers serialize writers — see [Db]'s writer lock), while any
+    number of threads may concurrently read through distinct snapshots
+    of the same pager.  A pager-internal mutex serializes every
+    state-touching operation with snapshot fetches (they share the file
+    descriptor and page array), so the writer may run {e concurrently}
+    with snapshot readers.  Live (non-snapshot) reads belong to the
+    writer side of the contract.  Introspection helpers ({!page_count},
+    {!high_water}, {!free_pages}, {!meta}, {!stats}) read without the
+    lock and belong to the owning thread.  A snapshot itself must only
+    be used by one thread at a time (sessions give each reader its
+    own). *)
 
 type t
 
@@ -174,7 +203,41 @@ val sync : t -> unit
 
 val close : t -> unit
 (** Runs {!sync}, then releases the backing file (memory pagers just
-    close).  Further access raises [Invalid_argument]. *)
+    close).  Further access raises [Invalid_argument].  On a snapshot,
+    [close] is {!release_snapshot}.  Release all snapshots before
+    closing their parent: a released snapshot is harmless, but an
+    unreleased one would fail its next read once the parent's file
+    descriptor is gone. *)
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> t
+(** [snapshot t] pins the last committed image of [t] as a read-only
+    pager: {!read} and the introspection functions work (and account
+    into the snapshot's own {!stats}), while {!write}, {!alloc},
+    {!free}, {!sync} and {!set_meta} raise [Invalid_argument].  {!meta}
+    returns the committed metadata string — for a synced file-backed
+    index this names the committed B-tree root.  The snapshot is valid
+    until {!release_snapshot}; the parent may keep writing and syncing
+    concurrently, and the snapshot's contents never change.  Raises
+    [Invalid_argument] on a closed pager or on a snapshot. *)
+
+val release_snapshot : t -> unit
+(** Release a snapshot: its private read counters are merged into the
+    parent's {!stats} and its stashed pages are dropped.  Idempotent.
+    Reading a released snapshot raises [Invalid_argument]. *)
+
+val is_snapshot : t -> bool
+
+val durable : t -> bool
+(** Whether the underlying storage is file-backed ([true] for a
+    file-backed pager and for any snapshot of one).  Sessions use this
+    to decide where the committed B-tree root lives: in the committed
+    {!meta} for durable pagers, in the live tree for in-memory ones. *)
+
+val live_snapshots : t -> int
+(** Number of currently pinned, unreleased snapshots — for asserting
+    that sessions drain. *)
 
 (** {1 Metadata and introspection} *)
 
@@ -208,7 +271,14 @@ val free_pages : t -> int list
 (** The current free list (allocation order; head is reused first). *)
 
 val stats : t -> Stats.t
-(** The live counters of this pager (shared, mutable). *)
+(** The live counters of this pager (shared, mutable; see the
+    thread-safety contract in the module header — a snapshot's stats are
+    its own until released). *)
+
+val record_pool_event : t -> [ `Hit | `Miss | `Eviction ] -> unit
+(** Mirror one buffer-pool event into this pager's {!stats} under the
+    pager's lock (used by {!Buffer_pool} so pool counters cannot race
+    snapshot-release merges). *)
 
 val physical_writes : t -> int
 (** Total backend write operations since creation — the clock that

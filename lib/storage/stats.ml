@@ -39,6 +39,15 @@ let snapshot t =
     pool_evictions = t.pool_evictions;
   }
 
+let merge_into ~into s =
+  into.reads <- into.reads + s.reads;
+  into.writes <- into.writes + s.writes;
+  into.allocs <- into.allocs + s.allocs;
+  into.faults <- into.faults + s.faults;
+  into.pool_hits <- into.pool_hits + s.pool_hits;
+  into.pool_misses <- into.pool_misses + s.pool_misses;
+  into.pool_evictions <- into.pool_evictions + s.pool_evictions
+
 let diff ~before ~after =
   {
     reads = after.reads - before.reads;

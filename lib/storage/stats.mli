@@ -5,7 +5,15 @@
     pager carries a [Stats.t]; retrieval algorithms snapshot it before a
     query and diff it after.  A {!Buffer_pool} reading through the pager
     also records its hit/miss/eviction behaviour here, so one snapshot
-    captures both raw page traffic and cache effectiveness. *)
+    captures both raw page traffic and cache effectiveness.
+
+    {b Thread safety.}  A [Stats.t] is plain mutable state with no
+    internal locking; it has exactly one owner at a time.  A live pager's
+    stats belong to the single writer thread; a {!Pager.snapshot} carries
+    its own [Stats.t] owned by the session thread reading through it, and
+    {!Pager.release_snapshot} folds it into the parent's stats with
+    {!merge_into} under the parent's lock.  Never share one [Stats.t]
+    between threads without external serialization. *)
 
 type t = {
   mutable reads : int;   (** pages fetched *)
@@ -25,6 +33,12 @@ val snapshot : t -> t
 
 val diff : before:t -> after:t -> t
 (** Field-wise [after - before]. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into s] adds every field of [s] into [into] — used to
+    fold a released snapshot's private accounting back into its parent
+    pager.  The caller must own (or hold the lock protecting) both
+    records. *)
 
 val pp : Format.formatter -> t -> unit
 (** Pool counters are printed only when any of them is non-zero, so

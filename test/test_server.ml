@@ -1,0 +1,335 @@
+(* The socket server under friendly and hostile clients: an in-process
+   server over a Unix-domain socket in a temp dir, exercised with good
+   queries, malformed frames, oversized lengths, truncated requests,
+   mid-request disconnects, overload and shutdown.  The invariant
+   throughout: a typed error reply or a clean close — never a crash, and
+   never a poisoned worker (proved by serving more good requests than
+   there are workers after every abuse). *)
+
+module Dg = Workload.Datagen
+module Db = Uindex.Db
+module Json = Obs.Json
+module Protocol = Uindex_server.Protocol
+module Service = Uindex_server.Service
+module Server = Uindex_server.Server
+module Client = Uindex_server.Client
+
+let with_server ?(workers = 2) ?(backlog = 16) ?(request_timeout = 5.) f =
+  let e = Dg.exp1 ~n_vehicles:300 ~seed:3 () in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  Db.attach_index db e.path_age;
+  let svc = Service.create ~schema:e.ext.b.schema db in
+  let dir = Filename.temp_file "uindex_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "srv.sock" in
+  let config =
+    { Server.addr = Server.Unix_sock path; workers; backlog; request_timeout }
+  in
+  let server = Server.start svc config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f path server)
+
+let expect_ok path line =
+  let c = Client.connect_unix path in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let r = Client.request c line in
+      if not (Protocol.response_is_ok r) then
+        Alcotest.failf "expected ok for %S, got %s" line (Json.to_string r);
+      r)
+
+let expect_error path line kind =
+  let c = Client.connect_unix path in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let r = Client.request c line in
+      Alcotest.(check (option string))
+        (Printf.sprintf "error kind for %S" line)
+        (Some kind)
+        (Protocol.response_error_kind r))
+
+(* more good requests than workers: if any worker died or is stuck on a
+   leftover connection, this hangs or fails *)
+let prove_workers_alive ?(n = 5) path =
+  for i = 1 to n do
+    ignore (expect_ok path (if i mod 2 = 0 then "ping" else "query (Red, Bus*)"))
+  done
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let read_reply fd =
+  match Protocol.read_frame fd with
+  | Protocol.Frame s -> Some (Json.of_string s)
+  | Protocol.Eof | Protocol.Truncated | Protocol.Too_large _ -> None
+
+(* --- the tests ----------------------------------------------------------- *)
+
+let test_good_queries () =
+  with_server @@ fun path _server ->
+  let r = expect_ok path "query (Red, Bus*)" in
+  let count = Option.bind (Json.member "count" r) Json.to_int in
+  Alcotest.(check bool) "rows answered" true (Option.get count > 0);
+  let r' = expect_ok path "query ([50-60], Employee*, Company*, Vehicle*)" in
+  Alcotest.(check bool) "path query answered" true
+    (Option.get (Option.bind (Json.member "count" r') Json.to_int) > 0);
+  (* determinism: same query, byte-identical replies across connections *)
+  let c1 = Client.connect_unix path and c2 = Client.connect_unix path in
+  let a = Client.request_raw c1 "query (Red, Bus*)" in
+  let b = Client.request_raw c2 "query (Red, Bus*)" in
+  Client.close c1;
+  Client.close c2;
+  Alcotest.(check string) "byte-identical replies" a b;
+  (* one connection, many requests *)
+  let c = Client.connect_unix path in
+  for _ = 1 to 5 do
+    assert (Protocol.response_is_ok (Client.request c "ping"))
+  done;
+  Client.close c
+
+let test_bad_requests () =
+  with_server @@ fun path _server ->
+  expect_error path "" "bad_request";
+  expect_error path "bogus" "bad_request";
+  expect_error path "query" "bad_request";
+  expect_error path "query (((" "parse_error";
+  expect_error path "query (Red, NoSuchClass*)" "parse_error";
+  (* parse errors keep the connection alive *)
+  let c = Client.connect_unix path in
+  ignore (Client.request c "nonsense");
+  Alcotest.(check bool) "connection survives a bad request" true
+    (Protocol.response_is_ok (Client.request c "ping"));
+  Client.close c;
+  prove_workers_alive path
+
+let test_oversized_frame () =
+  with_server @@ fun path _server ->
+  let fd = raw_connect path in
+  (* a hostile header announcing 256 MiB *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (256 * 1024 * 1024));
+  ignore (Unix.write fd hdr 0 4);
+  (match read_reply fd with
+  | Some r ->
+      Alcotest.(check (option string))
+        "typed reply" (Some "frame_too_large")
+        (Protocol.response_error_kind r)
+  | None -> Alcotest.fail "expected a frame_too_large reply");
+  (* ... and the server closed the stream afterwards *)
+  Alcotest.(check bool) "closed after reply" true (read_reply fd = None);
+  Unix.close fd;
+  prove_workers_alive path
+
+let test_truncated_frame () =
+  with_server @@ fun path _server ->
+  (* header promising 100 bytes, then silence and disconnect *)
+  let fd = raw_connect path in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 100l;
+  ignore (Unix.write fd hdr 0 4);
+  ignore (Unix.write fd (Bytes.of_string "only twenty bytes...") 0 20);
+  Unix.close fd;
+  (* partial header then disconnect *)
+  let fd = raw_connect path in
+  ignore (Unix.write fd (Bytes.of_string "\x00\x00") 0 2);
+  Unix.close fd;
+  prove_workers_alive path
+
+let test_mid_request_disconnect () =
+  with_server @@ fun path _server ->
+  (* full request, but the client vanishes before reading the reply *)
+  let fd = raw_connect path in
+  Protocol.write_frame fd "query (Red, Vehicle*)";
+  Unix.close fd;
+  (* instant disconnect, no bytes at all *)
+  let fd = raw_connect path in
+  Unix.close fd;
+  prove_workers_alive path
+
+let test_quit_and_garbage_payload () =
+  with_server @@ fun path _server ->
+  let c = Client.connect_unix path in
+  let r = Client.request c "quit" in
+  Alcotest.(check bool) "quit acknowledged" true (Protocol.response_is_ok r);
+  (match Client.request c "ping" with
+  | exception Client.Closed_by_server -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  | _ -> Alcotest.fail "connection should be closed after quit");
+  Client.close c;
+  (* binary garbage as a request payload is just a bad request *)
+  let fd = raw_connect path in
+  Protocol.write_frame fd "\x00\xff\x13\x37 binary nonsense \x01";
+  (match read_reply fd with
+  | Some r ->
+      Alcotest.(check (option string))
+        "typed reply" (Some "bad_request")
+        (Protocol.response_error_kind r)
+  | None -> Alcotest.fail "expected a bad_request reply");
+  Unix.close fd;
+  prove_workers_alive path
+
+let test_overload_shedding () =
+  (* one worker occupied by a slow client; the backlog holds one more;
+     further connections must get typed overloaded replies *)
+  with_server ~workers:1 ~backlog:1 ~request_timeout:5.
+  @@ fun path _server ->
+  let occupier = raw_connect path in
+  (* a connection the single worker pops then blocks on (until its read
+     times out or we close); give the worker a moment to pop it *)
+  Unix.sleepf 0.3;
+  let extras = List.init 6 (fun _ -> raw_connect path) in
+  Unix.sleepf 0.3;
+  let sheds =
+    List.fold_left
+      (fun acc fd ->
+        match read_reply fd with
+        | Some r when Protocol.response_error_kind r = Some "overloaded" ->
+            acc + 1
+        | Some _ | None -> acc)
+      0 extras
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "some of 6 extras shed as overloaded (%d)" sheds)
+    true (sheds >= 1);
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) extras;
+  Unix.close occupier;
+  prove_workers_alive path
+
+let test_stale_queue_timeout () =
+  (* a connection that waited in the queue longer than the request
+     timeout gets a typed timeout reply, not silent service *)
+  with_server ~workers:1 ~backlog:8 ~request_timeout:0.4
+  @@ fun path _server ->
+  (* two idle connections ahead of [stale]: the single worker blocks
+     ~0.4 s on each before its read times out, so [stale] sits in the
+     queue for ~0.8 s — past its own 0.4 s deadline *)
+  let occ1 = raw_connect path in
+  Unix.sleepf 0.05;
+  let occ2 = raw_connect path in
+  Unix.sleepf 0.05;
+  let stale = raw_connect path in
+  let got_timeout =
+    match read_reply stale with
+    | Some r -> Protocol.response_error_kind r = Some "timeout"
+    | None -> false
+  in
+  Alcotest.(check bool) "stale queued connection got a timeout reply" true
+    got_timeout;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ occ1; occ2 ];
+  Unix.close stale;
+  prove_workers_alive path
+
+let test_stats_response () =
+  with_server @@ fun path _server ->
+  ignore (expect_ok path "query (Red, Bus*)");
+  let r = expect_ok path "stats" in
+  (match Json.member "request_latency" r with
+  | Some (Json.Obj fields) ->
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k fields) then
+            Alcotest.failf "request_latency missing %s" k)
+        [ "count"; "p50"; "p95"; "p99" ]
+  | _ -> Alcotest.fail "stats carries request_latency percentiles");
+  Alcotest.(check bool) "stats carries the registry" true
+    (Json.member "metrics" r <> None)
+
+let test_concurrent_clients () =
+  with_server ~workers:4 @@ fun path _server ->
+  (* a sequential baseline, then 8 concurrent clients must match it *)
+  let lines =
+    [
+      "query (Red, Bus*)";
+      "query (White, Vehicle*)";
+      "query ([50-60], Employee*, Company*, Vehicle*)";
+    ]
+  in
+  let baseline =
+    let c = Client.connect_unix path in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () -> List.map (Client.request_raw c) lines)
+  in
+  let clients =
+    List.init 8 (fun _ ->
+        Domain.spawn (fun () ->
+            let c = Client.connect_unix path in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () -> List.map (Client.request_raw c) lines)))
+  in
+  List.iteri
+    (fun i d ->
+      let got = Domain.join d in
+      List.iter2
+        (Alcotest.(check string) (Printf.sprintf "client %d byte-identical" i))
+        baseline got)
+    clients
+
+let test_graceful_stop () =
+  let e = Dg.exp1 ~n_vehicles:200 ~seed:3 () in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  let svc = Service.create ~schema:e.ext.b.schema db in
+  let dir = Filename.temp_file "uindex_stop" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "srv.sock" in
+  let server =
+    Server.start svc (Server.default_config (Server.Unix_sock path))
+  in
+  let c = Client.connect_unix path in
+  assert (Protocol.response_is_ok (Client.request c "ping"));
+  Client.close c;
+  Server.stop server;
+  Server.stop server (* idempotent *);
+  Alcotest.(check bool) "socket file unlinked" false (Sys.file_exists path);
+  (match Client.connect_unix path with
+  | c ->
+      Client.close c;
+      Alcotest.fail "listener still accepting after stop"
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) -> ());
+  Unix.rmdir dir
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "good queries, persistent connections" `Quick
+            test_good_queries;
+          Alcotest.test_case "bad requests get typed errors" `Quick
+            test_bad_requests;
+          Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
+          Alcotest.test_case "truncated frames" `Quick test_truncated_frame;
+          Alcotest.test_case "mid-request disconnect" `Quick
+            test_mid_request_disconnect;
+          Alcotest.test_case "quit and binary garbage" `Quick
+            test_quit_and_garbage_payload;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
+          Alcotest.test_case "stale queue timeout" `Quick
+            test_stale_queue_timeout;
+          Alcotest.test_case "8 concurrent clients = sequential" `Quick
+            test_concurrent_clients;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "stats percentiles" `Quick test_stats_response;
+          Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
+        ] );
+    ]
