@@ -174,6 +174,96 @@ let check_serve_throughput path j =
       q4 q1;
   List.length parsed
 
+(* The serve_mixed section is the group-commit gate.  Correctness:
+   writers only insert values no benchmark query matches, so reader
+   reply digests must agree across every mixed row (and every commit
+   must actually have happened).  Amortization: at writer concurrency
+   >= 4 the journal must have issued strictly fewer than one fsync per
+   commit — if group commit ever stops batching, this hard-fails. *)
+let check_serve_mixed path j =
+  let rows =
+    match get path "serve_mixed" j with
+    | Obs.Json.List (_ :: _ as rows) -> rows
+    | Obs.Json.List [] -> fail "%s: serve_mixed is empty" path
+    | _ -> fail "%s: serve_mixed is not a list" path
+  in
+  let num path name = function
+    | Obs.Json.Float f -> f
+    | Obs.Json.Int i -> float_of_int i
+    | _ -> fail "%s: serve_mixed %s not a number" path name
+  in
+  let parsed =
+    List.map
+      (fun row ->
+        match
+          ( Obs.Json.(member "writers" row |> Option.map to_int),
+            Obs.Json.(member "commits" row |> Option.map to_int),
+            Obs.Json.member "fsyncs_per_commit" row,
+            Obs.Json.(member "digest" row |> Option.map to_str) )
+        with
+        | Some (Some writers), Some (Some commits), Some fpc, Some (Some digest)
+          ->
+            (writers, commits, num path "fsyncs_per_commit" fpc, digest)
+        | _ -> fail "%s: malformed serve_mixed row" path)
+      rows
+  in
+  (match parsed with
+  | (_, _, _, d) :: rest ->
+      List.iter
+        (fun (writers, _, _, d') ->
+          if d' <> d then
+            fail
+              "serve_mixed: reader answers with %d writers differ (digest %s \
+               vs %s) — writers leaked into snapshot reads"
+              writers d' d)
+        rest
+  | [] -> ());
+  let saw_concurrent = ref false in
+  List.iter
+    (fun (writers, commits, fpc, _) ->
+      if commits <= 0 then
+        fail "serve_mixed: %d-writer row committed nothing" writers;
+      if writers >= 4 then begin
+        saw_concurrent := true;
+        if fpc >= 1.0 then
+          fail
+            "serve_mixed: %.2f fsyncs per commit with %d concurrent writers \
+             (%d commits) — group commit is not amortizing"
+            fpc writers commits
+      end)
+    parsed;
+  if not !saw_concurrent then
+    fail "serve_mixed: no row with >= 4 writers to gate on";
+  List.length parsed
+
+(* The bulk_load section: a 100k-entry bottom-up build must produce a
+   tree identical to entry-at-a-time insertion, beat it in wall-clock,
+   and pack pages at least as densely. *)
+let check_bulk_load path j =
+  let o = get path "bulk_load" j in
+  let num name =
+    match Obs.Json.member name o with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> fail "%s: bulk_load.%s not a number" path name
+  in
+  let entries = int_of_float (num "entries") in
+  let bulk_ms = num "bulk_ms" and incr_ms = num "incr_ms" in
+  (match Obs.Json.member "identical" o with
+  | Some (Obs.Json.Bool true) -> ()
+  | Some (Obs.Json.Bool false) ->
+      fail "bulk_load: bulk and incremental trees differ"
+  | _ -> fail "%s: bulk_load.identical missing" path);
+  if entries < 100_000 then
+    fail "bulk_load: only %d entries (need >= 100000)" entries;
+  if bulk_ms >= incr_ms then
+    fail "bulk_load: bulk build (%.1f ms) not faster than incremental (%.1f ms)"
+      bulk_ms incr_ms;
+  if num "bulk_avg_fill" < num "incr_avg_fill" then
+    fail "bulk_load: bulk pages (%.2f avg fill) looser than incremental (%.2f)"
+      (num "bulk_avg_fill") (num "incr_avg_fill");
+  entries
+
 let table1_rows path j =
   match get path "table1" j with
   | Obs.Json.List rows ->
@@ -224,8 +314,12 @@ let () =
   let n_ab = check_cache_ab results_path r in
   let n_ck = check_checksum_ab results_path r in
   let n_sv = check_serve_throughput results_path r in
+  let n_mx = check_serve_mixed results_path r in
+  let n_bl = check_bulk_load results_path r in
   Printf.printf
     "check_results: %d table1 rows match %s; %d cache A/B rows warm<=cold \
      with hits; %d checksum A/B rows read-identical; %d serve rows \
-     digest-identical with 4>=1 scaling\n"
-    (List.length want) expected_path n_ab n_ck n_sv
+     digest-identical with 4>=1 scaling; %d mixed rows digest-identical \
+     with <1 fsync/commit at >=4 writers; bulk load of %d entries \
+     identical and faster\n"
+    (List.length want) expected_path n_ab n_ck n_sv n_mx n_bl

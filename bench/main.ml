@@ -1114,13 +1114,273 @@ let run_serve_throughput (e : Dg.exp1) =
     rows;
   rows
 
+(* --- mixed read/write serve throughput --------------------------------------- *)
+
+(* The read-only rows above leave the write path idle; these rows run N
+   reader clients against a file-backed index while N in-process writer
+   threads insert and commit continuously.  What they demonstrate is
+   group commit: at writer concurrency >= 4 the journal fsync count must
+   amortize below one fsync per commit (check_results hard-fails
+   otherwise).  Writers insert colors no benchmark query matches, so
+   reader replies — and their digests — stay identical across rows and
+   to a write-free run.  Runs even under UINDEX_BENCH_SKIP_TIMING: the
+   fsyncs-per-commit ratio is scheduling-independent. *)
+type mixed_row = {
+  mx_threads : int; (* reader clients = server workers = writers *)
+  mx_writers : int;
+  mx_queries : int;
+  mx_qps : float;
+  mx_p50_us : float;
+  mx_p99_us : float;
+  mx_digest : string;
+  mx_commits : int;
+  mx_commits_per_sec : float;
+  mx_fsyncs : int;
+  mx_fsyncs_per_commit : float;
+  mx_groups : int;
+}
+
+let metric name =
+  Option.value ~default:0 (Obs.Metrics.find Obs.Metrics.default name)
+
+let run_serve_mixed (e : Dg.exp1) =
+  section "Serve throughput, mixed: N readers + N committing writers";
+  let module Db = Uindex.Db in
+  let module Server = Uindex_server.Server in
+  let module Service = Uindex_server.Service in
+  let module Client = Uindex_server.Client in
+  let b = e.ext.b in
+  let dir = Filename.temp_file "uindex_bench_mix" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let pages = Filename.concat dir "mixed.pages" in
+  let pager = Storage.Pager.create_file ~page_size:1024 pages in
+  let ch =
+    Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+  in
+  let db = Db.create e.store in
+  Db.add_index db ch (* bulk-builds over the store *);
+  Db.sync db;
+  Db.set_group_window db 0.002;
+  let svc = Service.create ~schema:b.schema db in
+  (* arity-1 mix only: the sole attached index is the file-backed
+     class-hierarchy one *)
+  let mix =
+    [ "query (Red, Bus*)"; "query (White, Vehicle*)"; "query-forward (Red, Bus*)" ]
+  in
+  let total_queries = if quick then 240 else 480 in
+  let min_commits = if quick then 20 else 40 in
+  (* replies carry per-request I/O accounting (page_reads etc.) that
+     legitimately moves as writers grow the tree; only the answer itself
+     must be invariant *)
+  let stable raw =
+    match Obs.Json.of_string raw with
+    | j ->
+        let take k = Option.map (fun v -> (k, v)) (Obs.Json.member k j) in
+        Obs.Json.to_string
+          (Obs.Json.Obj (List.filter_map take [ "ok"; "type"; "count"; "rows" ]))
+    | exception Obs.Json.Parse_error _ -> raw
+  in
+  let one_run threads =
+    let path = Filename.concat dir (Printf.sprintf "mix%d.sock" threads) in
+    let config =
+      {
+        Server.addr = Server.Unix_sock path;
+        workers = threads;
+        backlog = 64;
+        request_timeout = 30.;
+      }
+    in
+    let fsyncs0 = metric "journal.fsyncs" in
+    let groups0 = metric "journal.group_commits" in
+    let server = Server.start svc config in
+    Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+    let per_client = total_queries / threads in
+    let stop_writers = Atomic.make false in
+    let commit_counts = Array.make threads 0 in
+    let t0 = Unix.gettimeofday () in
+    let writers =
+      List.init threads (fun w ->
+          Thread.create
+            (fun () ->
+              let n = ref 0 in
+              while (not (Atomic.get stop_writers)) || !n < min_commits do
+                let color =
+                  Printf.sprintf "zz-mix-%d-%d-%d" threads w !n
+                in
+                ignore
+                  (Db.insert db ~cls:b.vehicle [ ("color", Value.Str color) ]);
+                ignore (Db.commit db);
+                incr n
+              done;
+              commit_counts.(w) <- !n)
+            ())
+    in
+    let slots = Array.make threads None in
+    let clients =
+      List.init threads (fun k ->
+          Thread.create
+            (fun () ->
+              let c = Client.connect_unix path in
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              let lat = Array.make per_client 0. in
+              let cycle = Array.make (List.length mix) "" in
+              for i = 0 to per_client - 1 do
+                let line = List.nth mix (i mod List.length mix) in
+                let q0 = Unix.gettimeofday () in
+                let raw = stable (Client.request_raw c line) in
+                lat.(i) <- Unix.gettimeofday () -. q0;
+                (* writers never touch queried values, so the answers
+                   must still be the first cycle repeating exactly *)
+                let j = i mod List.length mix in
+                if i < List.length mix then cycle.(j) <- raw
+                else if raw <> cycle.(j) then
+                  failwith "serve_mixed: reply drifted between cycles"
+              done;
+              slots.(k) <-
+                Some
+                  (lat, Digest.string (String.concat "\n" (Array.to_list cycle))))
+            ())
+    in
+    List.iter Thread.join clients;
+    let read_elapsed = Unix.gettimeofday () -. t0 in
+    Atomic.set stop_writers true;
+    List.iter Thread.join writers;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (* sample before Server.stop: its drain runs one final sync *)
+    let fsyncs = metric "journal.fsyncs" - fsyncs0 in
+    let groups = metric "journal.group_commits" - groups0 in
+    let commits = Array.fold_left ( + ) 0 commit_counts in
+    let results =
+      Array.to_list slots
+      |> List.map (function
+           | Some r -> r
+           | None -> failwith "serve_mixed: a client thread died")
+    in
+    let digest =
+      match results with
+      | (_, d) :: rest ->
+          List.iter
+            (fun (_, d') ->
+              if d' <> d then
+                failwith "serve_mixed: clients got different answers")
+            rest;
+          d
+      | [] -> assert false
+    in
+    let lats = Array.concat (List.map fst results) in
+    Array.sort compare lats;
+    let pct p =
+      1e6 *. lats.(min (Array.length lats - 1) (p * Array.length lats / 100))
+    in
+    {
+      mx_threads = threads;
+      mx_writers = threads;
+      mx_queries = per_client * threads;
+      mx_qps = float_of_int (per_client * threads) /. read_elapsed;
+      mx_p50_us = pct 50;
+      mx_p99_us = pct 99;
+      mx_digest = digest;
+      mx_commits = commits;
+      mx_commits_per_sec = float_of_int commits /. elapsed;
+      mx_fsyncs = fsyncs;
+      mx_fsyncs_per_commit =
+        (if commits = 0 then infinity
+         else float_of_int fsyncs /. float_of_int commits);
+      mx_groups = groups;
+    }
+  in
+  let rows = List.map one_run [ 1; 2; 4 ] in
+  (try Sys.remove pages with Sys_error _ -> ());
+  (try Sys.remove (pages ^ ".journal") with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%dr+%dw: %7.1f queries/s  %6.1f commits/s  %.2f fsyncs/commit (%d \
+         commits in %d groups)  p99 %8.1f us  digest %s\n"
+        r.mx_threads r.mx_writers r.mx_qps r.mx_commits_per_sec
+        r.mx_fsyncs_per_commit r.mx_commits r.mx_groups r.mx_p99_us
+        (Digest.to_hex r.mx_digest))
+    rows;
+  rows
+
+(* --- bulk load vs incremental build ------------------------------------------ *)
+
+(* Builds the same 100k-entry tree twice — bottom-up bulk load vs
+   entry-at-a-time insertion — and checks the results are identical,
+   the bulk pages denser, and the bulk build faster in wall-clock
+   (check_results gates on all three). *)
+type bulk_report = {
+  bl_entries : int;
+  bl_bulk_ms : float;
+  bl_incr_ms : float;
+  bl_identical : bool;
+  bl_bulk_fill : float;
+  bl_incr_fill : float;
+}
+
+let run_bulk_load () =
+  section "Bulk load: bottom-up build vs entry-at-a-time, 100k entries";
+  let n = 100_000 in
+  let entry i = (Printf.sprintf "key%08d" i, Printf.sprintf "v%d" (i * 7)) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, 1e3 *. (Unix.gettimeofday () -. t0))
+  in
+  let bulk_tree = Btree.create (Storage.Pager.create ~page_size:1024 ()) in
+  let (), bulk_ms =
+    time (fun () -> Btree.bulk_load bulk_tree (Seq.init n entry))
+  in
+  let incr_tree = Btree.create (Storage.Pager.create ~page_size:1024 ()) in
+  let (), incr_ms =
+    time (fun () ->
+        for i = 0 to n - 1 do
+          let k, v = entry i in
+          Btree.insert incr_tree ~key:k ~value:v
+        done)
+  in
+  let digest t =
+    let b = Buffer.create (n * 16) in
+    Btree.iter t (fun e ->
+        Buffer.add_string b e.Btree.key;
+        Buffer.add_char b '=';
+        Buffer.add_string b (e.value ());
+        Buffer.add_char b '\n');
+    Digest.string (Buffer.contents b)
+  in
+  let rb = Btree.check_invariants bulk_tree in
+  let ri = Btree.check_invariants incr_tree in
+  let identical =
+    digest bulk_tree = digest incr_tree && rb.Btree.entries = ri.Btree.entries
+  in
+  let r =
+    {
+      bl_entries = rb.Btree.entries;
+      bl_bulk_ms = bulk_ms;
+      bl_incr_ms = incr_ms;
+      bl_identical = identical;
+      bl_bulk_fill = rb.Btree.avg_fill;
+      bl_incr_fill = ri.Btree.avg_fill;
+    }
+  in
+  Printf.printf
+    "bulk %.1f ms vs incremental %.1f ms (%.1fx); identical=%b; avg fill \
+     %.2f vs %.2f\n"
+    r.bl_bulk_ms r.bl_incr_ms
+    (r.bl_incr_ms /. Float.max 0.001 r.bl_bulk_ms)
+    r.bl_identical r.bl_bulk_fill r.bl_incr_fill;
+  r
+
 (* --- machine-readable results ---------------------------------------------- *)
 
 let json_path =
   Option.value ~default:"BENCH_results.json"
     (Sys.getenv_opt "UINDEX_BENCH_JSON")
 
-let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve =
+let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
+    ~bulk =
   let open Obs.Json in
   let row (r : Ex.t1_row) =
     Obj
@@ -1170,10 +1430,38 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve =
         ("digest", Str (Digest.to_hex r.sv_digest));
       ]
   in
+  let mx_row r =
+    Obj
+      [
+        ("threads", Int r.mx_threads);
+        ("writers", Int r.mx_writers);
+        ("queries", Int r.mx_queries);
+        ("qps", Float r.mx_qps);
+        ("p50_us", Float r.mx_p50_us);
+        ("p99_us", Float r.mx_p99_us);
+        ("digest", Str (Digest.to_hex r.mx_digest));
+        ("commits", Int r.mx_commits);
+        ("commits_per_sec", Float r.mx_commits_per_sec);
+        ("fsyncs", Int r.mx_fsyncs);
+        ("fsyncs_per_commit", Float r.mx_fsyncs_per_commit);
+        ("groups", Int r.mx_groups);
+      ]
+  in
+  let bulk_obj =
+    Obj
+      [
+        ("entries", Int bulk.bl_entries);
+        ("bulk_ms", Float bulk.bl_bulk_ms);
+        ("incr_ms", Float bulk.bl_incr_ms);
+        ("identical", Bool bulk.bl_identical);
+        ("bulk_avg_fill", Float bulk.bl_bulk_fill);
+        ("incr_avg_fill", Float bulk.bl_incr_fill);
+      ]
+  in
   let j =
     Obj
       [
-        ("schema_version", Int 4);
+        ("schema_version", Int 5);
         ("quick", Bool quick);
         ("reps", Int reps);
         ("objects", Int n_objects);
@@ -1186,6 +1474,8 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve =
            onto; check_results keys its serve gate on this *)
         ("serve_cores", Int (Domain.recommended_domain_count ()));
         ("serve_throughput", List (List.map sv_row serve));
+        ("serve_mixed", List (List.map mx_row mixed));
+        ("bulk_load", bulk_obj);
         ("metrics", Obs.Metrics.to_json Obs.Metrics.default);
       ]
   in
@@ -1217,4 +1507,7 @@ let () =
   (* wall-clock by nature, so not gated on SKIP_TIMING: its qps/p99 rows
      and cross-thread digests are what check_results gates on *)
   let serve = run_serve_throughput e1 in
-  write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve
+  let bulk = run_bulk_load () in
+  (* last: its writers mutate e1's store *)
+  let mixed = run_serve_mixed e1 in
+  write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed ~bulk

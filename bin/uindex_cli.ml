@@ -7,6 +7,7 @@
      explain      static search tree, or EXPLAIN ANALYZE with --analyze
      stats        run a canned workload and dump the metrics registry
      build        persist a generated index to a page file (crash-safe)
+     bulk-build   same, but bottom-up from the sorted entry stream
      recover      replay a page file's journal and verify the index
      check        run the full corruption verifier against a page file
      salvage      rebuild a damaged index from the (regenerated) object store
@@ -480,6 +481,66 @@ let build_cmd =
           pager and commit it.")
     Term.(const run $ file $ n $ seed $ page_size $ sync_each $ no_checksums)
 
+(* --- bulk-build: bottom-up sorted load to a page file --------------------- *)
+
+let bulk_build_cmd =
+  let run file n_vehicles seed page_size fill no_checksums =
+    let e = Dg.exp1 ~n_vehicles ~seed () in
+    let b = e.ext.b in
+    let pager =
+      Storage.Pager.create_file ~page_size ~checksums:(not no_checksums) file
+    in
+    let ch =
+      Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+    in
+    let t0 = Unix.gettimeofday () in
+    Index.build ~fill ch e.store;
+    Index.sync ch;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let report = Btree.check_invariants (Index.tree ch) in
+    Printf.printf
+      "%s: %d entries bulk-loaded into %d pages (avg fill %.2f) in %.3fs (%d \
+       physical writes)\n"
+      file (Index.entry_count ch)
+      (Storage.Pager.page_count pager)
+      report.Btree.avg_fill elapsed
+      (Storage.Pager.physical_writes pager);
+    Storage.Pager.close pager
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Page file to create (truncated).")
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let page_size =
+    Arg.(value & opt int 1024 & info [ "page-size" ] ~doc:"Page size in bytes.")
+  in
+  let fill =
+    Arg.(
+      value & opt float 0.9
+      & info [ "fill" ] ~docv:"FACTOR"
+          ~doc:
+            "Leaf/internal fill factor in (0, 1]: pack pages to this \
+             fraction, leaving headroom for later inserts.")
+  in
+  let no_checksums =
+    Arg.(
+      value & flag
+      & info [ "no-checksums" ] ~doc:"Disable per-page checksums.")
+  in
+  Cmd.v
+    (Cmd.info "bulk-build"
+       ~doc:
+         "Build the Vehicle.color class-hierarchy index bottom-up from the \
+          sorted entry stream (each page written once, packed to $(b,--fill)) \
+          and commit it — the fast path for initial builds.")
+    Term.(const run $ file $ n $ seed $ page_size $ fill $ no_checksums)
+
 (* --- recover: journal replay + integrity check ----------------------------- *)
 
 let recover_cmd =
@@ -873,7 +934,7 @@ let addr_args =
   Term.(const combine $ socket $ tcp)
 
 let serve_cmd =
-  let run n_vehicles seed addr workers backlog timeout file =
+  let run n_vehicles seed addr workers backlog timeout file churn group_window =
     let e = Dg.exp1 ~n_vehicles ~seed () in
     let b = e.ext.b in
     let db = Uindex.Db.create e.store in
@@ -899,6 +960,7 @@ let serve_cmd =
           Some pager
     in
     Uindex.Db.attach_index db e.path_age;
+    Uindex.Db.set_group_window db group_window;
     let svc = Service.create ~schema:b.schema db in
     let config = { (Server.default_config addr) with workers; backlog;
                    request_timeout = timeout } in
@@ -907,6 +969,24 @@ let serve_cmd =
     let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
     Sys.set_signal Sys.sigterm on_signal;
     Sys.set_signal Sys.sigint on_signal;
+    (* --churn: in-process writer storm alongside the served readers.
+       The inserted colors are prefixed so they never match a benchmark
+       query: reader replies stay comparable to a churn-free run. *)
+    let churn_stop = Atomic.make false in
+    let churners =
+      List.init (max 0 churn) (fun w ->
+          Domain.spawn (fun () ->
+              let k = ref 0 in
+              while not (Atomic.get churn_stop) do
+                let color = Printf.sprintf "zz-churn-%d-%d" w !k in
+                ignore
+                  (Uindex.Db.insert db ~cls:b.vehicle
+                     [ ("color", Value.Str color) ]);
+                ignore (Uindex.Db.commit db);
+                incr k
+              done;
+              !k))
+    in
     (match Server.bound_addr server with
     | Unix.ADDR_UNIX p -> Printf.printf "listening on %s\n%!" p
     | Unix.ADDR_INET (ip, port) ->
@@ -917,6 +997,9 @@ let serve_cmd =
       with Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done;
     print_endline "shutting down";
+    Atomic.set churn_stop true;
+    let commits = List.fold_left (fun a d -> a + Domain.join d) 0 churners in
+    if churn > 0 then Printf.printf "churn writers committed %d times\n" commits;
     Server.stop server;
     Option.iter Storage.Pager.close file_pager
   in
@@ -949,6 +1032,23 @@ let serve_cmd =
              by $(b,build) with the same $(b,-n)/$(b,--seed)) instead of \
              the in-memory one.")
   in
+  let churn =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ] ~docv:"N"
+          ~doc:
+            "Run $(i,N) in-process writer threads that insert and commit \
+             continuously while the server runs (group-commit exercise; \
+             the written values never match benchmark queries).")
+  in
+  let group_window =
+    Arg.(
+      value & opt float 0.002
+      & info [ "group-window" ] ~docv:"SECONDS"
+          ~doc:
+            "Group-commit window: how long a commit leader waits for \
+             followers before flushing; 0 flushes immediately.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -956,7 +1056,8 @@ let serve_cmd =
           isolated readers on a fixed worker pool.  SIGTERM/SIGINT shut \
           down gracefully (drain, sync, exit 0).")
     Term.(
-      const run $ n $ seed $ addr_args $ workers $ backlog $ timeout $ file)
+      const run $ n $ seed $ addr_args $ workers $ backlog $ timeout $ file
+      $ churn $ group_window)
 
 let client_cmd =
   let run addr requests =
@@ -1023,6 +1124,7 @@ let () =
             explain_cmd;
             stats_cmd;
             build_cmd;
+            bulk_build_cmd;
             recover_cmd;
             check_cmd;
             salvage_cmd;

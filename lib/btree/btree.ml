@@ -1275,3 +1275,157 @@ let pp_stats ppf t =
   Format.fprintf ppf "height=%d nodes=%d leaves=%d entries=%d pages=%d"
     (height t) (node_count t) (leaf_count t) (length t)
     (Pager.page_count t.pager)
+
+(* --- sorted bulk load ---------------------------------------------------- *)
+
+let is_empty (t : t) =
+  t.height = 1
+  &&
+  match load (quiet_read t) t.root with
+  | Node.Leaf l -> Array.length l.lkeys = 0
+  | Node.Internal _ -> false
+
+(* Build the tree bottom-up from a sorted entry stream: pack leaves left
+   to right up to [fill] of the page budget, collect each one's first
+   key, then synthesize every internal level the same way from the
+   (first key, page id) list of the level below.  Every page is written
+   exactly once; the entry-at-a-time path would instead split its way
+   through O(n) node rewrites and leave pages half full. *)
+let bulk_load ?(fill = 0.9) t entries =
+  if fill <= 0. || fill > 1. then
+    invalid_arg "Btree.bulk_load: fill factor must be in (0, 1]";
+  if not (is_empty t) then invalid_arg "Btree.bulk_load: tree is not empty";
+  let fc = t.cfg.front_coding in
+  let budget =
+    max (Node.header_size + 1) (int_of_float (fill *. float_of_int (page_size t)))
+  in
+  let cap =
+    match t.cfg.max_entries with
+    | None -> max_int
+    | Some m -> max 1 (int_of_float (ceil (fill *. float_of_int m)))
+  in
+  let pfx prev k = if fc then min (Bu.common_prefix_len prev k) 0xFFFF else 0 in
+  (* leaf level; the first leaf reuses the root page, so an empty or
+     single-leaf load leaves the tree metadata untouched *)
+  let leaves = ref [] in
+  let cur = ref t.root in
+  let keys = ref [] and vals = ref [] and n = ref 0 in
+  let size = ref Node.header_size and prev = ref "" and first = ref "" in
+  let flush_leaf ~next =
+    store t !cur
+      (Node.Leaf
+         {
+           lkeys = Array.of_list (List.rev !keys);
+           lvals = Array.of_list (List.rev !vals);
+           next;
+         });
+    leaves := (!first, !cur) :: !leaves
+  in
+  let add k value =
+    let esz = 4 + (String.length k - pfx !prev k) + Node.inline_size value in
+    if !n > 0 && (!size + esz > budget || !n >= cap) then begin
+      (* the next leaf's id is needed now for the chain link, so every
+         leaf is still written exactly once *)
+      let next = Pager.alloc t.pager in
+      flush_leaf ~next;
+      cur := next;
+      keys := [];
+      vals := [];
+      n := 0;
+      size := Node.header_size;
+      prev := ""
+    end;
+    if !n = 0 then first := k;
+    size := !size + 4 + (String.length k - pfx !prev k) + Node.inline_size value;
+    keys := k :: !keys;
+    vals := value :: !vals;
+    incr n;
+    prev := k
+  in
+  (* dedup adjacent equal keys (later wins, as sequential insertion
+     would) before materializing values, so a replaced overflow value is
+     never even written *)
+  let pending = ref None in
+  Seq.iter
+    (fun (k, v) ->
+      match !pending with
+      | None -> pending := Some (k, v)
+      | Some (pk, _) when String.compare pk k > 0 ->
+          invalid_arg "Btree.bulk_load: entries not sorted"
+      | Some (pk, _) when String.equal pk k -> pending := Some (k, v)
+      | Some (pk, pv) ->
+          add pk (make_value t pv);
+          pending := Some (k, v))
+    entries;
+  (match !pending with None -> () | Some (k, v) -> add k (make_value t v));
+  if !n > 0 then begin
+    flush_leaf ~next:(-1);
+    (* internal levels, bottom-up.  Greedy packing, with two escape
+       hatches at the boundaries: a group only closes once it has two
+       children, and a final straggler steals its left neighbour from
+       the previous group rather than becoming a one-child node. *)
+    let pack_level children =
+      let m = List.length children in
+      let out = ref [] in
+      let gkeys = ref [] and gkids = ref [] and gn = ref 0 in
+      let gsize = ref Node.header_size and gprev = ref "" and gfirst = ref "" in
+      let close () =
+        let id = Pager.alloc t.pager in
+        store t id
+          (Node.Internal
+             {
+               ikeys = Array.of_list (List.rev !gkeys);
+               children = Array.of_list (List.rev !gkids);
+             });
+        out := (!gfirst, id) :: !out
+      in
+      let start fk cid =
+        gkeys := [];
+        gkids := [ cid ];
+        gn := 1;
+        gsize := Node.header_size;
+        gprev := "";
+        gfirst := fk
+      in
+      let append fk cid =
+        gsize := !gsize + 4 + (String.length fk - pfx !gprev fk) + 4;
+        gkeys := fk :: !gkeys;
+        gkids := cid :: !gkids;
+        incr gn;
+        gprev := fk
+      in
+      List.iteri
+        (fun i (fk, cid) ->
+          if i = 0 then start fk cid
+          else begin
+            let cost = 4 + (String.length fk - pfx !gprev fk) + 4 in
+            let full = !gsize + cost > budget || !gn > cap in
+            let last = i = m - 1 in
+            if full && !gn >= 2 && not last then begin
+              close ();
+              start fk cid
+            end
+            else if full && !gn >= 3 && last then begin
+              let pk = List.hd !gkeys and pc = List.hd !gkids in
+              gkeys := List.tl !gkeys;
+              gkids := List.tl !gkids;
+              decr gn;
+              close ();
+              start pk pc;
+              append fk cid
+            end
+            else append fk cid
+          end)
+        children;
+      close ();
+      List.rev !out
+    in
+    let rec build level h =
+      match level with
+      | [ (_, id) ] ->
+          t.root <- id;
+          t.height <- h
+      | children -> build (pack_level children) (h + 1)
+    in
+    build (List.rev !leaves) 1
+  end

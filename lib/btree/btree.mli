@@ -111,6 +111,21 @@ val delete : t -> string -> bool
 (** Removes the key; [false] if absent.  Rebalances by borrowing from or
     merging with siblings. *)
 
+val is_empty : t -> bool
+(** [true] iff the tree holds no entries (a lone empty root leaf). *)
+
+val bulk_load : ?fill:float -> t -> (string * string) Seq.t -> unit
+(** [bulk_load t entries] builds the tree bottom-up from a stream of
+    entries in non-decreasing key order (adjacent duplicates collapse,
+    later wins): leaves are packed left to right up to [fill]
+    (default [0.9]) of the page — or of [max_entries] — and the internal
+    levels are synthesized above them, so every page is written exactly
+    once.  Far cheaper than entry-at-a-time insertion for an initial
+    build, and the resulting pages are denser.
+
+    Raises [Invalid_argument] if the tree is not empty, the input is out
+    of order, or [fill] is outside [(0, 1]]. *)
+
 (** {1 Point and range access} *)
 
 val find : t -> ?read:(int -> Bytes.t) -> string -> string option

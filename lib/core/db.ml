@@ -12,15 +12,43 @@ type t = {
   writer : Mutex.t;
       (* serializes every mutation (and session pinning, so a session
          never pins a half-applied commit) *)
+  gc : Storage.Group_commit.t;
+      (* batches concurrent commit requests into shared flushes; lock
+         order is writer -> gc's internal mutex, never the reverse *)
 }
-
-let create ?(cache_pages = 0) store =
-  if cache_pages < 0 then invalid_arg "Db.create: negative cache_pages";
-  { store; indexes = []; cache_pages; writer = Mutex.create () }
 
 let with_writer t f =
   Mutex.lock t.writer;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) f
+
+let create ?(cache_pages = 0) store =
+  if cache_pages < 0 then invalid_arg "Db.create: negative cache_pages";
+  (* the coordinator's flush function closes over the db record we are
+     about to build; break the cycle with a forward cell *)
+  let cell = ref None in
+  let flush () =
+    match !cell with
+    | None -> assert false
+    | Some t ->
+        with_writer t @@ fun () ->
+        (* sample the target after taking the writer lock: every
+           transaction submitted by then is fully applied, so the
+           flushed image is always a whole-transaction prefix *)
+        let target = Storage.Group_commit.submitted t.gc in
+        List.iter Index.sync t.indexes;
+        target
+  in
+  let t =
+    {
+      store;
+      indexes = [];
+      cache_pages;
+      writer = Mutex.create ();
+      gc = Storage.Group_commit.create ~flush ();
+    }
+  in
+  cell := Some t;
+  t
 
 let store t = t.store
 let indexes t = t.indexes
@@ -89,7 +117,23 @@ let set_attr t oid attr v =
   reindex_around t (fun () -> Store.set_attr t.store oid attr v) oid
 
 let query ?(algo = `Parallel) _t idx q = Exec.run ~algo idx q
-let sync t = with_writer t @@ fun () -> List.iter Index.sync t.indexes
+
+(* --- commits and the durability watermark -------------------------------- *)
+
+let commit ?(mode = `Sync) t =
+  (* the LSN is taken under the writer lock so "submitted" always means
+     "fully applied": any flush sampling the watermark afterwards
+     includes this transaction as a whole or not at all *)
+  let lsn = with_writer t (fun () -> Storage.Group_commit.submit t.gc) in
+  (match mode with
+  | `Sync -> Storage.Group_commit.wait_durable t.gc lsn
+  | `Async -> ());
+  lsn
+
+let durable_lsn t = Storage.Group_commit.durable_lsn t.gc
+let wait_durable t lsn = Storage.Group_commit.wait_durable t.gc lsn
+let set_group_window t w = Storage.Group_commit.set_window t.gc w
+let sync t = ignore (commit t)
 
 (* --- snapshot sessions ---------------------------------------------------- *)
 

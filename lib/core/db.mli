@@ -63,8 +63,46 @@ val query :
   ?algo:[ `Forward | `Parallel ] -> t -> Index.t -> Query.t -> Exec.outcome
 (** Runs the query through the given index ([`Parallel] by default). *)
 
+(** {1 Commits, group commit, and the durability watermark}
+
+    Mutations apply to the live indexes immediately; {!commit} makes
+    them durable.  Every commit gets a monotonically increasing logical
+    sequence number (LSN).  Concurrent synchronous committers are
+    batched: one leader flushes all journal state with a single pair of
+    fsyncs and acknowledges the whole group, so fsyncs-per-commit drops
+    below 1 under write concurrency.
+
+    [`Sync] (the default) returns only once the commit is durable.
+    [`Async] returns as soon as the commit is {e acknowledged} — applied
+    and sequenced, visible to new sessions, but possibly not yet on
+    disk.  The watermark {!durable_lsn} says exactly which prefix of the
+    commit history would survive a crash; an async committer that needs
+    durability later calls {!wait_durable} with its LSN. *)
+
+val commit : ?mode:[ `Sync | `Async ] -> t -> int
+(** Commits everything applied so far and returns its LSN.  With
+    [`Sync], on return [durable_lsn t >= lsn].  With [`Async], the
+    commit becomes durable at the next group flush (any later [`Sync]
+    commit, {!sync}, or {!wait_durable} call drives one). *)
+
+val durable_lsn : t -> int
+(** The durability watermark: every commit with an LSN [<=] this value
+    is on stable storage.  Monotone non-decreasing; [0] before the first
+    flush. *)
+
+val wait_durable : t -> int -> unit
+(** [wait_durable t lsn] blocks until [durable_lsn t >= lsn], leading a
+    group flush itself if none is in flight. *)
+
+val set_group_window : t -> float -> unit
+(** How long (seconds) a group-commit leader waits before flushing so
+    trailing committers can join its group.  Default [0.]: flush
+    immediately.  A millisecond or two trades a little latency for
+    fewer fsyncs under concurrent writers. *)
+
 val sync : t -> unit
-(** {!Index.sync} on every index: commits all file-backed index state. *)
+(** [commit t] with the LSN discarded: commits all file-backed index
+    state synchronously. *)
 
 val check : t -> unit
 (** Verifies every index: B-tree invariants hold and the entry set equals

@@ -263,15 +263,22 @@ let insert_entry t ~value comps =
 let remove_entry t ~value comps =
   ignore (Btree.delete t.tree (entry_of t ~value comps))
 
-let build t store =
-  (* bulk load: one sorted batch per path *)
-  List.iter
-    (fun spec ->
-      Store.extent store ~deep:true spec.s_classes.(0)
-      |> List.concat_map (fun oid -> spec_entry_keys t spec store oid)
-      |> List.map (fun key -> (key, ""))
-      |> Btree.insert_batch t.tree)
-    t.specs
+let build ?fill t store =
+  let spec_entries spec =
+    Store.extent store ~deep:true spec.s_classes.(0)
+    |> List.concat_map (fun oid -> spec_entry_keys t spec store oid)
+    |> List.map (fun key -> (key, ""))
+  in
+  if Btree.is_empty t.tree then
+    (* initial build: sort every path's entries together and construct
+       the tree bottom-up, writing each page exactly once *)
+    List.concat_map spec_entries t.specs
+    |> List.sort_uniq compare
+    |> List.to_seq
+    |> Btree.bulk_load ?fill t.tree
+  else
+    (* incremental (re)build into a populated tree: merge per path *)
+    List.iter (fun spec -> Btree.insert_batch t.tree (spec_entries spec)) t.specs
 
 (* --- snapshot views ------------------------------------------------------ *)
 

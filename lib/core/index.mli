@@ -145,8 +145,11 @@ val insert_entry :
 val remove_entry :
   t -> value:Objstore.Value.t -> (Schema.class_id * Objstore.Value.oid) list -> unit
 
-val build : t -> Store.t -> unit
-(** (Re)indexes every relevant object of the store, over all paths. *)
+val build : ?fill:float -> t -> Store.t -> unit
+(** (Re)indexes every relevant object of the store, over all paths.
+    Into an empty tree this bulk-loads bottom-up ({!Btree.bulk_load},
+    packing pages to [fill], default [0.9]); into a populated tree it
+    falls back to batched merging. *)
 
 val sync : t -> unit
 (** {!Btree.sync} on the underlying tree: persists the root and commits

@@ -1,0 +1,104 @@
+(* Group-commit coordinator: leader/follower batching of durability
+   requests around a single flush function.  See group_commit.mli for
+   the contract.
+
+   Locking: [mu] guards every mutable field.  The flush function is
+   only ever called with [mu] released (the [flushing] flag keeps a
+   second leader from starting), so it is free to take the caller's
+   writer lock; the safe lock order is therefore
+   writer lock -> mu, never the reverse. *)
+
+let m_groups = Obs.Metrics.counter ~subsystem:"journal" "group_commits"
+let m_acked = Obs.Metrics.counter ~subsystem:"journal" "group_acked"
+let m_size = Obs.Metrics.histogram ~subsystem:"journal" "group_size"
+let m_watermark = Obs.Metrics.gauge ~subsystem:"journal" "group_durable_lsn"
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  flush_fn : unit -> int;
+  mutable window : float;
+  mutable submitted : int; (* highest LSN handed out *)
+  mutable durable : int; (* highest LSN known durable *)
+  mutable flushing : bool; (* a leader is between mu releases *)
+}
+
+let create ?(window = 0.) ~flush () =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    flush_fn = flush;
+    window = Float.max 0. window;
+    submitted = 0;
+    durable = 0;
+    flushing = false;
+  }
+
+let set_window t w =
+  Mutex.lock t.mu;
+  t.window <- Float.max 0. w;
+  Mutex.unlock t.mu
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let submit t =
+  with_mu t (fun () ->
+      t.submitted <- t.submitted + 1;
+      t.submitted)
+
+let submitted t = with_mu t (fun () -> t.submitted)
+let durable_lsn t = with_mu t (fun () -> t.durable)
+
+(* The leader has set [flushing] and released [mu]; run one flush cycle
+   and publish the result.  On any outcome — success or exception — the
+   leadership flag drops and all waiters wake to re-check. *)
+let lead t =
+  let finish target =
+    Mutex.lock t.mu;
+    (match target with
+    | Some covered when covered > t.durable ->
+        let group = covered - t.durable in
+        t.durable <- covered;
+        Obs.Metrics.incr m_groups;
+        Obs.Metrics.add m_acked group;
+        Obs.Metrics.observe m_size group;
+        Obs.Metrics.set m_watermark t.durable
+    | Some _ | None -> ());
+    t.flushing <- false;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu
+  in
+  if t.window > 0. then Unix.sleepf t.window;
+  match t.flush_fn () with
+  | covered -> finish (Some covered)
+  | exception e ->
+      finish None;
+      raise e
+
+let rec wait_durable t lsn =
+  let role =
+    with_mu t (fun () ->
+        if t.durable >= lsn then `Done
+        else if not t.flushing then begin
+          t.flushing <- true;
+          `Lead
+        end
+        else begin
+          (* a flush is in flight; wait for it to land and re-check —
+             it may or may not have sampled our LSN *)
+          while t.flushing && t.durable < lsn do
+            Condition.wait t.cond t.mu
+          done;
+          if t.durable >= lsn then `Done else `Retry
+        end)
+  in
+  match role with
+  | `Done -> ()
+  | `Retry -> wait_durable t lsn
+  | `Lead ->
+      lead t;
+      wait_durable t lsn
+
+let flush t = wait_durable t (submitted t)

@@ -1,0 +1,58 @@
+(** Group-commit coordinator.
+
+    Serializes "make everything submitted so far durable" requests from
+    concurrent committers into batched flushes.  Committers first
+    {!submit} (under whatever lock serializes their mutations — the
+    coordinator itself never takes that lock), receiving a monotonically
+    increasing logical sequence number (LSN).  They then call
+    {!wait_durable} with that LSN; the first waiter whose LSN is not yet
+    durable becomes the {e leader}: it optionally sleeps a short group
+    window so trailing committers can pile on, runs the flush function
+    once, and wakes every waiter whose LSN the flush covered.  Everyone
+    else just blocks — one fsync cycle acknowledges the whole group.
+
+    The flush function is supplied at {!create} time.  It must make
+    every transaction submitted {e so far} durable and return the
+    highest LSN it covered (typically: take the writer lock, read
+    {!submitted}, sync the underlying pagers, return that value).
+    Because the coordinator never calls it while holding its own
+    internal lock, the flush function may take any lock it likes.
+
+    A committer that skips {!wait_durable} has an {e asynchronous}
+    commit: acknowledged to the caller, applied in memory, but not yet
+    durable.  The durability watermark {!durable_lsn} is monotone; an
+    async commit with LSN [l] is durable exactly when
+    [durable_lsn t >= l], which some later flush (or an explicit
+    {!wait_durable}/{!flush}) guarantees eventually. *)
+
+type t
+
+val create : ?window:float -> flush:(unit -> int) -> unit -> t
+(** [create ~flush ()] makes a coordinator around [flush].  [window]
+    (seconds, default [0.]) is how long a leader sleeps before flushing
+    to let a group form; [0.] flushes immediately. *)
+
+val set_window : t -> float -> unit
+(** Adjust the group window at runtime (clamped to [>= 0.]). *)
+
+val submit : t -> int
+(** Allocate and return the next LSN.  Call this while the transaction's
+    effects are fully applied (i.e. under the caller's writer lock), so
+    that any flush sampling {!submitted} afterwards includes them. *)
+
+val submitted : t -> int
+(** Highest LSN handed out by {!submit} so far. *)
+
+val durable_lsn : t -> int
+(** The durability watermark: every commit with LSN [<= durable_lsn t]
+    is on stable storage.  Monotone non-decreasing. *)
+
+val wait_durable : t -> int -> unit
+(** [wait_durable t lsn] returns once [durable_lsn t >= lsn], leading a
+    flush itself if nobody else is.  Exceptions raised by the flush
+    function propagate to the leader; other waiters retry and will
+    re-encounter the same failure if it persists. *)
+
+val flush : t -> unit
+(** [flush t] = [wait_durable t (submitted t)]: drive everything
+    submitted so far to disk. *)

@@ -18,6 +18,7 @@ let m_j_records = Obs.Metrics.counter ~subsystem:"journal" "records_written"
 let m_j_replays = Obs.Metrics.counter ~subsystem:"journal" "replays"
 let m_j_replayed = Obs.Metrics.counter ~subsystem:"journal" "records_replayed"
 let m_j_torn = Obs.Metrics.counter ~subsystem:"journal" "torn_discarded"
+let m_j_fsyncs = Obs.Metrics.counter ~subsystem:"journal" "fsyncs"
 
 let nil = 0xFFFFFFFF
 
@@ -659,7 +660,8 @@ let sync_locked t =
             inject_write t
               ~full:(fun () -> pwrite_buf jfd ~off tail 12)
               ~half:(fun () -> pwrite_buf jfd ~off tail 6);
-            Unix.fsync jfd);
+            Unix.fsync jfd;
+            Obs.Metrics.incr m_j_fsyncs);
         (* 2. checkpoint the same images into the main file, fsync *)
         List.iter
           (fun (idx, page) ->
@@ -669,6 +671,7 @@ let sync_locked t =
               ~half:(fun () -> pwrite_buf f.fd ~off page (t.page_size / 2)))
           records;
         Unix.fsync f.fd;
+        Obs.Metrics.incr m_j_fsyncs;
         (* 3. the transaction is durable; drop the journal *)
         Sys.remove (journal_path f.path);
         Hashtbl.reset f.dirty;

@@ -1,0 +1,242 @@
+(* Differential tests for the bottom-up bulk loader.
+
+   A bulk-loaded tree and an entry-at-a-time tree built from the same
+   input are two implementations of the same map; they must agree on
+   every observable: the full iteration (keys AND resolved values, so
+   overflow chains are exercised), generated point lookups (hits and
+   misses), range scans, entry counts — and both must satisfy the
+   structural invariants.  Inputs include duplicate keys (later wins),
+   empty and singleton streams, overflow-sized values, and a 100k-entry
+   build that also checks the bulk path is actually cheaper in page
+   writes.  A final case runs the same comparison one level up, through
+   [Index.build] vs per-object incremental indexing. *)
+
+module Pager = Storage.Pager
+module Rng = Workload.Rng
+module Dg = Workload.Datagen
+module Index = Uindex.Index
+module Query = Uindex.Query
+module Exec = Uindex.Exec
+module Value = Objstore.Value
+
+let mk_tree ?config ?(page_size = 256) () =
+  Btree.create ?config (Pager.create ~page_size ())
+
+let contents t =
+  let out = ref [] in
+  Btree.iter t (fun e -> out := (e.Btree.key, e.value ()) :: !out);
+  List.rev !out
+
+let compare_trees ~queries rng bulk incr =
+  let cb = contents bulk and ci = contents incr in
+  if cb <> ci then
+    QCheck.Test.fail_reportf "iteration differs: %d vs %d entries"
+      (List.length cb) (List.length ci);
+  let rb = Btree.check_invariants bulk and ri = Btree.check_invariants incr in
+  if rb.Btree.entries <> List.length cb then
+    QCheck.Test.fail_report "bulk invariant report disagrees with contents";
+  if rb.Btree.entries <> ri.Btree.entries then
+    QCheck.Test.fail_report "entry counts differ";
+  if Btree.length bulk <> Btree.length incr then
+    QCheck.Test.fail_report "lengths differ";
+  (* generated point lookups: present keys, absent keys *)
+  let keys = Array.of_list (List.map fst cb) in
+  for _ = 1 to queries do
+    let k =
+      if Array.length keys > 0 && Rng.int rng 2 = 0 then
+        keys.(Rng.int rng (Array.length keys))
+      else Printf.sprintf "k%05d" (Rng.int rng 2000)
+    in
+    if Btree.find bulk k <> Btree.find incr k then
+      QCheck.Test.fail_reportf "find %S differs" k
+  done;
+  (* range scans *)
+  let scan t lo hi =
+    let out = ref [] in
+    Btree.scan_range t
+      ~read:(fun id -> Pager.read (Btree.pager t) id)
+      ~lo ~hi
+      (fun e -> out := (e.Btree.key, e.value ()) :: !out);
+    List.rev !out
+  in
+  for _ = 1 to 40 do
+    let a = Printf.sprintf "k%05d" (Rng.int rng 2000)
+    and b = Printf.sprintf "k%05d" (Rng.int rng 2000) in
+    let lo = min a b and hi = max a b in
+    if scan bulk lo hi <> scan incr lo hi then
+      QCheck.Test.fail_reportf "scan [%s, %s) differs" lo hi
+  done;
+  true
+
+(* random input: sorted keys with duplicates, values of wildly varying
+   length so some spill to overflow chains *)
+let gen_input rng =
+  let n = Rng.int rng 600 in
+  let keyspace = 1 + Rng.int rng (n + 1) in
+  let keys =
+    List.init n (fun _ -> Printf.sprintf "k%05d" (Rng.int rng keyspace))
+    |> List.sort compare
+  in
+  List.mapi
+    (fun i k ->
+      let len =
+        match Rng.int rng 10 with
+        | 0 -> 0
+        | 1 | 2 -> 80 + Rng.int rng 200 (* overflow territory at ps=256 *)
+        | _ -> Rng.int rng 20
+      in
+      (k, String.init len (fun j -> Char.chr (97 + ((i + j) mod 26)))))
+    keys
+
+let prop_differential =
+  QCheck.Test.make ~count:120 ~name:"bulk-loaded = entry-at-a-time"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let input = gen_input rng in
+      let fill = 0.5 +. (float_of_int (Rng.int rng 6) /. 10.) in
+      let config =
+        if Rng.int rng 3 = 0 then
+          Some
+            {
+              (Btree.default_config ~page_size:256) with
+              Btree.max_entries = Some (4 + Rng.int rng 12);
+            }
+        else None
+      in
+      let bulk = mk_tree ?config () in
+      let incr = mk_tree ?config () in
+      Btree.bulk_load ~fill bulk (List.to_seq input);
+      List.iter (fun (k, v) -> Btree.insert incr ~key:k ~value:v) input;
+      compare_trees ~queries:12 rng bulk incr)
+
+let test_edge_cases () =
+  (* empty stream: tree stays empty and valid *)
+  let t = mk_tree () in
+  Btree.bulk_load t Seq.empty;
+  Alcotest.(check bool) "empty tree is empty" true (Btree.is_empty t);
+  ignore (Btree.check_invariants t);
+  (* loading into a non-empty tree is refused *)
+  Btree.insert t ~key:"a" ~value:"1";
+  Alcotest.check_raises "non-empty tree refused"
+    (Invalid_argument "Btree.bulk_load: tree is not empty") (fun () ->
+      Btree.bulk_load t (List.to_seq [ ("b", "2") ]));
+  (* singleton *)
+  let t = mk_tree () in
+  Btree.bulk_load t (List.to_seq [ ("only", "v") ]);
+  Alcotest.(check (option string)) "singleton" (Some "v") (Btree.find t "only");
+  Alcotest.(check int) "singleton length" 1 (Btree.length t);
+  ignore (Btree.check_invariants t);
+  (* all-duplicate stream collapses to the last value *)
+  let t = mk_tree () in
+  Btree.bulk_load t
+    (List.to_seq (List.init 500 (fun i -> ("dup", string_of_int i))));
+  Alcotest.(check int) "all-dup length" 1 (Btree.length t);
+  Alcotest.(check (option string)) "later wins" (Some "499") (Btree.find t "dup");
+  (* unsorted input is refused *)
+  let t = mk_tree () in
+  Alcotest.check_raises "unsorted refused"
+    (Invalid_argument "Btree.bulk_load: entries not sorted") (fun () ->
+      Btree.bulk_load t (List.to_seq [ ("b", "1"); ("a", "2") ]));
+  (* bad fill factors *)
+  let t = mk_tree () in
+  Alcotest.check_raises "fill 0 refused"
+    (Invalid_argument "Btree.bulk_load: fill factor must be in (0, 1]")
+    (fun () -> Btree.bulk_load ~fill:0. t Seq.empty);
+  Alcotest.check_raises "fill > 1 refused"
+    (Invalid_argument "Btree.bulk_load: fill factor must be in (0, 1]")
+    (fun () -> Btree.bulk_load ~fill:1.5 t Seq.empty)
+
+(* 100k+ entries: answers stay identical and the bulk path writes far
+   fewer pages than splitting its way up *)
+let test_large () =
+  let n = 100_000 in
+  let rng = Rng.create 42 in
+  let entry i =
+    (* ~4% duplicate keys sprinkled in *)
+    let i = if i mod 25 = 0 && i > 0 then i - 1 else i in
+    (Printf.sprintf "key%08d" i, Printf.sprintf "val%d" (i * 7))
+  in
+  let input = List.init n entry in
+  let pb = Pager.create ~page_size:1024 () in
+  let pi = Pager.create ~page_size:1024 () in
+  let bulk = Btree.create pb and incr = Btree.create pi in
+  Btree.bulk_load bulk (List.to_seq input);
+  let bulk_writes = (Pager.stats pb).Storage.Stats.writes in
+  List.iter (fun (k, v) -> Btree.insert incr ~key:k ~value:v) input;
+  let incr_writes = (Pager.stats pi).Storage.Stats.writes in
+  Alcotest.(check int) "identical lengths" (Btree.length incr)
+    (Btree.length bulk);
+  let rb = Btree.check_invariants bulk and ri = Btree.check_invariants incr in
+  Alcotest.(check int) "identical entry counts" ri.Btree.entries
+    rb.Btree.entries;
+  Alcotest.(check bool)
+    (Printf.sprintf "bulk load writes fewer pages (%d << %d)" bulk_writes
+       incr_writes)
+    true
+    (bulk_writes < incr_writes / 4);
+  Alcotest.(check bool) "bulk pages are denser" true
+    (rb.Btree.avg_fill > ri.Btree.avg_fill);
+  (* 1200 point probes across hits and misses *)
+  let mism = ref 0 in
+  for q = 1 to 1200 do
+    let k =
+      if q mod 3 = 0 then Printf.sprintf "key%08d" (Rng.int rng (n * 2))
+      else Printf.sprintf "key%08d" (Rng.int rng n)
+    in
+    if Btree.find bulk k <> Btree.find incr k then mism := !mism + 1
+  done;
+  Alcotest.(check int) "1200 probes agree" 0 !mism
+
+(* Index-level: [Index.build] (which now bulk-loads an empty tree) must
+   produce the same index as per-object incremental indexing. *)
+let test_index_build () =
+  let e = Dg.exp1 ~n_vehicles:400 ~seed:11 () in
+  let b = e.ext.b in
+  let mk () =
+    Index.create_class_hierarchy
+      (Pager.create ~page_size:512 ())
+      b.enc ~root:b.vehicle ~attr:"color"
+  in
+  let built = mk () in
+  Index.build built e.store;
+  let incr = mk () in
+  Objstore.Store.iter e.store (fun o -> Index.index_object incr e.store o.oid);
+  Alcotest.(check int) "entry_count matches" (Index.entry_count incr)
+    (Index.entry_count built);
+  ignore (Btree.check_invariants (Index.tree built));
+  let keys t =
+    let out = ref [] in
+    Btree.iter (Index.tree t) (fun en -> out := en.Btree.key :: !out);
+    List.rev !out
+  in
+  Alcotest.(check bool) "entry keys identical" true (keys built = keys incr);
+  (* and the two answer queries identically *)
+  let canon (o : Exec.outcome) =
+    List.sort_uniq compare
+      (List.map (fun bd -> (bd.Exec.value, bd.Exec.comps)) o.Exec.bindings)
+  in
+  List.iter
+    (fun c ->
+      let q =
+        Query.class_hierarchy
+          ~value:(Query.V_eq (Value.Str c))
+          (Query.P_subtree b.vehicle)
+      in
+      if canon (Exec.parallel built q) <> canon (Exec.parallel incr q) then
+        Alcotest.failf "query for %s differs" c)
+    [ "Red"; "White"; "Blue"; "Black"; "Silver"; "Green" ]
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_differential ]
+
+let () =
+  Alcotest.run "bulkload"
+    [
+      ("differential", qsuite);
+      ( "edges",
+        [
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "100k entries" `Quick test_large;
+          Alcotest.test_case "Index.build differential" `Quick test_index_build;
+        ] );
+    ]

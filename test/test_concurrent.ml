@@ -290,6 +290,185 @@ let test_db_sessions () =
     (Invalid_argument "Db.session_view: session is closed") (fun () ->
       ignore (count_in s1))
 
+(* --- durability watermark ------------------------------------------------ *)
+
+(* A small file-backed Db: vehicles with a color index, synced once so
+   sessions can pin. *)
+let with_file_db ~seed f =
+  let e = Dg.exp1 ~n_vehicles:30 ~n_companies:8 ~n_employees:4 ~seed () in
+  let b = e.ext.b in
+  let file = Filename.temp_file "uindex_wm" ".pages" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ file; Storage.Pager.journal_path file ])
+  @@ fun () ->
+  let pager = Storage.Pager.create_file ~page_size:512 file in
+  let idx =
+    Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+  in
+  let db = Db.create e.store in
+  Db.add_index db idx;
+  Db.sync db;
+  Fun.protect ~finally:(fun () -> Storage.Pager.close pager) @@ fun () ->
+  f db idx b
+
+(* [`Async] acknowledges without flushing: the LSN sits above the
+   watermark until something drives a group flush, and [wait_durable]
+   is exactly that something. *)
+let test_async_commit_semantics () =
+  with_file_db ~seed:21 @@ fun db _idx b ->
+  ignore (Db.insert db ~cls:b.vehicle [ ("color", Value.Str "wm-a") ]);
+  let lsn1 = Db.commit ~mode:`Async db in
+  Alcotest.(check bool)
+    "async commit acknowledged above the watermark" true
+    (Db.durable_lsn db < lsn1);
+  Db.wait_durable db lsn1;
+  Alcotest.(check bool)
+    "wait_durable drives the group flush" true
+    (Db.durable_lsn db >= lsn1);
+  ignore (Db.insert db ~cls:b.vehicle [ ("color", Value.Str "wm-b") ]);
+  let lsn2 = Db.commit db in
+  Alcotest.(check bool) "LSNs increase" true (lsn2 > lsn1);
+  Alcotest.(check bool)
+    "sync commit returns durable" true
+    (Db.durable_lsn db >= lsn2);
+  (* waiting on an already-durable LSN is a no-op *)
+  Db.wait_durable db lsn1;
+  Alcotest.(check bool) "watermark kept" true (Db.durable_lsn db >= lsn2)
+
+(* Three committing writer domains while a monitor samples the
+   watermark: it must never move backwards, every synchronous commit
+   must be covered on return, and after a final wait the watermark
+   covers every acknowledged commit. *)
+let test_watermark_monotone () =
+  with_file_db ~seed:22 @@ fun db _idx b ->
+  Db.set_group_window db 0.001;
+  let stop = Atomic.make false in
+  let max_lsn = Atomic.make 0 in
+  let record l =
+    let rec go () =
+      let cur = Atomic.get max_lsn in
+      if l > cur && not (Atomic.compare_and_set max_lsn cur l) then go ()
+    in
+    go ()
+  in
+  let monitor =
+    Domain.spawn (fun () ->
+        let bad = ref None in
+        let last = ref 0 in
+        while not (Atomic.get stop) do
+          let d = Db.durable_lsn db in
+          if d < !last then bad := Some (!last, d);
+          last := max !last d;
+          Unix.sleepf 0.0002
+        done;
+        !bad)
+  in
+  let writers =
+    List.init 3 (fun w ->
+        Domain.spawn (fun () ->
+            let rng = Rng.create (100 + w) in
+            for k = 1 to 30 do
+              ignore
+                (Db.insert db ~cls:b.vehicle
+                   [
+                     ("color", Value.Str (Printf.sprintf "wm-%d-%d" w k));
+                   ]);
+              if Rng.int rng 2 = 0 then begin
+                let l = Db.commit db in
+                record l;
+                if Db.durable_lsn db < l then
+                  failwith "sync commit returned above the watermark"
+              end
+              else record (Db.commit ~mode:`Async db)
+            done))
+  in
+  List.iter Domain.join writers;
+  Db.wait_durable db (Atomic.get max_lsn);
+  Alcotest.(check bool)
+    "watermark covers every acknowledged commit" true
+    (Db.durable_lsn db >= Atomic.get max_lsn);
+  Atomic.set stop true;
+  match Domain.join monitor with
+  | None -> ()
+  | Some (was, now) ->
+      Alcotest.failf "durable_lsn regressed: %d then %d" was now
+
+(* Sessions pin the last flushed image of a file-backed index.  A
+   writer commits in bursts of [g] async commits closed by one
+   wait_durable, so every flush covers a whole burst; a concurrent
+   reader pinning sessions must only ever see a whole number of bursts
+   — a dense prefix of the insertion order, never a torn group — and at
+   least as many as the flush counter said were durable before the pin. *)
+let test_snapshot_group_boundaries () =
+  with_file_db ~seed:23 @@ fun db idx b ->
+  let g = 4 and bursts = 25 in
+  let flushed = Atomic.make 0 in
+  let done_ = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        for j = 1 to bursts do
+          let last = ref 0 in
+          for i = 1 to g do
+            let n = ((j - 1) * g) + i in
+            ignore
+              (Db.insert db ~cls:b.vehicle
+                 [ ("color", Value.Str (Printf.sprintf "zz-%04d" n)) ]);
+            last := Db.commit ~mode:`Async db
+          done;
+          Db.wait_durable db !last;
+          Atomic.set flushed j
+        done;
+        Atomic.set done_ true)
+  in
+  let q =
+    Query.class_hierarchy
+      ~value:
+        (Query.V_range (Some (Value.Str "zz-"), Some (Value.Str "zz-~")))
+      (Query.P_subtree b.vehicle)
+  in
+  let checks = ref 0 in
+  let fail = ref None in
+  while (not (Atomic.get done_) || !checks = 0) && !fail = None do
+    let lb = Atomic.get flushed * g in
+    Db.with_session db (fun s ->
+        let got =
+          (Db.session_query s idx q).Exec.bindings
+          |> List.map (fun bd ->
+                 match bd.Exec.value with
+                 | Value.Str c -> c
+                 | v -> Alcotest.failf "non-string key %a" Value.pp v)
+          |> List.sort_uniq compare
+        in
+        let k = List.length got in
+        if k mod g <> 0 then
+          fail := Some (Printf.sprintf "saw %d zz commits: torn group" k)
+        else if k < lb then
+          fail :=
+            Some
+              (Printf.sprintf
+                 "saw %d zz commits but %d were already durable" k lb)
+        else if k > bursts * g then
+          fail := Some (Printf.sprintf "saw %d zz commits: too many" k)
+        else begin
+          let want = List.init k (fun i -> Printf.sprintf "zz-%04d" (i + 1)) in
+          if got <> want then
+            fail := Some "visible commits are not a prefix of the history"
+        end;
+        incr checks)
+  done;
+  Domain.join writer;
+  (match !fail with Some m -> Alcotest.fail m | None -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "ran %d snapshot checks" !checks)
+    true (!checks > 0);
+  (* the final state is the full history *)
+  Db.with_session db (fun s ->
+      Alcotest.(check int) "all bursts visible at the end" (bursts * g)
+        (List.length (Db.session_query s idx q).Exec.bindings))
+
 let () =
   Alcotest.run "concurrent"
     [
@@ -308,4 +487,13 @@ let () =
             (run_pin_before_commit ~durable:true);
         ] );
       ("sessions", [ Alcotest.test_case "Db sessions" `Quick test_db_sessions ]);
+      ( "watermark",
+        [
+          Alcotest.test_case "async commit semantics" `Quick
+            test_async_commit_semantics;
+          Alcotest.test_case "durable_lsn is monotone" `Quick
+            test_watermark_monotone;
+          Alcotest.test_case "snapshots pin group boundaries" `Quick
+            test_snapshot_group_boundaries;
+        ] );
     ]

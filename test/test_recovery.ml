@@ -186,6 +186,156 @@ let prop_crash_free_list =
           Pager.close p;
           ok))
 
+(* --- group-commit crash schedules -------------------------------------- *)
+
+module Dg = Workload.Datagen
+module Index = Uindex.Index
+module Db = Uindex.Db
+module Value = Objstore.Value
+
+(* A schedule is a list of steps; each step applies a few mutations and
+   commits them — mostly [`Async] (acknowledged, not yet flushed), with
+   occasional synchronous durability points.  Because async commits
+   write nothing physical, every buffered group reaches disk in ONE
+   atomic pager sync, so a crash anywhere in the write sequence must
+   recover to a whole-group boundary: everything up to the last
+   acknowledged durability point, or everything the in-flight flush
+   covered.  The states of individual async commits inside a group are
+   NOT legal recovery outcomes — that is the boundary property this
+   checks, at every physical write offset the workload has. *)
+
+type gc_step = { g_ops : int; g_sync : bool }
+
+let gen_schedule rng =
+  let n = 6 + Rng.int rng 10 in
+  List.init n (fun _ ->
+      { g_ops = 1 + Rng.int rng 4; g_sync = Rng.int rng 3 = 0 })
+
+let index_contents idx =
+  let out = ref Smap.empty in
+  Btree.iter (Index.tree idx) (fun e ->
+      out := Smap.add e.Btree.key (e.value ()) !out);
+  !out
+
+let run_gc_workload ~path ~seed ~plan ~fault =
+  let e = Dg.exp1 ~n_vehicles:40 ~n_companies:10 ~n_employees:5 ~seed () in
+  let b = e.ext.b in
+  let pager = Pager.create_file ~page_size:512 path in
+  let idx =
+    Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+  in
+  let db = Db.create e.store in
+  Db.add_index db idx;
+  Db.sync db;
+  let setup_writes = Pager.physical_writes pager in
+  (match fault with
+  | Some spec -> ignore (Pager.create_faulty spec pager)
+  | None -> ());
+  let durable_model = ref (index_contents idx) in
+  let attempted = ref !durable_model in
+  let rng = Rng.create (seed + 7919) in
+  let oids = ref [] in
+  let counter = ref 0 in
+  let apply_op () =
+    incr counter;
+    match !oids with
+    | o :: rest when Rng.int rng 6 = 0 ->
+        oids := rest;
+        Db.delete db o
+    | _ ->
+        let oid =
+          Db.insert db ~cls:b.vehicle
+            [ ("color", Value.Str (Printf.sprintf "gc-%04d" !counter)) ]
+        in
+        oids := oid :: !oids
+  in
+  let outcome =
+    match
+      List.iter
+        (fun step ->
+          for _ = 1 to step.g_ops do
+            apply_op ()
+          done;
+          if step.g_sync then begin
+            (* the flush this commit leads covers every async commit
+               submitted since the previous durability point *)
+            attempted := index_contents idx;
+            let lsn = Db.commit db in
+            if Db.durable_lsn db < lsn then
+              failwith "sync commit returned before its LSN was durable";
+            durable_model := !attempted
+          end
+          else begin
+            let lsn = Db.commit ~mode:`Async db in
+            ignore (lsn : int)
+          end)
+        plan;
+      attempted := index_contents idx;
+      Db.sync db;
+      durable_model := !attempted;
+      Pager.close pager
+    with
+    | () -> `Completed
+    | exception Pager.Fault _ ->
+        (try Pager.close pager with Pager.Fault _ -> ());
+        `Crashed
+  in
+  ( outcome,
+    !durable_model,
+    !attempted,
+    setup_writes,
+    Pager.physical_writes pager )
+
+let prop_group_commit_crash =
+  QCheck.Test.make ~count:500
+    ~name:"group commit crash recovers a whole-group boundary"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let plan = gen_schedule rng in
+      let torn = Rng.int rng 2 = 0 in
+      let setup_writes, total_writes =
+        with_temp_pages (fun path ->
+            match run_gc_workload ~path ~seed ~plan ~fault:None with
+            | `Completed, _, _, w0, w -> (w0, w)
+            | `Crashed, _, _, _, _ ->
+                QCheck.Test.fail_report "clean run crashed")
+      in
+      if total_writes <= setup_writes then
+        QCheck.Test.fail_report "schedule flushed nothing";
+      let fail_at =
+        setup_writes + 1 + Rng.int rng (total_writes - setup_writes)
+      in
+      let fault = { Pager.no_faults with fail_write = Some fail_at; torn } in
+      with_temp_pages (fun path ->
+          let outcome, durable_model, attempted, _, _ =
+            run_gc_workload ~path ~seed ~plan ~fault:(Some fault)
+          in
+          if outcome <> `Crashed then
+            QCheck.Test.fail_reportf "fault at write %d/%d never fired"
+              fail_at total_writes;
+          let pager = Pager.open_file path in
+          let t = Btree.reattach pager in
+          let report = Btree.check_invariants t in
+          let got = tree_contents t in
+          Pager.close pager;
+          if report.Btree.entries <> Smap.cardinal got then
+            QCheck.Test.fail_report "invariant report disagrees with contents";
+          (* the recovered state must be exactly a group boundary — the
+             acknowledged watermark state, or the whole in-flight group
+             (which supersedes it, including its deletes).  Anything
+             else either lost an acknowledged commit or leaked a partial
+             group. *)
+          if not (Smap.equal String.equal got durable_model) then
+            if not (Smap.equal String.equal got attempted) then
+              QCheck.Test.fail_reportf
+                "recovered %d entries: neither the watermark state (%d) \
+                 nor the in-flight group (%d) — a partial group leaked"
+                (Smap.cardinal got)
+                (Smap.cardinal durable_model)
+                (Smap.cardinal attempted);
+          true))
+
 (* recover_status distinguishes the three outcomes the CLI's exit codes
    report: no journal, a committed journal replayed, a torn journal
    discarded. *)
@@ -270,7 +420,7 @@ let status_suite =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_crash_recovery; prop_crash_free_list ]
+    [ prop_crash_recovery; prop_crash_free_list; prop_group_commit_crash ]
 
 let () =
   Alcotest.run "recovery"
