@@ -172,7 +172,8 @@ let check_serve_throughput path j =
       "serve_throughput: single-core collapse — 4 workers at %.1f \
        queries/s, under half the 1-worker %.1f"
       q4 q1;
-  List.length parsed
+  ( List.length parsed,
+    match parsed with (_, _, d) :: _ -> Some d | [] -> None )
 
 (* The serve_mixed section is the group-commit gate.  Correctness:
    writers only insert values no benchmark query matches, so reader
@@ -235,6 +236,76 @@ let check_serve_mixed path j =
   if not !saw_concurrent then
     fail "serve_mixed: no row with >= 4 writers to gate on";
   List.length parsed
+
+(* The telemetry_overhead section gates the cost of observability.
+   Correctness: the "on" row (tracing every request, slow log admitting
+   everything) and the "off" row (telemetry dark) must carry the same
+   reply digest — and the same digest as serve_throughput's rows, since
+   all three drive the identical query mix through the service.
+   Telemetry that changes response bytes is a correctness bug, not an
+   overhead.  Cost: the traced p50 must stay within 10% of the dark
+   p50 (rows are best-of-3, damping scheduler noise), and at threshold
+   0 the slow ring must actually have admitted entries. *)
+let check_telemetry path j ~serve_digest =
+  let rows =
+    match get path "telemetry_overhead" j with
+    | Obs.Json.List (_ :: _ as rows) -> rows
+    | Obs.Json.List [] -> fail "%s: telemetry_overhead is empty" path
+    | _ -> fail "%s: telemetry_overhead is not a list" path
+  in
+  let num name row =
+    match Obs.Json.member name row with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> fail "%s: telemetry_overhead.%s not a number" path name
+  in
+  let find mode =
+    match
+      List.find_opt
+        (fun row ->
+          Obs.Json.(member "mode" row |> Option.map to_str)
+          = Some (Some mode))
+        rows
+    with
+    | Some row -> row
+    | None -> fail "%s: telemetry_overhead has no %S row" path mode
+  in
+  let off = find "off" and on_ = find "on" in
+  let digest row =
+    match Obs.Json.(member "digest" row |> Option.map to_str) with
+    | Some (Some d) -> d
+    | _ -> fail "%s: telemetry_overhead row missing digest" path
+  in
+  let d_off = digest off and d_on = digest on_ in
+  if d_on <> d_off then
+    fail
+      "telemetry_overhead: tracing changed reply bytes (digest %s on, %s \
+       off) — telemetry must never alter responses"
+      d_on d_off;
+  (match serve_digest with
+  | Some d when d <> d_off ->
+      fail
+        "telemetry_overhead: digest %s differs from serve_throughput's %s \
+         — the sections no longer run the same query mix"
+        d_off d
+  | _ -> ());
+  let p50_off = num "p50_us" off and p50_on = num "p50_us" on_ in
+  if p50_on > 1.10 *. p50_off then
+    fail
+      "telemetry_overhead: traced p50 %.1f us is %.1f%% over dark p50 %.1f \
+       us (budget: 10%%)"
+      p50_on
+      ((p50_on /. p50_off -. 1.) *. 100.)
+      p50_off;
+  (match Obs.Json.(member "slow_entries" on_ |> Option.map to_int) with
+  | Some (Some n) when n >= 1 -> ()
+  | Some (Some n) ->
+      fail
+        "telemetry_overhead: %d slow entries admitted at threshold 0 — the \
+         slow ring never saw the traffic"
+        n
+  | _ -> fail "%s: telemetry_overhead.slow_entries missing" path);
+  (p50_on /. p50_off -. 1.) *. 100.
 
 (* The bulk_load section: a 100k-entry bottom-up build must produce a
    tree identical to entry-at-a-time insertion, beat it in wall-clock,
@@ -313,13 +384,14 @@ let () =
     want;
   let n_ab = check_cache_ab results_path r in
   let n_ck = check_checksum_ab results_path r in
-  let n_sv = check_serve_throughput results_path r in
+  let n_sv, serve_digest = check_serve_throughput results_path r in
   let n_mx = check_serve_mixed results_path r in
+  let tel_pct = check_telemetry results_path r ~serve_digest in
   let n_bl = check_bulk_load results_path r in
   Printf.printf
     "check_results: %d table1 rows match %s; %d cache A/B rows warm<=cold \
      with hits; %d checksum A/B rows read-identical; %d serve rows \
      digest-identical with 4>=1 scaling; %d mixed rows digest-identical \
-     with <1 fsync/commit at >=4 writers; bulk load of %d entries \
-     identical and faster\n"
-    (List.length want) expected_path n_ab n_ck n_sv n_mx n_bl
+     with <1 fsync/commit at >=4 writers; telemetry digest-identical at \
+     %+.1f%% p50; bulk load of %d entries identical and faster\n"
+    (List.length want) expected_path n_ab n_ck n_sv n_mx tel_pct n_bl

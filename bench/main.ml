@@ -1305,6 +1305,115 @@ let run_serve_mixed (e : Dg.exp1) =
     rows;
   rows
 
+(* --- telemetry overhead ------------------------------------------------------ *)
+
+(* The same request mix as serve_throughput, driven straight through
+   Service.serve_line (no sockets, so the comparison isolates exactly
+   what telemetry adds): tracing off + slow log disabled vs tracing
+   every request + a threshold-0 slow log that admits all of them.
+   Reply bytes must not change — telemetry that alters responses would
+   break the cross-mode digest — and check_results gates the traced p50
+   at <= 110% of the untraced one.  Best-of-3 by p50 damps scheduler
+   noise. *)
+type tel_row = {
+  tl_mode : string;
+  tl_queries : int;
+  tl_p50_us : float;
+  tl_p99_us : float;
+  tl_digest : string;
+  tl_slow : int;
+}
+
+let run_telemetry_overhead (e : Dg.exp1) =
+  section "Telemetry overhead: tracing + slow-log on vs off, fixed digest";
+  let module Db = Uindex.Db in
+  let module Service = Uindex_server.Service in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  Db.attach_index db e.path_age;
+  let mix =
+    [|
+      "query (Red, Bus*)";
+      "query (White, Vehicle*)";
+      "query-forward (Red, Bus*)";
+      "query ([50-60], Employee*, Company*, Vehicle*)";
+    |]
+  in
+  let total = if quick then 240 else 480 in
+  let make_service traced =
+    let telemetry =
+      if traced then
+        {
+          Service.tracing = true;
+          sample_every = 1;
+          slow_threshold_ns = 0;
+          slow_capacity = 64;
+        }
+      else
+        {
+          Service.tracing = false;
+          sample_every = 1;
+          slow_threshold_ns = max_int;
+          slow_capacity = 0;
+        }
+    in
+    Service.create ~telemetry ~schema:e.ext.b.schema db
+  in
+  let one_run svc =
+    let n_mix = Array.length mix in
+    let lat = Array.make total 0. in
+    let cycle = Array.make n_mix "" in
+    let slow0 = metric "server.slow_queries" in
+    for i = 0 to total - 1 do
+      let line = mix.(i mod n_mix) in
+      let q0 = Unix.gettimeofday () in
+      let raw = Service.serve_line svc line in
+      lat.(i) <- Unix.gettimeofday () -. q0;
+      let j = i mod n_mix in
+      if i < n_mix then cycle.(j) <- raw
+      else if raw <> cycle.(j) then
+        failwith "telemetry_overhead: reply drifted between cycles"
+    done;
+    let slow = metric "server.slow_queries" - slow0 in
+    Array.sort compare lat;
+    let pct p = 1e6 *. lat.(min (total - 1) (p * total / 100)) in
+    (pct 50, pct 99, Digest.string (String.concat "\n" (Array.to_list cycle)), slow)
+  in
+  let row mode traced =
+    let svc = make_service traced in
+    (* one untimed warm cycle so first-touch costs don't bias run 1 *)
+    Array.iter (fun l -> ignore (Service.serve_line svc l)) mix;
+    let p50, p99, digest, slow =
+      List.init 3 (fun _ -> one_run svc)
+      |> List.fold_left
+           (fun acc ((p50, _, _, _) as r) ->
+             match acc with
+             | Some ((best, _, _, _) as a) ->
+                 Some (if p50 < best then r else a)
+             | None -> Some r)
+           None
+      |> Option.get
+    in
+    {
+      tl_mode = mode;
+      tl_queries = total;
+      tl_p50_us = p50;
+      tl_p99_us = p99;
+      tl_digest = digest;
+      tl_slow = slow;
+    }
+  in
+  let rows = [ row "off" false; row "on" true ] in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "telemetry %-3s: p50 %8.1f us  p99 %8.1f us  (%d queries, %d slow \
+         entries, digest %s)\n"
+        r.tl_mode r.tl_p50_us r.tl_p99_us r.tl_queries r.tl_slow
+        (Digest.to_hex r.tl_digest))
+    rows;
+  rows
+
 (* --- bulk load vs incremental build ------------------------------------------ *)
 
 (* Builds the same 100k-entry tree twice — bottom-up bulk load vs
@@ -1380,7 +1489,7 @@ let json_path =
     (Sys.getenv_opt "UINDEX_BENCH_JSON")
 
 let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
-    ~bulk =
+    ~telemetry ~bulk =
   let open Obs.Json in
   let row (r : Ex.t1_row) =
     Obj
@@ -1447,6 +1556,17 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
         ("groups", Int r.mx_groups);
       ]
   in
+  let tel_row r =
+    Obj
+      [
+        ("mode", Str r.tl_mode);
+        ("queries", Int r.tl_queries);
+        ("p50_us", Float r.tl_p50_us);
+        ("p99_us", Float r.tl_p99_us);
+        ("digest", Str (Digest.to_hex r.tl_digest));
+        ("slow_entries", Int r.tl_slow);
+      ]
+  in
   let bulk_obj =
     Obj
       [
@@ -1461,7 +1581,7 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
   let j =
     Obj
       [
-        ("schema_version", Int 5);
+        ("schema_version", Int 6);
         ("quick", Bool quick);
         ("reps", Int reps);
         ("objects", Int n_objects);
@@ -1475,6 +1595,7 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
         ("serve_cores", Int (Domain.recommended_domain_count ()));
         ("serve_throughput", List (List.map sv_row serve));
         ("serve_mixed", List (List.map mx_row mixed));
+        ("telemetry_overhead", List (List.map tel_row telemetry));
         ("bulk_load", bulk_obj);
         ("metrics", Obs.Metrics.to_json Obs.Metrics.default);
       ]
@@ -1507,7 +1628,11 @@ let () =
   (* wall-clock by nature, so not gated on SKIP_TIMING: its qps/p99 rows
      and cross-thread digests are what check_results gates on *)
   let serve = run_serve_throughput e1 in
+  (* telemetry must run before serve_mixed mutates e1's store: its digest
+     is gated against serve_throughput's *)
+  let telemetry = run_telemetry_overhead e1 in
   let bulk = run_bulk_load () in
   (* last: its writers mutate e1's store *)
   let mixed = run_serve_mixed e1 in
-  write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed ~bulk
+  write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
+    ~telemetry ~bulk

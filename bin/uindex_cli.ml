@@ -353,10 +353,114 @@ let explain_cmd =
           hits.")
     Term.(const run $ n $ seed $ qstr $ algo $ analyze $ json $ cache_pages_arg)
 
-(* --- stats: canned workload + registry dump -------------------------------- *)
+(* --- stats: canned workload + registry dump, or a live-server scrape ------- *)
+
+(* small JSON accessors shared by stats --connect and top *)
+let jmember k j = Obs.Json.member k j
+let jobj_or_empty = function Some j -> j | None -> Obs.Json.Obj []
+
+let jint j k =
+  match jmember k j with
+  | Some (Obs.Json.Int i) -> i
+  | Some (Obs.Json.Float f) -> int_of_float f
+  | _ -> 0
+
+let jfloat j k =
+  match jmember k j with
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | _ -> 0.
+
+let connect_or_die spec =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Uindex_server.Client.connect_spec spec with
+  | c -> c
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "uindex-cli: cannot connect to %s: %s\n" spec
+        (Unix.error_message err);
+      exit 1
+
+let stats_remote spec json monotone_since =
+  let module Client = Uindex_server.Client in
+  let c = connect_or_die spec in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let s = Client.stats c in
+  let h = Client.health c in
+  let combined = Obs.Json.Obj [ ("stats", s); ("health", h) ] in
+  (* schema sanity: a live snapshot must carry a non-empty metrics object *)
+  (match jmember "metrics" s with
+  | Some (Obs.Json.Obj (_ :: _)) -> ()
+  | _ ->
+      Printf.eprintf "uindex-cli: stats reply carries no metrics snapshot\n";
+      exit 1);
+  let monotone_ok =
+    match monotone_since with
+    | None -> true
+    | Some file ->
+        let before =
+          try
+            Obs.Json.of_string
+              (In_channel.with_open_text file In_channel.input_all)
+          with
+          | Sys_error msg ->
+              Printf.eprintf "uindex-cli: %s\n" msg;
+              exit 1
+          | Obs.Json.Parse_error msg ->
+              Printf.eprintf "uindex-cli: %s: %s\n" file msg;
+              exit 1
+        in
+        let counters_of j =
+          jobj_or_empty (Option.bind (jmember "stats" j) (jmember "counters"))
+        in
+        let deltas =
+          Obs.Metrics.delta
+            ~before:(counters_of before)
+            ~after:(jobj_or_empty (jmember "counters" s))
+        in
+        let bad = List.filter (fun (_, d) -> d < 0) deltas in
+        List.iter
+          (fun (k, d) ->
+            Printf.eprintf "uindex-cli: counter %s went backwards by %d\n" k
+              (-d))
+          bad;
+        if bad = [] then
+          Printf.eprintf "counters monotone: %d counters, +%d events since snapshot\n"
+            (List.length deltas)
+            (List.fold_left (fun a (_, d) -> a + d) 0 deltas);
+        bad = []
+  in
+  (if json then print_endline (Obs.Json.to_multiline combined)
+   else begin
+     Printf.printf "server %s: up %.1fs, %d workers, queue %d, %d sessions\n"
+       spec (jfloat h "uptime_s") (jint h "workers") (jint h "queue_depth")
+       (jint h "active_sessions");
+     Printf.printf "lsn: acked=%d durable=%d lag=%d\n" (jint h "acked_lsn")
+       (jint h "durable_lsn") (jint h "lsn_lag");
+     let sl = jobj_or_empty (jmember "slow_log" h) in
+     Printf.printf "slow log: %d/%d entries (threshold %.1f ms)\n"
+       (jint sl "length") (jint sl "capacity")
+       (float_of_int (jint sl "threshold_ns") /. 1e6);
+     let lat = jobj_or_empty (jmember "request_latency" s) in
+     Printf.printf
+       "request latency (µs): count=%d p50<=%d p90<=%d p99<=%d max=%d\n"
+       (jint lat "count") (jint lat "p50" / 1000) (jint lat "p90" / 1000)
+       (jint lat "p99" / 1000)
+       (jint lat "max" / 1000);
+     match jmember "counters" s with
+     | Some (Obs.Json.Obj kvs) ->
+         print_endline "counters:";
+         List.iter
+           (fun (k, v) ->
+             match v with
+             | Obs.Json.Int i -> Printf.printf "  %-40s %12d\n" k i
+             | _ -> ())
+           kvs
+     | _ -> ()
+   end);
+  if not monotone_ok then exit 1
 
 let stats_cmd =
-  let run n_vehicles seed json =
+  let run_canned n_vehicles seed json =
     (* exercise every instrumented subsystem: build the generated database
        (pager, btree), run the Table 1 query mix (exec), then a durable
        build + recover round-trip (journal, buffer pool via experiment) *)
@@ -405,6 +509,11 @@ let stats_cmd =
       | None -> ()
     end
   in
+  let run n_vehicles seed json connect monotone_since =
+    match connect with
+    | Some spec -> stats_remote spec json monotone_since
+    | None -> run_canned n_vehicles seed json
+  in
   let n =
     Arg.(value & opt int 2_000 & info [ "n" ] ~doc:"Number of vehicles.")
   in
@@ -412,12 +521,34 @@ let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Dump the registry as JSON.")
   in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SPEC"
+          ~doc:
+            "Scrape a live $(b,serve) instance instead of running the \
+             canned workload: $(i,SPEC) is HOST:PORT or a Unix socket \
+             path.  Prints the server's stats and health snapshots.")
+  in
+  let monotone_since =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "monotone-since" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--connect): load a previous $(b,--json) snapshot \
+             from $(i,FILE) and fail (exit 1) unless every counter is \
+             monotone non-decreasing since then.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a canned workload (generated database, Table 1 query mix, one \
-          durable build/recover round-trip) and dump the metrics registry.")
-    Term.(const run $ n $ seed $ json)
+          durable build/recover round-trip) and dump the metrics registry — \
+          or, with $(b,--connect), scrape a live server's registry over \
+          the admin protocol.")
+    Term.(const run $ n $ seed $ json $ connect $ monotone_since)
 
 (* --- build: persist an index to a page file ------------------------------- *)
 
@@ -934,7 +1065,8 @@ let addr_args =
   Term.(const combine $ socket $ tcp)
 
 let serve_cmd =
-  let run n_vehicles seed addr workers backlog timeout file churn group_window =
+  let run n_vehicles seed addr workers backlog timeout file churn group_window
+      slow_ms slow_log trace_sample no_tracing =
     let e = Dg.exp1 ~n_vehicles ~seed () in
     let b = e.ext.b in
     let db = Uindex.Db.create e.store in
@@ -961,7 +1093,15 @@ let serve_cmd =
     in
     Uindex.Db.attach_index db e.path_age;
     Uindex.Db.set_group_window db group_window;
-    let svc = Service.create ~schema:b.schema db in
+    let telemetry =
+      {
+        Service.tracing = not no_tracing;
+        sample_every = max 1 trace_sample;
+        slow_threshold_ns = int_of_float (slow_ms *. 1e6);
+        slow_capacity = max 0 slow_log;
+      }
+    in
+    let svc = Service.create ~telemetry ~schema:b.schema db in
     let config = { (Server.default_config addr) with workers; backlog;
                    request_timeout = timeout } in
     let server = Server.start svc config in
@@ -1001,6 +1141,14 @@ let serve_cmd =
     let commits = List.fold_left (fun a d -> a + Domain.join d) 0 churners in
     if churn > 0 then Printf.printf "churn writers committed %d times\n" commits;
     Server.stop server;
+    (* SIGTERM drain dumps the slow-query log so the slowest requests of
+       the run survive the process (stderr keeps stdout scriptable) *)
+    let slow = Service.slow_log_json ~limit:16 svc in
+    (match Obs.Json.member "count" slow with
+    | Some (Obs.Json.Int n) when n > 0 ->
+        prerr_endline "slow-query log (newest first):";
+        prerr_endline (Obs.Json.to_multiline slow)
+    | _ -> ());
     Option.iter Storage.Pager.close file_pager
   in
   let n =
@@ -1049,15 +1197,51 @@ let serve_cmd =
             "Group-commit window: how long a commit leader waits for \
              followers before flushing; 0 flushes immediately.")
   in
+  let slow_ms =
+    Arg.(
+      value & opt float 10.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold in milliseconds: requests at least \
+             this slow enter the slow-query log.  0 logs every request.")
+  in
+  let slow_log =
+    Arg.(
+      value & opt int 128
+      & info [ "slow-log" ] ~docv:"N"
+          ~doc:
+            "Slow-query log capacity (a ring keeping the most recent \
+             $(i,N) slow requests); 0 disables the log.")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt int 1
+      & info [ "trace-sample" ] ~docv:"K"
+          ~doc:
+            "Trace 1 in $(i,K) requests (requests carrying a client \
+             trace id are always traced).")
+  in
+  let no_tracing =
+    Arg.(
+      value & flag
+      & info [ "no-tracing" ]
+          ~doc:
+            "Disable per-request span capture (per-stage histograms and \
+             the slow-query log stay on; slow entries just carry no \
+             span).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the generated vehicle database over a socket: snapshot-\
-          isolated readers on a fixed worker pool.  SIGTERM/SIGINT shut \
-          down gracefully (drain, sync, exit 0).")
+          isolated readers on a fixed worker pool, with live telemetry \
+          on the admin protocol ($(b,stats)/$(b,health)/$(b,slow-queries) \
+          requests).  SIGTERM/SIGINT shut down gracefully (drain, sync, \
+          dump the slow-query log, exit 0).")
     Term.(
       const run $ n $ seed $ addr_args $ workers $ backlog $ timeout $ file
-      $ churn $ group_window)
+      $ churn $ group_window $ slow_ms $ slow_log $ trace_sample
+      $ no_tracing)
 
 let client_cmd =
   let run addr requests =
@@ -1111,6 +1295,129 @@ let client_cmd =
           each raw JSON reply.  Exits 1 if any reply is not ok.")
     Term.(const run $ addr_args $ requests)
 
+(* --- top: a refreshing live dashboard over the admin protocol -------------- *)
+
+let top_cmd =
+  let run spec interval iterations raw =
+    let c = connect_or_die spec in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let prev = ref None in
+    let tick = ref 0 in
+    let counters j = jobj_or_empty (jmember "counters" j) in
+    let summary s name =
+      jobj_or_empty (Option.bind (jmember "metrics" s) (jmember name))
+    in
+    let rec loop () =
+      incr tick;
+      let s = Client.stats c in
+      let h = Client.health c in
+      let now = Unix.gettimeofday () in
+      (* rates come from counter deltas between ticks; the first tick has
+         no baseline and shows "-" *)
+      let rate =
+        match !prev with
+        | None -> fun _ -> None
+        | Some (s0, t0) ->
+            let dt = max 1e-6 (now -. t0) in
+            let deltas =
+              Obs.Metrics.delta ~before:(counters s0) ~after:(counters s)
+            in
+            fun key ->
+              Option.map
+                (fun d -> float_of_int d /. dt)
+                (List.assoc_opt key deltas)
+      in
+      let fmt_rate = function
+        | None -> "       -"
+        | Some r -> Printf.sprintf "%8.1f" r
+      in
+      let buf = Buffer.create 1024 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+      line "uindex top — %s   uptime %.1fs   tick %d (every %.1fs)" spec
+        (jfloat h "uptime_s") !tick interval;
+      line "workers %d   queue %d   sessions %d   lsn acked=%d durable=%d lag=%d"
+        (jint h "workers") (jint h "queue_depth") (jint h "active_sessions")
+        (jint h "acked_lsn") (jint h "durable_lsn") (jint h "lsn_lag");
+      let sl = jobj_or_empty (jmember "slow_log" h) in
+      let gc = jobj_or_empty (jmember "gc" h) in
+      line "slow-log %d/%d (threshold %.1f ms)   tracing %s   gc minor-coll %d major-coll %d"
+        (jint sl "length") (jint sl "capacity")
+        (float_of_int (jint sl "threshold_ns") /. 1e6)
+        (match jmember "tracing" h with
+        | Some (Obs.Json.Bool true) -> "on"
+        | _ -> "off")
+        (jint gc "minor_collections")
+        (jint gc "major_collections");
+      line "";
+      let lat = summary s "server.request_ns" in
+      line "latency (cumulative µs): p50<=%d p90<=%d p99<=%d max=%d over %d requests"
+        (jint lat "p50" / 1000) (jint lat "p90" / 1000)
+        (jint lat "p99" / 1000) (jint lat "max" / 1000) (jint lat "count");
+      let alloc = summary s "exec.alloc_per_query" in
+      line "alloc/query (words): p50<=%d p99<=%d max=%d" (jint alloc "p50")
+        (jint alloc "p99") (jint alloc "max");
+      line "";
+      line "                 rate/s";
+      line "qps         %s" (fmt_rate (rate "server.requests"));
+      line "errors      %s" (fmt_rate (rate "server.request_errors"));
+      line "slow        %s" (fmt_rate (rate "server.slow_queries"));
+      let hits = rate "buffer_pool.hits" and misses = rate "buffer_pool.misses" in
+      let hit_pct =
+        match (hits, misses) with
+        | Some hi, Some mi when hi +. mi > 0. ->
+            Printf.sprintf "%5.1f%%" (100. *. hi /. (hi +. mi))
+        | _ -> "    -"
+      in
+      line "page reads  %s   pool hit %s" (fmt_rate (rate "pager.reads")) hit_pct;
+      line "fsyncs      %s   commits %s" (fmt_rate (rate "journal.fsyncs"))
+        (fmt_rate (rate "journal.commits"));
+      if not raw then print_string "\027[2J\027[H";
+      print_string (Buffer.contents buf);
+      flush stdout;
+      prev := Some (s, now);
+      if iterations = 0 || !tick < iterations then begin
+        (try Unix.sleepf interval
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SPEC"
+          ~doc:"Server endpoint: HOST:PORT or a Unix socket path.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(i,N) refreshes; 0 runs until interrupted.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Do not clear the screen between refreshes (append frames — \
+             for logs and tests).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running $(b,serve) instance over the admin protocol and \
+          render a refreshing dashboard: qps, latency percentiles, cache \
+          hit rate, fsync and commit rates, allocation per query, queue \
+          and slow-log occupancy.")
+    Term.(const run $ connect $ interval $ iterations $ raw)
+
 let () =
   let doc = "A uniform indexing scheme for object-oriented databases (U-index)" in
   exit
@@ -1133,4 +1440,5 @@ let () =
             shootout_cmd;
             serve_cmd;
             client_cmd;
+            top_cmd;
           ]))

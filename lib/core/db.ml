@@ -131,6 +131,7 @@ let commit ?(mode = `Sync) t =
   lsn
 
 let durable_lsn t = Storage.Group_commit.durable_lsn t.gc
+let acked_lsn t = Storage.Group_commit.submitted t.gc
 let wait_durable t lsn = Storage.Group_commit.wait_durable t.gc lsn
 let set_group_window t w = Storage.Group_commit.set_window t.gc w
 let sync t = ignore (commit t)
@@ -141,6 +142,17 @@ type session = {
   views : (Index.t * Index.t) list;  (* (live index, pinned view) *)
   mutable open_ : bool;
 }
+
+(* Process-wide count of pinned sessions, mirrored into a gauge so the
+   server's Health response can report it without holding a Db handle
+   per registry entry. *)
+let session_count = Atomic.make 0
+
+let g_sessions =
+  Obs.Metrics.gauge ~subsystem:"db"
+    ~help:"snapshot sessions currently pinned" "active_sessions"
+
+let active_sessions () = Atomic.get session_count
 
 let open_session t =
   (* pin under the writer lock: all views see the same committed cut,
@@ -154,11 +166,13 @@ let open_session t =
    with e ->
      List.iter (fun (_, v) -> Index.release_view v) !views;
      raise e);
+  Obs.Metrics.set g_sessions (Atomic.fetch_and_add session_count 1 + 1);
   { views = List.rev !views; open_ = true }
 
 let close_session s =
   if s.open_ then begin
     s.open_ <- false;
+    Obs.Metrics.set g_sessions (Atomic.fetch_and_add session_count (-1) - 1);
     List.iter (fun (_, v) -> Index.release_view v) s.views
   end
 

@@ -90,6 +90,13 @@ val durable_lsn : t -> int
     is on stable storage.  Monotone non-decreasing; [0] before the first
     flush. *)
 
+val acked_lsn : t -> int
+(** The highest LSN handed to any committer so far (acknowledged to the
+    application, though possibly not yet durable).  [acked_lsn t -
+    durable_lsn t] is the durability lag the server's Health response
+    reports: how many acknowledged commits a crash right now would
+    replay from the journal. *)
+
 val wait_durable : t -> int -> unit
 (** [wait_durable t lsn] blocks until [durable_lsn t >= lsn], leading a
     group flush itself if none is in flight. *)
@@ -128,6 +135,10 @@ val close_session : session -> unit
 
 val with_session : t -> (session -> 'a) -> 'a
 (** [with_session t f] opens a session, runs [f], and always closes it. *)
+
+val active_sessions : unit -> int
+(** Process-wide count of currently pinned sessions (also exported as
+    the [db.active_sessions] gauge). *)
 
 val session_query :
   ?algo:[ `Forward | `Parallel ] -> session -> Index.t -> Query.t -> Exec.outcome

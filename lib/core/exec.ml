@@ -243,10 +243,24 @@ let h_entries =
   Obs.Metrics.histogram ~subsystem:"exec" ~help:"entries scanned per query"
     "entries_scanned"
 
+let h_alloc =
+  Obs.Metrics.histogram ~subsystem:"exec"
+    ~help:"minor-heap words allocated per query" "alloc_per_query"
+
 let record (o : outcome) =
   Obs.Metrics.incr m_queries;
   Obs.Metrics.observe h_page_reads o.page_reads;
   Obs.Metrics.observe h_entries o.entries_scanned;
+  o
+
+(* The allocation regression guard (ROADMAP item 5): every query records
+   its Gc.minor_words delta.  Reading the minor allocation pointer is a
+   few instructions, so this rides on the hot path; the histogram
+   observation itself happens after the second sample. *)
+let with_alloc_accounting f =
+  let w0 = Gc.minor_words () in
+  let o = f () in
+  Obs.Metrics.observe h_alloc (int_of_float (Gc.minor_words () -. w0));
   o
 
 let finish_root sp (o : outcome) =
@@ -257,6 +271,7 @@ let finish_root sp (o : outcome) =
    (see Obs.Trace.with_collector); with the default null sink they run
    the bare algorithms. *)
 let run ~algo idx query =
+  with_alloc_accounting @@ fun () ->
   match Trace.scope () with
   | None -> record (impl algo idx query)
   | Some sink ->
@@ -270,6 +285,7 @@ let forward idx query = run ~algo:`Forward idx query
 let parallel idx query = run ~algo:`Parallel idx query
 
 let analyze ~algo idx query =
+  with_alloc_accounting @@ fun () ->
   let sp = Trace.span (algo_name algo) in
   let undecodable0 = Plan.undecodable_entries () in
   let o = impl algo ~trace:sp idx query in

@@ -225,3 +225,32 @@ let to_json r =
          | Gauge g -> (key, Json.Int (gauge_value g))
          | Histogram h -> (key, summary_json (summary h)))
        entries)
+
+(* Counters only — the monotone subset of the registry.  Gauges can
+   legitimately decrease (queue depth, active sessions), so snapshot
+   diffing and monotonicity checks work off this export. *)
+let counters_json r =
+  Json.Obj
+    (List.filter_map
+       (fun (key, e) ->
+         match e.inst with
+         | Counter c -> Some (key, Json.Int (value c))
+         | Gauge _ | Histogram _ -> None)
+       (sorted_entries r))
+
+let delta ~before ~after =
+  match after with
+  | Json.Obj kvs ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Int a ->
+              let b =
+                match Json.member k before with
+                | Some (Json.Int b) -> b
+                | _ -> 0
+              in
+              Some (k, a - b)
+          | _ -> None)
+        kvs
+  | _ -> []

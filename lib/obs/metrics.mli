@@ -114,3 +114,16 @@ val to_json : registry -> Json.t
     [{"subsystem.name": {"count": ..., "sum": ..., "max": ...,
     "p50": ..., "p90": ..., "p95": ..., "p99": ...}}] for histograms,
     sorted by name. *)
+
+val counters_json : registry -> Json.t
+(** The counters-only subset of {!to_json} — every member is monotone
+    by construction, which is what snapshot diffing ({!delta}) and the
+    CI monotonicity gate rely on.  Gauges and histograms are excluded
+    because they may legitimately move backwards. *)
+
+val delta : before:Json.t -> after:Json.t -> (string * int) list
+(** Pairwise differences of the integer members of two registry
+    snapshots (as produced by {!counters_json} or {!to_json}), keyed by
+    the members of [after]; a key missing from [before] counts from 0.
+    Non-integer members (histogram summaries) are skipped.  This is the
+    rate source for [uindex top] and the monotone-counters check. *)

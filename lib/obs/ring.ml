@@ -1,0 +1,50 @@
+type 'a t = {
+  lock : Mutex.t;
+  slots : 'a option array;  (* capacity 0 rings keep a 1-slot dummy array *)
+  cap : int;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+}
+
+let create cap =
+  if cap < 0 then invalid_arg "Ring.create: negative capacity";
+  {
+    lock = Mutex.create ();
+    slots = Array.make (max cap 1) None;
+    cap;
+    head = 0;
+    len = 0;
+  }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> t.len)
+
+let add t x =
+  if t.cap > 0 then
+    with_lock t (fun () ->
+        t.slots.(t.head) <- Some x;
+        t.head <- (t.head + 1) mod t.cap;
+        if t.len < t.cap then t.len <- t.len + 1)
+
+let to_list t =
+  with_lock t (fun () ->
+      (* newest first: walk backwards from the last written slot *)
+      let out = ref [] in
+      for i = t.len downto 1 do
+        let idx = (t.head - i + (t.cap * 2)) mod max t.cap 1 in
+        match t.slots.(idx) with
+        | Some x -> out := x :: !out
+        | None -> ()
+      done;
+      !out)
+
+let clear t =
+  with_lock t (fun () ->
+      Array.fill t.slots 0 (Array.length t.slots) None;
+      t.head <- 0;
+      t.len <- 0)

@@ -1,0 +1,27 @@
+(** Bounded, thread-safe ring buffer.
+
+    A fixed-capacity circular buffer guarded by a mutex: [add] evicts
+    the oldest element once the buffer is full, so the ring always holds
+    the most recent [capacity] elements.  Used for the server's
+    slow-query log, where worker domains push entries concurrently and
+    the admin protocol drains a snapshot without stopping the server.
+
+    A capacity of [0] is a legal "disabled" ring: [add] is a no-op and
+    [to_list] is always empty. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create cap] makes an empty ring holding at most [cap] elements.
+    @raise Invalid_argument if [cap] is negative. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val add : 'a t -> 'a -> unit
+(** Appends an element, evicting the oldest one when the ring is full. *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents, newest first. *)
+
+val clear : 'a t -> unit

@@ -22,28 +22,52 @@ let rec total sp k =
 
 (* --- sinks -------------------------------------------------------------- *)
 
-type sink = Null | Collector of span list ref
+(* A collector's span list lives in an [Atomic.t] pushed with CAS, so
+   concurrent [emit]s from different domains interleave without losing
+   spans.  The usual usage keeps collectors domain-local anyway (see
+   [with_collector]), but the shared-global configuration must not
+   corrupt the list either. *)
+type sink = Null | Collector of span list Atomic.t
 
 let null = Null
-let collector () = Collector (ref [])
-let collected = function Null -> [] | Collector r -> List.rev !r
+let collector () = Collector (Atomic.make [])
+let collected = function Null -> [] | Collector r -> List.rev (Atomic.get r)
 let enabled = function Null -> false | Collector _ -> true
 
 let emit sink sp =
-  match sink with Null -> () | Collector r -> r := sp :: !r
+  match sink with
+  | Null -> ()
+  | Collector r ->
+      let rec push () =
+        let old = Atomic.get r in
+        if not (Atomic.compare_and_set r old (sp :: old)) then push ()
+      in
+      push ()
 
-let global_sink = ref Null
+(* The process-wide sink lives in an atomic slot; each domain can shadow
+   it with a domain-local override (installed by [with_collector]) so
+   worker domains trace concurrently without sharing one span list. *)
+let global_sink = Atomic.make Null
 
-let set_global s = global_sink := s
-let global () = !global_sink
+let set_global s = Atomic.set global_sink s
+let global () = Atomic.get global_sink
 
-let scope () = match !global_sink with Null -> None | s -> Some s
+let domain_sink : sink option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () =
+  match !(Domain.DLS.get domain_sink) with
+  | Some s -> s
+  | None -> Atomic.get global_sink
+
+let scope () = match current () with Null -> None | s -> Some s
 
 let with_collector f =
-  let prev = !global_sink in
+  let slot = Domain.DLS.get domain_sink in
+  let prev = !slot in
   let c = collector () in
-  global_sink := c;
-  let finally () = global_sink := prev in
+  slot := Some c;
+  let finally () = slot := prev in
   let x = Fun.protect ~finally f in
   (x, collected c)
 

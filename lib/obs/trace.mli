@@ -48,19 +48,33 @@ val collected : sink -> span list
 val enabled : sink -> bool
 val emit : sink -> span -> unit
 
-(** {1 The global sink} *)
+(** {1 The global sink}
+
+    The process-wide sink lives in an atomic slot, and every domain can
+    shadow it with a domain-local override: {!with_collector} installs
+    its collector only for the calling domain, so worker domains each
+    trace into their own span list concurrently.  Collector emission
+    itself is lock-free (CAS push), so even a deliberately shared
+    collector never loses or corrupts spans. *)
 
 val set_global : sink -> unit
+(** Atomically replaces the process-wide sink (seen by every domain
+    that has no domain-local override). *)
+
 val global : unit -> sink
 
 val scope : unit -> sink option
-(** [Some sink] when the global sink collects, [None] when tracing is
-    off — the one-branch guard instrumented code uses. *)
+(** [Some sink] when the current domain's effective sink collects,
+    [None] when tracing is off — the one-branch guard instrumented code
+    uses.  The effective sink is the domain-local override when one is
+    installed, the global sink otherwise. *)
 
 val with_collector : (unit -> 'a) -> 'a * span list
-(** Runs the thunk with a fresh collector installed as the global sink
-    (restoring the previous sink afterwards) and returns the spans it
-    emitted. *)
+(** Runs the thunk with a fresh collector installed as the calling
+    domain's sink (restoring the previous override afterwards) and
+    returns the spans it emitted.  Other domains are unaffected, so
+    concurrent [with_collector] calls on different domains each see
+    exactly their own spans. *)
 
 (** {1 Rendering} *)
 

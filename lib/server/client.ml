@@ -18,6 +18,24 @@ let connect_addr = function
   | Unix.ADDR_UNIX path -> connect_unix path
   | Unix.ADDR_INET (ip, port) -> connect_tcp (Unix.string_of_inet_addr ip) port
 
+(* "HOST:PORT" when the suffix after the last ':' is a port number,
+   otherwise a Unix socket path — covers paths containing ':' too *)
+let parse_spec spec =
+  match String.rindex_opt spec ':' with
+  | Some i when not (String.contains spec '/') -> (
+      let host = String.sub spec 0 i
+      and port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          `Tcp ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> `Unix spec)
+  | _ -> `Unix spec
+
+let connect_spec spec =
+  match parse_spec spec with
+  | `Tcp (host, port) -> connect_tcp host port
+  | `Unix path -> connect_unix path
+
 exception Closed_by_server
 
 let request_raw t line =
@@ -28,5 +46,21 @@ let request_raw t line =
   | Protocol.Too_large _ -> raise Closed_by_server
 
 let request t line = Json.of_string (request_raw t line)
+
+(* --- admin conveniences ------------------------------------------------ *)
+
+let admin t req =
+  let resp = request t (Protocol.request_to_string req) in
+  if Protocol.response_is_ok resp then resp
+  else
+    failwith
+      (Printf.sprintf "Client: %s request failed: %s"
+         (Protocol.request_to_string req)
+         (Option.value ~default:"unknown error"
+            (Protocol.response_error_kind resp)))
+
+let stats t = admin t Protocol.Stats
+let health t = admin t Protocol.Health
+let slow_queries ?limit t = admin t (Protocol.Slow_queries limit)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

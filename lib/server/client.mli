@@ -10,6 +10,15 @@ val connect_tcp : string -> int -> t
 val connect_addr : Unix.sockaddr -> t
 (** Connects to whatever {!Server.bound_addr} returned. *)
 
+val parse_spec : string -> [ `Tcp of string * int | `Unix of string ]
+(** Classifies a [--connect] endpoint spec: ["HOST:PORT"] (an empty
+    host means 127.0.0.1) when the suffix after the last [':'] parses
+    as a port, otherwise a Unix socket path. *)
+
+val connect_spec : string -> t
+(** {!parse_spec} then connect — what [uindex stats --connect] and
+    [uindex top --connect] use. *)
+
 exception Closed_by_server
 (** The server closed the connection instead of replying — e.g. after
     [quit], a fatal framing error, or shutdown. *)
@@ -21,5 +30,13 @@ val request_raw : t -> string -> string
 
 val request : t -> string -> Obs.Json.t
 (** {!request_raw} parsed as JSON. *)
+
+val stats : t -> Obs.Json.t
+val health : t -> Obs.Json.t
+
+val slow_queries : ?limit:int -> t -> Obs.Json.t
+(** Admin requests, with the [ok] envelope checked: each returns the
+    successful response document and raises [Failure] on an error
+    response (reporting the typed error kind). *)
 
 val close : t -> unit

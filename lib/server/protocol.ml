@@ -49,11 +49,50 @@ let read_frame fd =
 type request =
   | Query of { algo : [ `Parallel | `Forward ]; text : string }
   | Stats
+  | Health
+  | Slow_queries of int option
   | Ping
   | Quit
 
-let parse_request s =
+let is_hex c =
+  (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let parse_trace_token tok =
+  (* "@a1b2c3" — 1..16 hex digits after the '@' *)
+  let n = String.length tok in
+  if n < 2 || n > 17 then Error (Printf.sprintf "bad trace id %S" tok)
+  else begin
+    let ok = ref true in
+    for i = 1 to n - 1 do
+      if not (is_hex tok.[i]) then ok := false
+    done;
+    if not !ok then Error (Printf.sprintf "bad trace id %S" tok)
+    else
+      match int_of_string_opt ("0x" ^ String.sub tok 1 (n - 1)) with
+      | Some id -> Ok id
+      | None -> Error (Printf.sprintf "bad trace id %S" tok)
+  end
+
+let parse_line s =
   let s = String.trim s in
+  (* optional client-propagated trace id: "@<hex> <command ...>" *)
+  let trace_id, s =
+    if String.length s > 0 && s.[0] = '@' then
+      match String.index_opt s ' ' with
+      | Some i -> (Some (String.sub s 0 i), String.trim
+                     (String.sub s (i + 1) (String.length s - i - 1)))
+      | None -> (Some s, "")
+    else (None, s)
+  in
+  let parse_id k =
+    match trace_id with
+    | None -> k None
+    | Some tok -> (
+        match parse_trace_token tok with
+        | Ok id -> k (Some id)
+        | Error e -> Error e)
+  in
+  parse_id @@ fun trace_id ->
   let word, rest =
     match String.index_opt s ' ' with
     | Some i ->
@@ -61,23 +100,44 @@ let parse_request s =
           String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
     | None -> (s, "")
   in
-  match (String.lowercase_ascii word, rest) with
-  | "ping", "" -> Ok Ping
-  | "stats", "" -> Ok Stats
-  | "quit", "" -> Ok Quit
-  | "query", "" -> Error "query: missing query text"
-  | "query", text -> Ok (Query { algo = `Parallel; text })
-  | "query-forward", "" -> Error "query-forward: missing query text"
-  | "query-forward", text -> Ok (Query { algo = `Forward; text })
-  | "", _ -> Error "empty request"
-  | w, _ -> Error (Printf.sprintf "unknown command %S" w)
+  let req =
+    match (String.lowercase_ascii word, rest) with
+    | "ping", "" -> Ok Ping
+    | "stats", "" -> Ok Stats
+    | "health", "" -> Ok Health
+    | "slow-queries", "" -> Ok (Slow_queries None)
+    | "slow-queries", n -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Ok (Slow_queries (Some n))
+        | _ -> Error (Printf.sprintf "slow-queries: bad count %S" n))
+    | "quit", "" -> Ok Quit
+    | "query", "" -> Error "query: missing query text"
+    | "query", text -> Ok (Query { algo = `Parallel; text })
+    | "query-forward", "" -> Error "query-forward: missing query text"
+    | "query-forward", text -> Ok (Query { algo = `Forward; text })
+    | ("ping" | "stats" | "health" | "quit"), extra ->
+        Error (Printf.sprintf "%s: unexpected argument %S" word extra)
+    | "", _ -> Error "empty request"
+    | w, _ -> Error (Printf.sprintf "unknown command %S" w)
+  in
+  Result.map (fun req -> (trace_id, req)) req
+
+let parse_request s = Result.map snd (parse_line s)
 
 let request_to_string = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Health -> "health"
+  | Slow_queries None -> "slow-queries"
+  | Slow_queries (Some n) -> Printf.sprintf "slow-queries %d" n
   | Quit -> "quit"
   | Query { algo = `Parallel; text } -> "query " ^ text
   | Query { algo = `Forward; text } -> "query-forward " ^ text
+
+let line_to_string ?trace_id req =
+  match trace_id with
+  | None -> request_to_string req
+  | Some id -> Printf.sprintf "@%x %s" id (request_to_string req)
 
 (* --- responses -------------------------------------------------------- *)
 

@@ -3,12 +3,19 @@
 
     A frame is a 4-byte big-endian unsigned payload length followed by
     that many payload bytes.  Requests are one-line text commands
-    ([ping], [stats], [quit], [query <q>], [query-forward <q>] where
-    [<q>] uses the paper's query syntax — see [Qparse]); responses are
-    one {!Obs.Json} object per request: [{"ok": true, ...}] on success,
-    [{"ok": false, "error": {"kind": ..., "detail": ...}}] on a typed
-    error.  Frames longer than {!max_frame} are rejected without being
-    read, so a hostile length prefix cannot balloon server memory. *)
+    ([ping], [stats], [health], [slow-queries [n]], [quit], [query <q>],
+    [query-forward <q>] where [<q>] uses the paper's query syntax — see
+    [Qparse]); responses are one {!Obs.Json} object per request:
+    [{"ok": true, ...}] on success, [{"ok": false, "error":
+    {"kind": ..., "detail": ...}}] on a typed error.  Frames longer than
+    {!max_frame} are rejected without being read, so a hostile length
+    prefix cannot balloon server memory.
+
+    Any request line may carry a client-propagated trace id as a leading
+    [@<hex>] token ([@a1b2c3 query (Red, Bus)], 1–16 hex digits).  The
+    server traces that request under the given id and echoes it back as
+    a ["trace_id"] member of the response, correlating client-side and
+    server-side observations of one request. *)
 
 val max_frame : int
 (** Maximum payload bytes per frame (1 MiB), both directions. *)
@@ -32,16 +39,30 @@ val read_frame : Unix.file_descr -> read_result
 
 type request =
   | Query of { algo : [ `Parallel | `Forward ]; text : string }
-  | Stats
+  | Stats  (** full registry snapshot + request-latency summary *)
+  | Health
+      (** server vitals: workers, queue depth, active sessions, LSN
+          lag, GC counters, slow-log occupancy *)
+  | Slow_queries of int option
+      (** drain the slow-query log (newest first), optionally capped *)
   | Ping
   | Quit
 
+val parse_line : string -> (int option * request, string) result
+(** Parses one request line, splitting off the optional leading
+    [@<hex>] trace-id token.  A malformed trace id is an error even if
+    the command after it is well-formed. *)
+
 val parse_request : string -> (request, string) result
-(** Case-insensitive on the command word; the query text is passed
-    through verbatim. *)
+(** {!parse_line} with the trace id discarded.  Case-insensitive on the
+    command word; the query text is passed through verbatim. *)
 
 val request_to_string : request -> string
 (** Inverse of {!parse_request} (canonical spelling). *)
+
+val line_to_string : ?trace_id:int -> request -> string
+(** {!request_to_string} with an optional [@<hex>] trace-id prefix —
+    what a tracing client sends. *)
 
 type error_kind =
   | Bad_request  (** unparseable command *)

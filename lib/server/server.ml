@@ -4,6 +4,14 @@ let src = Logs.Src.create "uindex.server" ~doc:"query service socket server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let g_workers =
+  Obs.Metrics.gauge ~subsystem:"server" ~help:"worker domains serving"
+    "workers"
+
+let g_queue_depth =
+  Obs.Metrics.gauge ~subsystem:"server"
+    ~help:"connections waiting in the accept queue" "queue_depth"
+
 type addr = Unix_sock of string | Tcp of string * int
 
 type config = {
@@ -34,6 +42,10 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let send_quietly fd json =
   try Protocol.write_frame fd (Json.to_string json)
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let send_raw_quietly fd payload =
+  try Protocol.write_frame fd payload
   with Unix.Unix_error _ | Invalid_argument _ -> ()
 
 (* --- binding ---------------------------------------------------------- *)
@@ -69,6 +81,7 @@ let enqueue t fd =
   let full = Queue.length t.queue >= t.config.backlog in
   if not full then begin
     Queue.push { fd; enqueued_at = Unix.gettimeofday () } t.queue;
+    Obs.Metrics.set g_queue_depth (Queue.length t.queue);
     Condition.signal t.qcond
   end;
   Mutex.unlock t.qlock;
@@ -103,6 +116,7 @@ let pop t =
     Condition.wait t.qcond t.qlock
   done;
   let c = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Obs.Metrics.set g_queue_depth (Queue.length t.queue);
   Mutex.unlock t.qlock;
   c
 
@@ -118,7 +132,14 @@ let serve_conn t conn =
     send_quietly fd (Protocol.error ~detail:"queued past deadline" Protocol.Timeout);
     close_quietly fd
   end
-  else
+  else begin
+    (* the accept-queue wait belongs to the connection's first request;
+       subsequent requests on the same connection waited zero *)
+    let queued_ns =
+      ref
+        (int_of_float
+           ((Unix.gettimeofday () -. conn.enqueued_at) *. 1e9))
+    in
     let rec loop () =
       match Protocol.read_frame fd with
       | Protocol.Eof | Protocol.Truncated -> close_quietly fd
@@ -129,21 +150,21 @@ let serve_conn t conn =
                ~detail:(Printf.sprintf "frame of %d bytes exceeds %d" n Protocol.max_frame)
                Protocol.Frame_too_large);
           close_quietly fd
-      | Protocol.Frame payload -> (
-          match Protocol.parse_request payload with
-          | Error msg ->
-              send_quietly fd (Protocol.error ~detail:msg Protocol.Bad_request);
-              loop ()
-          | Ok Protocol.Quit ->
-              send_quietly fd (Service.handle t.service Protocol.Quit);
-              close_quietly fd
-          | Ok req ->
-              let deadline =
-                if timeout > 0. then Some (Unix.gettimeofday () +. timeout)
-                else None
-              in
-              send_quietly fd (Service.handle ?deadline t.service req);
-              loop ())
+      | Protocol.Frame payload ->
+          let deadline =
+            if timeout > 0. then Some (Unix.gettimeofday () +. timeout)
+            else None
+          in
+          let wait = !queued_ns in
+          queued_ns := 0;
+          send_raw_quietly fd
+            (Service.serve_line ~queued_ns:wait ?deadline t.service payload);
+          if
+            match Protocol.parse_request payload with
+            | Ok Protocol.Quit -> true
+            | _ -> false
+          then close_quietly fd
+          else loop ()
     in
     try loop ()
     with
@@ -153,6 +174,7 @@ let serve_conn t conn =
           _,
           _ ) ->
         close_quietly fd
+  end
 
 let worker_loop t =
   let rec go () =
@@ -193,6 +215,7 @@ let start service config =
   t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
   t.pool <-
     List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Obs.Metrics.set g_workers config.workers;
   Log.info (fun m -> m "serving with %d workers" config.workers);
   t
 
@@ -209,6 +232,7 @@ let stop t =
     Mutex.unlock t.qlock;
     List.iter Domain.join t.pool;
     t.pool <- [];
+    Obs.Metrics.set g_workers 0;
     (* the pool drained the queue before exiting; anything left was
        enqueued in the closing race — refuse it cleanly *)
     Queue.iter

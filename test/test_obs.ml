@@ -97,6 +97,63 @@ let test_histogram () =
   Alcotest.(check int) "observe_span returns" 42 v;
   Alcotest.(check int) "observe_span observed" 8 (Metrics.summary h).Metrics.count
 
+(* Satellite coverage for the summary export: the histogram JSON must
+   carry explicit tail members, not just count/sum — [uindex top] and
+   the slow-query tooling read "p99" and "max" by name. *)
+let test_histogram_tail_export () =
+  let r = Metrics.create_registry () in
+  let h = Metrics.histogram ~registry:r ~subsystem:"t" "ns" in
+  for i = 1 to 100 do
+    Metrics.observe h i
+  done;
+  let j =
+    match Json.member "t.ns" (Metrics.to_json r) with
+    | Some j -> j
+    | None -> Alcotest.fail "t.ns missing from export"
+  in
+  let get k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some v -> v
+    | None -> Alcotest.failf "histogram export missing %S" k
+  in
+  Alcotest.(check int) "max" 100 (get "max");
+  Alcotest.(check bool) "p99 near tail" true (get "p99" >= 90);
+  Alcotest.(check bool) "p99 <= max" true (get "p99" <= get "max");
+  Alcotest.(check bool) "p50 < p99" true (get "p50" < get "p99");
+  let table = Format.asprintf "%a" Metrics.pp r in
+  List.iter
+    (fun needle ->
+      if not (contains table needle) then
+        Alcotest.failf "missing %S in:\n%s" needle table)
+    [ "p99<="; "max=100" ]
+
+let test_counters_json_delta () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r ~subsystem:"t" "events" in
+  let g = Metrics.gauge ~registry:r ~subsystem:"t" "depth" in
+  let h = Metrics.histogram ~registry:r ~subsystem:"t" "ns" in
+  Metrics.add c 3;
+  Metrics.set g 9;
+  Metrics.observe h 5;
+  let before = Metrics.counters_json r in
+  (* counters only: gauges and histograms must stay out of the monotone
+     subset, else a shrinking queue would read as a regression *)
+  Alcotest.(check bool) "gauge excluded" true
+    (Json.member "t.depth" before = None);
+  Alcotest.(check bool) "histogram excluded" true
+    (Json.member "t.ns" before = None);
+  Alcotest.(check (option int)) "counter present" (Some 3)
+    (Option.bind (Json.member "t.events" before) Json.to_int);
+  Metrics.add c 4;
+  let c2 = Metrics.counter ~registry:r ~subsystem:"t" "late" in
+  Metrics.incr c2;
+  let after = Metrics.counters_json r in
+  let d = Metrics.delta ~before ~after in
+  Alcotest.(check (option int)) "delta" (Some 4) (List.assoc_opt "t.events" d);
+  (* a counter born after the snapshot diffs against 0 *)
+  Alcotest.(check (option int)) "new counter" (Some 1)
+    (List.assoc_opt "t.late" d)
+
 let test_metrics_export () =
   let r = Metrics.create_registry () in
   let c = Metrics.counter ~registry:r ~subsystem:"pager" "reads" in
@@ -154,6 +211,110 @@ let test_sinks () =
   Alcotest.(check int) "with_collector captures" 1 (List.length spans);
   Alcotest.(check bool) "global restored" true (Trace.scope () = None)
 
+(* Four domains trace concurrently, each into its own collector: the
+   domain-local override means no domain ever sees another's spans. *)
+let test_domain_isolated_collectors () =
+  let per_domain = 200 in
+  let work d () =
+    let (), spans =
+      Trace.with_collector (fun () ->
+          for _i = 1 to per_domain do
+            match Trace.scope () with
+            | Some sink ->
+                Trace.emit sink
+                  (Trace.span ~fields:[ ("domain", d) ] (Printf.sprintf "d%d" d))
+            | None -> Alcotest.fail "collector not installed"
+          done)
+    in
+    spans
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (work d)) in
+  List.iteri
+    (fun d dom ->
+      let spans = Domain.join dom in
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d span count" d)
+        per_domain (List.length spans);
+      List.iter
+        (fun (s : Trace.span) ->
+          if Trace.field s "domain" <> Some d then
+            Alcotest.failf "domain %d saw foreign span %s" d s.Trace.name)
+        spans)
+    domains;
+  Alcotest.(check bool) "main domain unaffected" true (Trace.scope () = None)
+
+(* A deliberately shared global collector: emission is a CAS push, so
+   four domains hammering one sink must lose nothing. *)
+let test_shared_global_collector () =
+  let per_domain = 500 in
+  let sink = Trace.collector () in
+  Fun.protect
+    ~finally:(fun () -> Trace.set_global Trace.null)
+    (fun () ->
+      Trace.set_global sink;
+      let work d () =
+        for _i = 1 to per_domain do
+          match Trace.scope () with
+          | Some s -> Trace.emit s (Trace.span ~fields:[ ("d", d) ] "op")
+          | None -> Alcotest.fail "global sink not visible"
+        done
+      in
+      let domains = List.init 4 (fun d -> Domain.spawn (work d)) in
+      List.iter Domain.join domains;
+      let spans = Trace.collected sink in
+      Alcotest.(check int) "no lost spans" (4 * per_domain) (List.length spans);
+      List.iteri
+        (fun d () ->
+          Alcotest.(check int)
+            (Printf.sprintf "domain %d contribution" d)
+            per_domain
+            (List.length
+               (List.filter
+                  (fun s -> Trace.field s "d" = Some d)
+                  spans)))
+        [ (); (); (); () ])
+
+(* --- ring ---------------------------------------------------------------- *)
+
+let test_ring_eviction () =
+  let r = Obs.Ring.create 3 in
+  Alcotest.(check int) "capacity" 3 (Obs.Ring.capacity r);
+  Alcotest.(check (list int)) "empty" [] (Obs.Ring.to_list r);
+  Obs.Ring.add r 1;
+  Obs.Ring.add r 2;
+  Alcotest.(check (list int)) "newest first" [ 2; 1 ] (Obs.Ring.to_list r);
+  Obs.Ring.add r 3;
+  Obs.Ring.add r 4;
+  (* 1 evicted: the ring keeps the most recent capacity elements *)
+  Alcotest.(check (list int)) "evicts oldest" [ 4; 3; 2 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "length" 3 (Obs.Ring.length r);
+  Obs.Ring.clear r;
+  Alcotest.(check (list int)) "cleared" [] (Obs.Ring.to_list r);
+  Obs.Ring.add r 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Obs.Ring.to_list r)
+
+let test_ring_edge_caps () =
+  (* capacity 0 is the legal "disabled" ring *)
+  let z = Obs.Ring.create 0 in
+  Obs.Ring.add z 1;
+  Obs.Ring.add z 2;
+  Alcotest.(check (list int)) "cap 0 drops all" [] (Obs.Ring.to_list z);
+  Alcotest.(check int) "cap 0 length" 0 (Obs.Ring.length z);
+  (match Obs.Ring.create (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative capacity accepted");
+  (* concurrent adds under the mutex keep the count exact *)
+  let r = Obs.Ring.create 64 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 100 do
+              Obs.Ring.add r ((d * 1000) + i)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "full after concurrent adds" 64 (Obs.Ring.length r)
+
 let () =
   Alcotest.run "obs"
     [
@@ -167,11 +328,23 @@ let () =
         [
           Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
           Alcotest.test_case "histograms" `Quick test_histogram;
+          Alcotest.test_case "tail export" `Quick test_histogram_tail_export;
+          Alcotest.test_case "counters_json delta" `Quick
+            test_counters_json_delta;
           Alcotest.test_case "export" `Quick test_metrics_export;
         ] );
       ( "trace",
         [
           Alcotest.test_case "span trees" `Quick test_span_tree;
           Alcotest.test_case "sinks" `Quick test_sinks;
+          Alcotest.test_case "domain-isolated collectors" `Quick
+            test_domain_isolated_collectors;
+          Alcotest.test_case "shared global collector" `Quick
+            test_shared_global_collector;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "eviction order" `Quick test_ring_eviction;
+          Alcotest.test_case "edge capacities" `Quick test_ring_edge_caps;
         ] );
     ]

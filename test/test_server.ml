@@ -8,6 +8,7 @@
 
 module Dg = Workload.Datagen
 module Db = Uindex.Db
+module Value = Objstore.Value
 module Json = Obs.Json
 module Protocol = Uindex_server.Protocol
 module Service = Uindex_server.Service
@@ -246,6 +247,294 @@ let test_stats_response () =
   Alcotest.(check bool) "stats carries the registry" true
     (Json.member "metrics" r <> None)
 
+(* --- telemetry and admin introspection ----------------------------------- *)
+
+(* like [with_server], but with control over telemetry and which indexes
+   are attached (the reconciliation test wants exactly one pager serving
+   queries); hands back the datagen bundle and the db for direct writes *)
+let with_custom_server ?(workers = 2) ?telemetry ?(attach_path = true) f =
+  let e = Dg.exp1 ~n_vehicles:300 ~seed:3 () in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  if attach_path then Db.attach_index db e.path_age;
+  let svc = Service.create ?telemetry ~schema:e.ext.b.schema db in
+  let dir = Filename.temp_file "uindex_tel" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "srv.sock" in
+  let config =
+    {
+      Server.addr = Server.Unix_sock path;
+      workers;
+      backlog = 16;
+      request_timeout = 5.;
+    }
+  in
+  let server = Server.start svc config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f ~e ~db path)
+
+let member_exn what k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "%s missing %S" what k
+
+let test_health_response () =
+  with_server @@ fun path _server ->
+  ignore (expect_ok path "query (Red, Bus*)");
+  let r = expect_ok path "health" in
+  Alcotest.(check (option int)) "workers gauge" (Some 2)
+    (Json.to_int (member_exn "health" "workers" r));
+  List.iter
+    (fun k -> ignore (member_exn "health" k r))
+    [ "uptime_s"; "queue_depth"; "active_sessions"; "tracing" ];
+  let acked = Option.get (Json.to_int (member_exn "health" "acked_lsn" r)) in
+  let durable =
+    Option.get (Json.to_int (member_exn "health" "durable_lsn" r))
+  in
+  let lag = Option.get (Json.to_int (member_exn "health" "lsn_lag" r)) in
+  Alcotest.(check int) "lsn_lag = acked - durable" (acked - durable) lag;
+  Alcotest.(check bool) "durability never runs ahead of acks" true (lag >= 0);
+  let slow = member_exn "health" "slow_log" r in
+  Alcotest.(check (option int)) "default slow capacity" (Some 128)
+    (Json.to_int (member_exn "slow_log" "capacity" slow));
+  let gc = member_exn "health" "gc" r in
+  List.iter
+    (fun k ->
+      match Json.to_int (member_exn "gc" k gc) with
+      | Some n when n >= 0 -> ()
+      | _ -> Alcotest.failf "gc.%s not a non-negative int" k)
+    [ "minor_collections"; "major_collections"; "heap_words" ]
+
+let test_admin_malformed () =
+  with_server @@ fun path _server ->
+  List.iter
+    (fun line -> expect_error path line "bad_request")
+    [
+      "stats extra";
+      "health 1";
+      "slow-queries abc";
+      "slow-queries -1";
+      "slow-queries 1 2";
+      "@zz ping" (* non-hex trace id *);
+      "@ ping" (* empty trace id *);
+      "@12345678901234567 ping" (* 17 digits: id wider than 64 bits *);
+      "@ab12" (* trace id with no request *);
+    ];
+  (* admin abuse keeps the connection alive, like any bad request *)
+  let c = Client.connect_unix path in
+  ignore (Client.request c "stats bogus");
+  Alcotest.(check bool) "connection survives" true
+    (Protocol.response_is_ok (Client.request c "stats"));
+  Client.close c;
+  prove_workers_alive path
+
+let test_trace_id_echo () =
+  with_server @@ fun path _server ->
+  (* no client id: no echo — a server-assigned id must stay internal so
+     replies stay byte-identical with tracing on or off *)
+  let r = expect_ok path "ping" in
+  Alcotest.(check bool) "no trace_id unless propagated" true
+    (Json.member "trace_id" r = None);
+  let r = expect_ok path "@ab12 ping" in
+  Alcotest.(check (option string)) "ping echo" (Some "ab12")
+    (Option.bind (Json.member "trace_id" r) Json.to_str);
+  let r = expect_ok path "@ff query (Red, Bus*)" in
+  Alcotest.(check (option string)) "query echo" (Some "ff")
+    (Option.bind (Json.member "trace_id" r) Json.to_str);
+  Alcotest.(check bool) "traced query still answers" true
+    (Option.get (Option.bind (Json.member "count" r) Json.to_int) > 0);
+  (* the id is the only difference: stripping it restores byte equality *)
+  let c = Client.connect_unix path in
+  let plain = Client.request_raw c "query (Red, Bus*)" in
+  let traced = Client.request c "@ab12 query (Red, Bus*)" in
+  Client.close c;
+  let stripped =
+    match traced with
+    | Json.Obj kvs -> Json.Obj (List.remove_assoc "trace_id" kvs)
+    | j -> j
+  in
+  Alcotest.(check string) "identical sans trace_id" plain
+    (Json.to_string stripped)
+
+let test_slow_ring_eviction () =
+  (* service-level: threshold 0 admits everything into a 3-slot ring, so
+     5 requests must leave exactly the newest 3, newest first *)
+  let e = Dg.exp1 ~n_vehicles:300 ~seed:3 () in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  let telemetry =
+    {
+      Service.tracing = true;
+      sample_every = 1;
+      slow_threshold_ns = 0;
+      slow_capacity = 3;
+    }
+  in
+  let svc = Service.create ~telemetry ~schema:e.ext.b.schema db in
+  let lines =
+    [
+      "query (Red, Bus*)";
+      "query (White, Bus*)";
+      "query (Red, Vehicle*)";
+      "query (White, Vehicle*)";
+      "ping";
+    ]
+  in
+  List.iter (fun l -> ignore (Service.serve_line svc l)) lines;
+  let j = Service.slow_log_json svc in
+  Alcotest.(check (option int)) "count" (Some 3)
+    (Json.to_int (member_exn "slow log" "count" j));
+  let entries =
+    match member_exn "slow log" "entries" j with
+    | Json.List l -> l
+    | _ -> Alcotest.fail "entries not a list"
+  in
+  Alcotest.(check (list string)) "newest first, oldest evicted"
+    [ "ping"; "query (White, Vehicle*)"; "query (Red, Vehicle*)" ]
+    (List.map
+       (fun en ->
+         Option.get (Json.to_str (member_exn "slow entry" "request" en)))
+       entries);
+  (* sequence numbers decrease newest-first; durations are measured *)
+  let seqs =
+    List.map
+      (fun en -> Option.get (Json.to_int (member_exn "slow entry" "seq" en)))
+      entries
+  in
+  Alcotest.(check (list int)) "seq strictly decreasing" [ 4; 3; 2 ] seqs;
+  List.iter
+    (fun en ->
+      if Option.get (Json.to_int (member_exn "slow entry" "dur_ns" en)) < 0
+      then Alcotest.fail "negative duration";
+      ignore (member_exn "slow entry" "span" en)
+      (* sampled 1-in-1, so every entry carries its span *))
+    entries;
+  (* the limit argument truncates from the newest end *)
+  (match Json.member "entries" (Service.slow_log_json ~limit:1 svc) with
+  | Some (Json.List [ en ]) ->
+      Alcotest.(check (option string)) "limit keeps newest" (Some "ping")
+        (Json.to_str (member_exn "slow entry" "request" en))
+  | _ -> Alcotest.fail "limit 1 should keep exactly one entry");
+  (* a capacity-0 ring disables the log entirely *)
+  let dark =
+    Service.create
+      ~telemetry:{ telemetry with Service.slow_capacity = 0 }
+      ~schema:e.ext.b.schema db
+  in
+  ignore (Service.serve_line dark "ping");
+  Alcotest.(check (option int)) "capacity 0 admits nothing" (Some 0)
+    (Json.to_int (member_exn "slow log" "count" (Service.slow_log_json dark)))
+
+let test_monotone_counters_under_commits () =
+  (* two stats scrapes race a committing writer: every counter delta must
+     still be >= 0 — a snapshot must never observe a counter mid-rollback
+     or torn *)
+  with_custom_server @@ fun ~e ~db path ->
+  let b = e.Dg.ext.b in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          ignore
+            (Db.insert db ~cls:b.vehicle [ ("color", Value.Str "Teal") ]);
+          ignore (Db.commit db);
+          incr n
+        done;
+        !n)
+  in
+  let c = Client.connect_unix path in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Client.close c)
+    (fun () ->
+      let counters () = member_exn "stats" "counters" (Client.stats c) in
+      let prev = ref (counters ()) in
+      for round = 1 to 6 do
+        ignore (Client.request c "query (Red, Bus*)");
+        Unix.sleepf 0.02;
+        let cur = counters () in
+        List.iter
+          (fun (k, v) ->
+            if v < 0 then
+              Alcotest.failf "round %d: counter %s went backwards by %d"
+                round k (-v))
+          (Obs.Metrics.delta ~before:!prev ~after:cur);
+        prev := cur
+      done);
+  let commits = Domain.join writer in
+  Alcotest.(check bool)
+    (Printf.sprintf "writer interleaved commits (%d)" commits)
+    true (commits > 0)
+
+let test_page_read_reconciliation () =
+  (* the acceptance invariant: the global pager.reads counter delta
+     between two stats scrapes must equal the sum of per-request
+     page_reads over the slow-log entries in between — every page read
+     the server does (session-pin attach walks included, across both
+     attached indexes) is attributed to some request's span *)
+  let telemetry =
+    {
+      Service.tracing = true;
+      sample_every = 1;
+      slow_threshold_ns = 0;
+      slow_capacity = 512;
+    }
+  in
+  with_custom_server ~telemetry @@ fun ~e:_ ~db:_ path ->
+  let c = Client.connect_unix path in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let counters r = member_exn "stats" "counters" r in
+      let before = counters (Client.stats c) in
+      let lines =
+        List.concat
+          (List.init 10 (fun _ ->
+               [
+                 "query (Red, Bus*)";
+                 "query (White, Vehicle*)";
+                 "query (Red, Vehicle*)";
+                 "ping";
+               ]))
+      in
+      List.iter
+        (fun l ->
+          if not (Protocol.response_is_ok (Client.request c l)) then
+            Alcotest.failf "request %S failed" l)
+        lines;
+      let after = counters (Client.stats c) in
+      let d = Obs.Metrics.delta ~before ~after in
+      let delta k = Option.value ~default:0 (List.assoc_opt k d) in
+      Alcotest.(check int) "every query executed" 30 (delta "exec.queries");
+      let slow = Client.slow_queries c in
+      let entries =
+        match member_exn "slow log" "entries" slow with
+        | Json.List l -> l
+        | _ -> Alcotest.fail "entries not a list"
+      in
+      (* ring capacity exceeds total traffic, so nothing was evicted:
+         the entries are exactly the requests served (scrapes included,
+         at zero reads each) *)
+      Alcotest.(check int) "nothing evicted" (List.length lines + 2)
+        (List.length entries);
+      let attributed =
+        List.fold_left
+          (fun acc en ->
+            acc
+            + Option.get
+                (Json.to_int (member_exn "slow entry" "page_reads" en)))
+          0 entries
+      in
+      Alcotest.(check int) "pager.reads reconciles with per-request spans"
+        (delta "pager.reads") attributed)
+
 let test_concurrent_clients () =
   with_server ~workers:4 @@ fun path _server ->
   (* a sequential baseline, then 8 concurrent clients must match it *)
@@ -331,5 +620,18 @@ let () =
         [
           Alcotest.test_case "stats percentiles" `Quick test_stats_response;
           Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "health fields" `Quick test_health_response;
+          Alcotest.test_case "malformed admin requests" `Quick
+            test_admin_malformed;
+          Alcotest.test_case "trace id echo" `Quick test_trace_id_echo;
+          Alcotest.test_case "slow ring eviction" `Quick
+            test_slow_ring_eviction;
+          Alcotest.test_case "monotone counters under commits" `Quick
+            test_monotone_counters_under_commits;
+          Alcotest.test_case "page-read reconciliation" `Quick
+            test_page_read_reconciliation;
         ] );
     ]
