@@ -103,6 +103,19 @@ let demo_cmd =
 
 (* --- query --------------------------------------------------------------- *)
 
+(* shared by query/serve: drop to the decode-then-search reference
+   descent (DESIGN.md §13) for A/B runs against the compare-in-place
+   fast path *)
+let no_fast_descent_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fast-descent" ]
+        ~doc:
+          "Use the reference B-tree descent (decode every node) instead \
+           of the compare-in-place fast path.  Answers and page reads \
+           are identical; this exists for A/B measurement and \
+           debugging.")
+
 (* shared by query/explain: size of the cross-query LRU buffer pool; 0
    keeps the paper's exact uncached page-read accounting *)
 let cache_pages_arg =
@@ -127,7 +140,8 @@ let pool_report idx =
         (Storage.Buffer_pool.resident p)
 
 let query_cmd =
-  let run n_vehicles seed cls color algo cache_pages repeat =
+  let run n_vehicles seed cls color algo cache_pages repeat no_fast =
+    if no_fast then Btree.set_fast_descent false;
     let e = Dg.exp1 ~n_vehicles ~seed () in
     let b = e.ext.b in
     let schema = b.schema in
@@ -188,7 +202,9 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run one class-hierarchy query on a generated vehicle database.")
-    Term.(const run $ n $ seed $ cls $ color $ algo $ cache_pages_arg $ repeat)
+    Term.(
+      const run $ n $ seed $ cls $ color $ algo $ cache_pages_arg $ repeat
+      $ no_fast_descent_arg)
 
 (* --- run: textual queries --------------------------------------------------- *)
 
@@ -1066,7 +1082,8 @@ let addr_args =
 
 let serve_cmd =
   let run n_vehicles seed addr workers backlog timeout file churn group_window
-      slow_ms slow_log trace_sample no_tracing =
+      slow_ms slow_log trace_sample no_tracing no_fast =
+    if no_fast then Btree.set_fast_descent false;
     let e = Dg.exp1 ~n_vehicles ~seed () in
     let b = e.ext.b in
     let db = Uindex.Db.create e.store in
@@ -1241,7 +1258,7 @@ let serve_cmd =
     Term.(
       const run $ n $ seed $ addr_args $ workers $ backlog $ timeout $ file
       $ churn $ group_window $ slow_ms $ slow_log $ trace_sample
-      $ no_tracing)
+      $ no_tracing $ no_fast_descent_arg)
 
 let client_cmd =
   let run addr requests =

@@ -29,6 +29,15 @@ let visit_node level =
   Obs.Metrics.incr m_node_visits;
   Obs.Metrics.observe h_visit_level level
 
+(* Read-path selector: the fast path searches encoded pages in place
+   (see Node.leaf_search); the reference path decodes every node it
+   touches.  Both issue identical page reads and metrics, differing only
+   in allocation — kept switchable at runtime so benchmarks can A/B them
+   and the differential suite can prove them byte-identical. *)
+let fast_flag = Atomic.make true
+let set_fast_descent on = Atomic.set fast_flag on
+let fast_descent () = Atomic.get fast_flag
+
 type config = {
   max_entries : int option;
   front_coding : bool;
@@ -101,6 +110,22 @@ let create ?config ?pool pager =
 
 let root t = t.root
 
+(* A page that reaches us but no longer parses as a node is damage the
+   pager's checksums did not (or could not) catch — report it as typed
+   corruption, never as a bare API error. *)
+let load read id =
+  let b = read id in
+  try Node.decode b
+  with Invalid_argument detail | Failure detail ->
+    raise
+      (Storage.Storage_error.Corruption
+         { page = Some id; component = "btree.node"; detail })
+
+let corrupt id detail =
+  raise
+    (Storage.Storage_error.Corruption
+       { page = Some id; component = "btree.node"; detail })
+
 let attach ?config ?pool pager ~root =
   let cfg =
     match config with
@@ -109,9 +134,10 @@ let attach ?config ?pool pager ~root =
   in
   let t = { pager; cfg; root; height = 1; pool = None } in
   set_pool t pool;
-  (* recover the height from the leftmost path *)
+  (* recover the height from the leftmost path; through [load] so a
+     corrupt page surfaces as typed corruption, not a bare decode error *)
   let rec descend id h =
-    match Node.decode (Pager.read pager id) with
+    match load (Pager.read pager) id with
     | Node.Leaf _ -> h
     | Node.Internal n -> descend n.children.(0) (h + 1)
   in
@@ -138,23 +164,15 @@ let reattach ?config ?pool pager =
          });
   attach ?config ?pool pager ~root:(Bu.decode_u32 m 3)
 
+(* Borrowed reads: the tree never mutates a page it has read (all
+   updates re-encode into fresh buffers and go through [write_page]), so
+   pool hits can hand out the resident bytes without copying. *)
 let raw_read t id =
   match t.pool with
-  | Some p -> Buffer_pool.read p id
+  | Some p -> Buffer_pool.read_ro p id
   | None -> Pager.read t.pager id
 
 let cached_read t = Pager.Cache.of_read (raw_read t)
-
-(* A page that reaches us but no longer parses as a node is damage the
-   pager's checksums did not (or could not) catch — report it as typed
-   corruption, never as a bare API error. *)
-let load read id =
-  let b = read id in
-  try Node.decode b
-  with Invalid_argument detail | Failure detail ->
-    raise
-      (Storage.Storage_error.Corruption
-         { page = Some id; component = "btree.node"; detail })
 
 (* Quiet page access for introspection: reads pages without perturbing the
    experiment's counters. *)
@@ -214,9 +232,30 @@ let free_overflow t head =
   go head
 
 let make_value t v =
-  if String.length v > t.cfg.overflow_threshold then
-    Node.Overflow { head = write_overflow t v; length = String.length v }
+  (* values at or above [overflow_marker] cannot be inlined regardless of
+     the configured threshold: the u16 length field would truncate (or
+     collide with the marker itself) *)
+  if
+    String.length v > t.cfg.overflow_threshold
+    || String.length v >= Node.overflow_marker
+  then Node.Overflow { head = write_overflow t v; length = String.length v }
   else Node.Inline v
+
+(* Entry-size guard: a key must be able to sit alone in a fresh leaf —
+   otherwise a split cannot isolate it and the split loop stalls — and
+   must stay within the u16 suffix-length field even uncompressed. *)
+let check_entry_fits t key value =
+  if String.length key > 0xFFFF then
+    invalid_arg "Btree: key exceeds 65535 bytes";
+  let payload =
+    if
+      String.length value > t.cfg.overflow_threshold
+      || String.length value >= Node.overflow_marker
+    then 10
+    else 2 + String.length value
+  in
+  if Node.header_size + 4 + String.length key + payload > page_size t then
+    invalid_arg "Btree: key too large for a leaf page"
 
 let resolve_value read = function
   | Node.Inline s -> s
@@ -427,6 +466,7 @@ let rec insert_at t id key value =
           end)
 
 let insert t ~key ~value =
+  check_entry_fits t key value;
   let value = make_value t value in
   match insert_at t t.root key value with
   | None -> ()
@@ -546,6 +586,7 @@ let multiway_split_internal t id (nd : Node.internal) =
 
 let insert_batch t kvs =
   if kvs <> [] then begin
+    List.iter (fun (k, v) -> check_entry_fits t k v) kvs;
     (* stable sort; later occurrences of a key win, as with sequential
        insertion *)
     let arr = Array.of_list kvs in
@@ -893,19 +934,87 @@ let find_leaf read root key =
   in
   go root 0
 
-let find t ?read key =
-  let read = match read with Some r -> r | None -> raw_read t in
+let find_decode t read key =
   let _, l = find_leaf read t.root key in
   let i = lower_bound l.lkeys key in
   if i < Array.length l.lkeys && l.lkeys.(i) = key then
     Some (resolve_value read l.lvals.(i))
   else None
 
-let mem t ?read key =
-  let read = match read with Some r -> r | None -> raw_read t in
+let mem_decode t read key =
   let _, l = find_leaf read t.root key in
   let i = lower_bound l.lkeys key in
   i < Array.length l.lkeys && l.lkeys.(i) = key
+
+(* Fast-path descent to the leaf covering [key]: kind byte plus
+   compare-in-place child selection on the raw page — no decode, no
+   allocation.  Top-level recursion (not a local closure) so a warm-pool
+   point lookup allocates nothing at all.  The [_raw] variant reads the
+   tree's own page source directly; building a [raw_read t] closure per
+   call would defeat the point. *)
+let rec fast_leaf_raw t key id level =
+  visit_node level;
+  let b = raw_read t id in
+  match Node.is_leaf_page b with
+  | true -> b
+  | false -> (
+      match Node.child_in_place b key with
+      | c -> fast_leaf_raw t key c (level + 1)
+      | exception (Invalid_argument d | Failure d) -> corrupt id d)
+  | exception (Invalid_argument d | Failure d) -> corrupt id d
+
+let rec fast_leaf_with read key id level =
+  visit_node level;
+  let b = read id in
+  match Node.is_leaf_page b with
+  | true -> b
+  | false -> (
+      match Node.child_in_place b key with
+      | c -> fast_leaf_with read key c (level + 1)
+      | exception (Invalid_argument d | Failure d) -> corrupt id d)
+  | exception (Invalid_argument d | Failure d) -> corrupt id d
+
+(* On a leaf that fails to parse mid-search the fast path no longer
+   knows which page it is on; the decoding reference path re-derives the
+   typed corruption report (with its page id) — or, if the damage was
+   transient, the correct answer. *)
+let find t ?read key =
+  if Atomic.get fast_flag then (
+    try
+      Obs.Metrics.incr m_descents;
+      let b =
+        match read with
+        | None -> fast_leaf_raw t key t.root 0
+        | Some r -> fast_leaf_with r key t.root 0
+      in
+      let r = Node.leaf_search b key in
+      if Node.search_exact r then
+        Some
+          (match
+             Node.leaf_value b (Node.leaf_payload_off b (Node.search_off r))
+           with
+          | Node.Inline s -> s
+          | Node.Overflow { head; length } ->
+              let read = match read with Some r -> r | None -> raw_read t in
+              read_overflow read head length)
+      else None
+    with Invalid_argument _ | Failure _ ->
+      find_decode t (match read with Some r -> r | None -> raw_read t) key)
+  else find_decode t (match read with Some r -> r | None -> raw_read t) key
+
+let mem t ?read key =
+  if Atomic.get fast_flag then (
+    try
+      Obs.Metrics.incr m_descents;
+      let b =
+        match read with
+        | None -> fast_leaf_raw t key t.root 0
+        | Some r -> fast_leaf_with r key t.root 0
+      in
+      Node.search_exact (Node.leaf_search b key)
+    with Invalid_argument _ | Failure _ ->
+      mem_decode t (match read with Some r -> r | None -> raw_read t) key)
+  else mem_decode t (match read with Some r -> r | None -> raw_read t) key
 
 let make_entry read (l : Node.leaf) i =
   { key = l.lkeys.(i); value = (fun () -> resolve_value read l.lvals.(i)) }
@@ -915,26 +1024,86 @@ let make_entry read (l : Node.leaf) i =
 module Scanner = struct
   type tree = t
 
+  (* One scanner carries both read paths, selected by [fast] (sampled
+     from the process-wide mode at create/reset time so a query never
+     mixes them).  The fast cursor walks the encoded leaf page directly,
+     reconstructing only the key under the cursor into the reusable
+     [keybuf] scratch — entries a scan skips past are never
+     materialized, and values only on [entry.value ()].  The reference
+     cursor decodes nodes as before, memoizing internal ones only: the
+     leaf chain is visited once per scan, so memoizing leaves (the
+     pre-PR-8 behaviour) pinned every decoded leaf of a full iteration.
+     All mutable state is recycled by [reset], so a session can reuse
+     one scanner (and its memo table and scratch) across queries. *)
   type t = {
-    tree : tree;
-    read : int -> Bytes.t;
-    (* decoded-node memo: repeated seeks through the same pages (the
-       parallel algorithm's skip-scan) pay the page read once — via the
-       caller's page cache — and the decode once, here *)
-    memo : (int, Node.t) Hashtbl.t;
+    mutable tree : tree;
+    mutable read : int -> Bytes.t;
+    mutable fast : bool;
+    (* reference path *)
+    memo : (int, Node.t) Hashtbl.t;  (* internal nodes only *)
     mutable leaf : Node.leaf option;
     mutable idx : int;
+    (* fast path *)
+    pmemo : (int, Bytes.t) Hashtbl.t;  (* raw internal pages only *)
+    mutable page : Bytes.t;  (* current leaf page; [Bytes.empty] = unpositioned *)
+    mutable pid : int;  (* its page id, for corruption reports *)
+    mutable n : int;  (* its entry count *)
+    mutable next_leaf : int;
+    mutable fidx : int;  (* cursor entry index within the leaf *)
+    mutable off : int;  (* cursor entry byte offset *)
+    mutable keybuf : Bytes.t;  (* cursor key bytes live in [0, keylen) *)
+    mutable keylen : int;
+    mutable live : bool;  (* the cursor holds an entry *)
   }
 
   let create tree ~read =
-    { tree; read; memo = Hashtbl.create 32; leaf = None; idx = 0 }
+    {
+      tree;
+      read;
+      fast = Atomic.get fast_flag;
+      memo = Hashtbl.create 32;
+      leaf = None;
+      idx = 0;
+      pmemo = Hashtbl.create 32;
+      page = Bytes.empty;
+      pid = -1;
+      n = 0;
+      next_leaf = -1;
+      fidx = 0;
+      off = 0;
+      keybuf = Bytes.create 64;
+      keylen = 0;
+      live = false;
+    }
+
+  (* Re-point a scanner at a (possibly different) tree, keeping its memo
+     table and key scratch allocations.  Any mutation of the tree — or
+     swapping the underlying view — invalidates a scanner's position;
+     reset is the reuse contract's only entry point. *)
+  let reset t tree ~read =
+    t.tree <- tree;
+    t.read <- read;
+    t.fast <- Atomic.get fast_flag;
+    Hashtbl.reset t.memo;
+    t.leaf <- None;
+    t.idx <- 0;
+    Hashtbl.reset t.pmemo;
+    t.page <- Bytes.empty;
+    t.pid <- -1;
+    t.live <- false
+
+  let memo_size t = Hashtbl.length t.memo + Hashtbl.length t.pmemo
+
+  (* --- reference path --- *)
 
   let load_memo t id =
     match Hashtbl.find_opt t.memo id with
     | Some n -> n
     | None ->
         let n = load t.read id in
-        Hashtbl.add t.memo id n;
+        (match n with
+        | Node.Internal _ -> Hashtbl.add t.memo id n
+        | Node.Leaf _ -> ());
         n
 
   (* skip empty leaves until an entry is under the cursor *)
@@ -948,25 +1117,18 @@ module Scanner = struct
           (match load_memo t l.next with
           | Node.Leaf l' -> t.leaf <- Some l'
           | Node.Internal _ ->
-              raise
-                (Storage.Storage_error.Corruption
-                   {
-                     page = Some l.next;
-                     component = "btree.node";
-                     detail = "Btree: leaf chain hit internal node";
-                   }));
+              corrupt l.next "Btree: leaf chain hit internal node");
           t.idx <- 0;
           normalize t
         end
 
-  let peek t =
+  let ref_peek t =
     match t.leaf with
     | Some l when t.idx < Array.length l.lkeys ->
         Some (make_entry t.read l t.idx)
     | Some _ | None -> None
 
-  let seek t key =
-    Obs.Metrics.incr m_descents;
+  let ref_seek t key =
     let rec descend id level =
       visit_node level;
       match load_memo t id with
@@ -977,12 +1139,166 @@ module Scanner = struct
     t.leaf <- Some l;
     t.idx <- lower_bound l.lkeys key;
     normalize t;
-    peek t
+    ref_peek t
+
+  (* --- fast path --- *)
+
+  let reserve t len =
+    if Bytes.length t.keybuf < len then begin
+      let b = Bytes.create (max len (2 * Bytes.length t.keybuf)) in
+      Bytes.blit t.keybuf 0 b 0 t.keylen;
+      t.keybuf <- b
+    end
+
+  (* Install the entry at [t.off] as the cursor key, taking its stored
+     prefix from the key already in the scratch.  Mirrors [Node.decode]'s
+     [String.sub prev 0 p]: a stored prefix longer than the previous key
+     is the same corruption, reported identically. *)
+  let set_cursor_advance t =
+    let b = t.page in
+    let off = t.off in
+    let p = Node.entry_prefix b off in
+    let slen = Node.entry_suffix_len b off in
+    if p > t.keylen then
+      invalid_arg "Node.search: prefix exceeds previous key";
+    reserve t (p + slen);
+    Bytes.blit b (Node.entry_suffix_off off) t.keybuf p slen;
+    t.keylen <- p + slen;
+    t.live <- true
+
+  (* Same, but after a seek: the search only ever stops on an entry
+     whose stored prefix is also a prefix of the probe key, so the
+     probe supplies the prefix bytes. *)
+  let set_cursor_from_probe t probe =
+    let b = t.page in
+    let off = t.off in
+    let p = Node.entry_prefix b off in
+    let slen = Node.entry_suffix_len b off in
+    reserve t (p + slen);
+    Bytes.blit_string probe 0 t.keybuf 0 p;
+    Bytes.blit b (Node.entry_suffix_off off) t.keybuf p slen;
+    t.keylen <- p + slen;
+    t.live <- true
+
+  (* position at the first entry of the leaf-chain page [id], skipping
+     empty leaves, exactly as [normalize] does on decoded nodes *)
+  let rec fast_first_entry t id =
+    if id < 0 then t.live <- false
+    else begin
+      let b = t.read id in
+      t.pid <- id;
+      t.page <- b;
+      t.keylen <- 0;
+      match
+        if not (Node.is_leaf_page b) then
+          failwith "Btree: leaf chain hit internal node";
+        t.n <- Node.entry_count b;
+        t.next_leaf <- Node.leaf_next b;
+        if t.n > 0 then begin
+          t.fidx <- 0;
+          t.off <- Node.header_size;
+          set_cursor_advance t;
+          true
+        end
+        else false
+      with
+      | true -> ()
+      | false -> fast_first_entry t t.next_leaf
+      | exception (Invalid_argument d | Failure d) -> corrupt id d
+    end
+
+  (* Mirror of [load_memo]: internal pages are memoized raw, so a
+     re-seek re-reads exactly what the reference path re-reads — the
+     leaf only.  Memoized pages were classified internal when added,
+     so the kind check is skipped on a hit. *)
+  let rec fast_descend t key id level =
+    visit_node level;
+    match Hashtbl.find_opt t.pmemo id with
+    | Some b -> (
+        match Node.child_in_place b key with
+        | c -> fast_descend t key c (level + 1)
+        | exception (Invalid_argument d | Failure d) -> corrupt id d)
+    | None -> (
+        let b = t.read id in
+        match Node.is_leaf_page b with
+        | true ->
+            t.pid <- id;
+            b
+        | false -> (
+            Hashtbl.add t.pmemo id b;
+            match Node.child_in_place b key with
+            | c -> fast_descend t key c (level + 1)
+            | exception (Invalid_argument d | Failure d) -> corrupt id d)
+        | exception (Invalid_argument d | Failure d) -> corrupt id d)
+
+  let fast_seek t key =
+    let b = fast_descend t key t.tree.root 0 in
+    t.page <- b;
+    t.keylen <- 0;
+    try
+      let r = Node.leaf_search b key in
+      t.n <- Node.entry_count b;
+      t.next_leaf <- Node.leaf_next b;
+      let i = Node.search_index r in
+      if i < t.n then begin
+        t.fidx <- i;
+        t.off <- Node.search_off r;
+        set_cursor_from_probe t key
+      end
+      else fast_first_entry t t.next_leaf
+    with Invalid_argument d | Failure d -> corrupt t.pid d
+
+  let fast_next t =
+    if t.live then
+      if t.fidx + 1 < t.n then (
+        try
+          t.off <- Node.leaf_entry_end t.page t.off;
+          t.fidx <- t.fidx + 1;
+          set_cursor_advance t
+        with Invalid_argument d | Failure d -> corrupt t.pid d)
+      else fast_first_entry t t.next_leaf
+
+  let fast_peek t =
+    if not t.live then None
+    else begin
+      let read = t.read in
+      let page = t.page in
+      let pid = t.pid in
+      match Node.leaf_payload_off page t.off with
+      | vpos ->
+          Some
+            {
+              key = Bytes.sub_string t.keybuf 0 t.keylen;
+              value =
+                (fun () ->
+                  match Node.leaf_value page vpos with
+                  | v -> resolve_value read v
+                  | exception (Invalid_argument d | Failure d) ->
+                      corrupt pid d);
+            }
+      | exception (Invalid_argument d | Failure d) -> corrupt pid d
+    end
+
+  (* --- dispatch --- *)
+
+  let seek t key =
+    Obs.Metrics.incr m_descents;
+    if t.fast then begin
+      fast_seek t key;
+      fast_peek t
+    end
+    else ref_seek t key
 
   let next t =
-    t.idx <- t.idx + 1;
-    normalize t;
-    peek t
+    if t.fast then begin
+      fast_next t;
+      fast_peek t
+    end
+    else begin
+      t.idx <- t.idx + 1;
+      normalize t;
+      ref_peek t
+    end
 end
 
 let iter t ?read f =
@@ -1322,6 +1638,11 @@ let bulk_load ?(fill = 0.9) t entries =
     leaves := (!first, !cur) :: !leaves
   in
   let add k value =
+    if
+      String.length k > 0xFFFF
+      || Node.header_size + 4 + String.length k + Node.inline_size value
+         > page_size t
+    then invalid_arg "Btree.bulk_load: key too large for a leaf page";
     let esz = 4 + (String.length k - pfx !prev k) + Node.inline_size value in
     if !n > 0 && (!size + esz > budget || !n >= cap) then begin
       (* the next leaf's id is needed now for the chain link, so every

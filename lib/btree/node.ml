@@ -51,6 +51,10 @@ let encode ?saved ~front_coding ~page_size t =
     let p = prefix_len ~front_coding ~prev key in
     (match saved with Some r -> r := !r + p | None -> ());
     let suffix_len = String.length key - p in
+    (* put_u16 silently keeps the low 16 bits, so an oversized field
+       would corrupt the page rather than fail — refuse it here *)
+    if suffix_len > 0xFFFF then
+      invalid_arg "Node.encode: key suffix exceeds 65535 bytes";
     Bu.put_u16 b !pos p;
     Bu.put_u16 b (!pos + 2) suffix_len;
     Bytes.blit_string key p b (!pos + 4) suffix_len;
@@ -68,6 +72,10 @@ let encode ?saved ~front_coding ~page_size t =
           put_entry !prev k (fun () ->
               (match lvals.(i) with
               | Inline s ->
+                  (* 0xFFFF is the overflow marker, so the largest
+                     representable inline length is 65534 *)
+                  if String.length s >= overflow_marker then
+                    invalid_arg "Node.encode: inline value exceeds 65534 bytes";
                   Bu.put_u16 b !pos (String.length s);
                   Bytes.blit_string s 0 b (!pos + 2) (String.length s);
                   pos := !pos + 2 + String.length s
@@ -144,6 +152,171 @@ let decode b =
       done;
       Internal { ikeys; children }
   | _ -> invalid_arg "Node.decode: bad node kind byte"
+
+(* --- compare-in-place search -------------------------------------------- *)
+
+(* The fast read path searches the encoded page directly instead of
+   decoding it.  Front coding makes this possible without materializing
+   any key: walking the entries in order while maintaining [ml] — the
+   length of the common prefix of the probe key and the last entry
+   passed — each entry's order relative to the probe is decided from its
+   stored (prefix_len, suffix) alone:
+
+     prefix_len > ml   the entry agrees with its predecessor beyond the
+                       point where the predecessor fell below the probe,
+                       so the entry is below it too (the predecessor
+                       cannot have been a proper prefix of the probe
+                       there, since prefix_len never exceeds its
+                       length);
+     prefix_len <= ml  the entry's first prefix_len bytes equal the
+                       probe's (both match the predecessor that far), so
+                       the suffix is compared byte-wise against the
+                       probe's tail starting at prefix_len, updating
+                       [ml].
+
+   Note the second case must NOT shortcut on prefix_len < ml: stored
+   prefixes are not necessarily maximal (front_coding:false stores 0 for
+   every entry), so a shorter prefix than [ml] says nothing about where
+   the entry diverges — only the suffix bytes do.
+
+   Malformed pages fail the bounds checks of the safe byte accessors (or
+   the explicit suffix check below) with [Invalid_argument], exactly as
+   [decode] does, so the Btree layer converts both paths to typed
+   corruption identically. *)
+
+let is_leaf_page b =
+  match Bytes.get b 0 with
+  | '\001' -> true
+  | '\000' -> false
+  | _ -> invalid_arg "Node.decode: bad node kind byte"
+
+let entry_count b = Bu.get_u16 b 1
+
+let leaf_next b =
+  let w = Bu.get_u32 b 3 in
+  if w = no_page then -1 else w
+
+let entry_prefix b off = Bu.get_u16 b off
+let entry_suffix_len b off = Bu.get_u16 b (off + 2)
+let entry_suffix_off off = off + 4
+
+let leaf_payload_off b off = off + 4 + Bu.get_u16 b (off + 2)
+
+let leaf_payload_len b pos =
+  let vlen = Bu.get_u16 b pos in
+  if vlen = overflow_marker then 10 else 2 + vlen
+
+let leaf_entry_end b off =
+  let pos = leaf_payload_off b off in
+  pos + leaf_payload_len b pos
+
+let leaf_value b pos =
+  let vlen = Bu.get_u16 b pos in
+  if vlen = overflow_marker then
+    Overflow { head = Bu.get_u32 b (pos + 2); length = Bu.get_u32 b (pos + 6) }
+  else Inline (Bytes.sub_string b (pos + 2) vlen)
+
+let check_suffix b soff slen =
+  if soff + slen > Bytes.length b then
+    invalid_arg "Node.search: entry overruns page"
+
+(* packed [leaf_search] result: bit 0 = exact, bits 1-20 = index, the
+   rest = byte offset of that entry (end-of-entries offset at the end) *)
+let search_off r = r lsr 21
+let search_index r = (r lsr 1) land 0xFFFFF
+let search_exact r = r land 1 = 1
+
+let leaf_search b key =
+  let n = Bu.get_u16 b 1 in
+  let klen = String.length key in
+  let pos = ref header_size in
+  let idx = ref 0 in
+  let ml = ref 0 in
+  let exact = ref false in
+  let stop = ref false in
+  while (not !stop) && !idx < n do
+    let p = Bu.get_u16 b !pos in
+    let slen = Bu.get_u16 b (!pos + 2) in
+    let soff = !pos + 4 in
+    check_suffix b soff slen;
+    if p > !ml then begin
+      let vpos = soff + slen in
+      pos := vpos + leaf_payload_len b vpos;
+      incr idx
+    end
+    else begin
+      let rem = klen - p in
+      let lim = if slen < rem then slen else rem in
+      let j = Bu.match_len b soff key p lim in
+      if j < lim then
+        if Char.code (Bytes.unsafe_get b (soff + j)) < Char.code key.[p + j]
+        then begin
+          ml := p + j;
+          let vpos = soff + slen in
+          pos := vpos + leaf_payload_len b vpos;
+          incr idx
+        end
+        else stop := true
+      else if slen < rem then begin
+        (* the entry is a proper prefix of the probe: below it *)
+        ml := p + slen;
+        let vpos = soff + slen in
+        pos := vpos + leaf_payload_len b vpos;
+        incr idx
+      end
+      else if slen = rem then begin
+        exact := true;
+        stop := true
+      end
+      else stop := true (* the probe is a proper prefix of the entry *)
+    end
+  done;
+  (!pos lsl 21) lor (!idx lsl 1) lor (if !exact then 1 else 0)
+
+(* Upper bound over an internal page's separators: the search advances
+   past separators [<=] the probe, keeping the page id to their right. *)
+let child_in_place b key =
+  let n = Bu.get_u16 b 1 in
+  let klen = String.length key in
+  let pos = ref header_size in
+  let idx = ref 0 in
+  let ml = ref 0 in
+  let child = ref (Bu.get_u32 b 3) in
+  let stop = ref false in
+  while (not !stop) && !idx < n do
+    let p = Bu.get_u16 b !pos in
+    let slen = Bu.get_u16 b (!pos + 2) in
+    let soff = !pos + 4 in
+    check_suffix b soff slen;
+    if p > !ml then begin
+      child := Bu.get_u32 b (soff + slen);
+      pos := soff + slen + 4;
+      incr idx
+    end
+    else begin
+      let rem = klen - p in
+      let lim = if slen < rem then slen else rem in
+      let j = Bu.match_len b soff key p lim in
+      if j < lim then
+        if Char.code (Bytes.unsafe_get b (soff + j)) < Char.code key.[p + j]
+        then begin
+          ml := p + j;
+          child := Bu.get_u32 b (soff + slen);
+          pos := soff + slen + 4;
+          incr idx
+        end
+        else stop := true
+      else if slen <= rem then begin
+        (* separator <= probe (equal when slen = rem): go right of it *)
+        ml := p + slen;
+        child := Bu.get_u32 b (soff + slen);
+        pos := soff + slen + 4;
+        incr idx
+      end
+      else stop := true
+    end
+  done;
+  !child
 
 let pp_key ppf k =
   String.iter

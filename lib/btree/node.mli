@@ -45,6 +45,11 @@ type t = Leaf of leaf | Internal of internal
 
 val header_size : int
 
+val overflow_marker : int
+(** The u16 inline-length value ([0xFFFF]) that instead announces an
+    overflow payload; the largest representable inline value is therefore
+    [overflow_marker - 1] bytes. *)
+
 val size : front_coding:bool -> t -> int
 (** Serialized size in bytes, including the header. *)
 
@@ -58,5 +63,58 @@ val decode : Bytes.t -> t
 
 val inline_size : value -> int
 (** Size contribution of a leaf payload. *)
+
+(** {1 Compare-in-place search}
+
+    The fast read path operates on the encoded page without decoding it:
+    searches walk the front-coded entries in the page buffer, deciding
+    each comparison from the stored [(prefix_len, suffix)] pair alone, so
+    a descent materializes no key and allocates nothing.  {!decode}
+    remains the reference implementation; the two are proven equivalent
+    by a differential property test.  On malformed pages these raise
+    [Invalid_argument] exactly as {!decode} does. *)
+
+val is_leaf_page : Bytes.t -> bool
+(** Node kind from the header byte; raises [Invalid_argument] on any
+    other kind byte (same failure as {!decode}). *)
+
+val entry_count : Bytes.t -> int
+
+val leaf_next : Bytes.t -> int
+(** Next-leaf page id, [-1] when this is the last leaf. *)
+
+val leaf_search : Bytes.t -> string -> int
+(** Lower bound of the probe among a leaf page's entries, computed
+    against the page buffer.  The result is a packed immediate int —
+    unpack with {!search_index} (the lower-bound index),
+    {!search_exact} (whether the entry at that index equals the probe)
+    and {!search_off} (that entry's byte offset in the page; the
+    end-of-entries offset when the index equals {!entry_count}). *)
+
+val search_index : int -> int
+val search_exact : int -> bool
+val search_off : int -> int
+
+val child_in_place : Bytes.t -> string -> int
+(** The child page id a descent for the probe key must follow from an
+    internal page: upper bound over the separators, compared in place. *)
+
+val entry_prefix : Bytes.t -> int -> int
+(** Stored prefix length of the entry at a byte offset. *)
+
+val entry_suffix_len : Bytes.t -> int -> int
+val entry_suffix_off : int -> int
+
+val leaf_payload_off : Bytes.t -> int -> int
+(** Byte offset of the leaf payload of the entry at [off]. *)
+
+val leaf_entry_end : Bytes.t -> int -> int
+(** Byte offset just past the leaf entry at [off] — i.e. the next
+    entry's offset. *)
+
+val leaf_value : Bytes.t -> int -> value
+(** Decode the leaf payload at a payload offset (see
+    {!leaf_payload_off}); the only allocating accessor, called when a
+    scan actually needs the value. *)
 
 val pp : Format.formatter -> t -> unit

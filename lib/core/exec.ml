@@ -141,6 +141,30 @@ let seg_entry seg ~accepted =
       s.entries <- s.entries + 1;
       if accepted then s.accepted <- s.accepted + 1
 
+(* --- cursor reuse -------------------------------------------------------- *)
+
+(* One scanner per domain, re-pointed at the query's view with
+   [Scanner.reset]: the memo table and key scratch are recycled instead
+   of reallocated per query (ROADMAP item 5's "cursor structs reused
+   across a session").  Server workers are domains, so each worker gets
+   its own cursor and no locking is needed.  The slot is emptied while a
+   query runs — a re-entrant call would simply build a fresh scanner —
+   and refilled on the way out, exceptions included. *)
+let scanner_slot : Btree.Scanner.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_scanner tree read f =
+  let slot = Domain.DLS.get scanner_slot in
+  let sc =
+    match !slot with
+    | Some sc ->
+        slot := None;
+        Btree.Scanner.reset sc tree ~read;
+        sc
+    | None -> Btree.Scanner.create tree ~read
+  in
+  Fun.protect ~finally:(fun () -> slot := Some sc) (fun () -> f sc)
+
 (* --- the two algorithms ------------------------------------------------- *)
 
 let forward_impl ?trace idx query =
@@ -154,7 +178,7 @@ let forward_impl ?trace idx query =
       | None -> ([], 0)
       | Some (lo, hi) ->
           let seg = seg_make trace (Pager.stats (Btree.pager tree)) in
-          let sc = Btree.Scanner.create tree ~read:(Btree.raw_read tree) in
+          with_scanner tree (Btree.raw_read tree) @@ fun sc ->
           let below_hi key =
             match hi with
             | Some h -> String.compare key h < 0
@@ -193,7 +217,7 @@ let parallel_impl ?trace idx query =
       let seg = seg_make trace (Pager.stats (Btree.pager tree)) in
       let cache = Btree.cached_read tree in
       let read = Pager.Cache.read cache in
-      let sc = Btree.Scanner.create tree ~read in
+      with_scanner tree read @@ fun sc ->
       let upper = Plan.upper plan in
       let below_hi key =
         match upper with

@@ -96,14 +96,19 @@ let bucket_of v =
 
 let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
 
+(* Hand-rolled lock scope (no [with_lock] closure): observations ride
+   the descent hot path (one per node visit), which must stay
+   allocation-free, and nothing in the guarded section can raise —
+   [bucket_of] caps its result below [n_buckets]. *)
 let observe h v =
   let v = max 0 v in
-  with_lock h.h_lock @@ fun () ->
+  let i = bucket_of v in
+  Mutex.lock h.h_lock;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum + v;
   if v > h.h_max then h.h_max <- v;
-  let i = bucket_of v in
-  h.buckets.(i) <- h.buckets.(i) + 1
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  Mutex.unlock h.h_lock
 
 let observe_span h f =
   let t0 = Unix.gettimeofday () in

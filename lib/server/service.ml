@@ -200,6 +200,7 @@ let health_response t =
       ("durable_lsn", Json.Int durable);
       ("lsn_lag", Json.Int (acked - durable));
       ("tracing", Json.Bool t.tel.tracing);
+      ("fast_descent", Json.Bool (Btree.fast_descent ()));
       ( "slow_log",
         Json.Obj
           [

@@ -6,11 +6,15 @@ let m_hits = Obs.Metrics.counter ~subsystem:"buffer_pool" "hits"
 let m_misses = Obs.Metrics.counter ~subsystem:"buffer_pool" "misses"
 let m_evictions = Obs.Metrics.counter ~subsystem:"buffer_pool" "evictions"
 
+(* The LRU list is circular through a sentinel node, with non-optional
+   links: relinking a node on a hit is pure pointer surgery, where
+   option-typed links would allocate a [Some] per splice — and the hit
+   path must stay allocation-free (it serves the B-tree descent). *)
 type node = {
   page_id : int;
   mutable data : Bytes.t;
-  mutable prev : node option;
-  mutable next : node option;
+  mutable prev : node;  (* toward LRU *)
+  mutable next : node;  (* toward MRU *)
 }
 
 type t = {
@@ -18,8 +22,7 @@ type t = {
   capacity : int;
   lock : Mutex.t;  (* LRU surgery is multi-field: serialize everything *)
   table : (int, node) Hashtbl.t;
-  mutable head : node option;  (* most recently used *)
-  mutable tail : node option;  (* least recently used *)
+  sentinel : node;  (* sentinel.next = MRU, sentinel.prev = LRU *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -32,73 +35,86 @@ let with_lock t f =
 
 let create ~capacity pager =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  let rec sentinel =
+    { page_id = -1; data = Bytes.empty; prev = sentinel; next = sentinel }
+  in
   {
     pager;
     capacity;
     lock = Mutex.create ();
     table = Hashtbl.create (2 * capacity);
-    head = None;
-    tail = None;
+    sentinel;
     hits = 0;
     misses = 0;
     evictions = 0;
     relinks = 0;
   }
 
-let unlink t n =
-  (match n.prev with
-  | Some p -> p.next <- n.next
-  | None -> t.head <- n.next);
-  (match n.next with
-  | Some s -> s.prev <- n.prev
-  | None -> t.tail <- n.prev);
-  n.prev <- None;
-  n.next <- None
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev;
+  n.prev <- n;
+  n.next <- n
 
 let push_front t n =
-  n.next <- t.head;
-  n.prev <- None;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
+  let s = t.sentinel in
+  n.next <- s.next;
+  n.prev <- s;
+  s.next.prev <- n;
+  s.next <- n
 
 let evict_lru t =
-  match t.tail with
-  | None -> ()
-  | Some n ->
-      unlink t n;
-      Hashtbl.remove t.table n.page_id;
-      t.evictions <- t.evictions + 1;
-      Obs.Metrics.incr m_evictions;
-      Pager.record_pool_event t.pager `Eviction
+  let n = t.sentinel.prev in
+  if n != t.sentinel then begin
+    unlink n;
+    Hashtbl.remove t.table n.page_id;
+    t.evictions <- t.evictions + 1;
+    Obs.Metrics.incr m_evictions;
+    Pager.record_pool_event t.pager `Eviction
+  end
 
-let read t id =
-  with_lock t @@ fun () ->
-  match Hashtbl.find_opt t.table id with
-  | Some n ->
+(* The borrowing read.  A hit hands out the resident bytes themselves —
+   no copy, no closures, no option allocation — which is safe under the
+   coherence contract: [update] replaces a resident node's buffer with a
+   fresh copy rather than mutating it in place, and eviction or
+   invalidation only drops the pool's reference, so a borrowed buffer is
+   immutable for as long as the borrower holds it (it just may grow
+   stale, exactly as a copied snapshot of it would).  Callers must not
+   write to the returned bytes.  The B-tree read path is the intended
+   borrower; this is what makes a warm-pool descent allocation-free. *)
+let read_ro t id =
+  Mutex.lock t.lock;
+  match Hashtbl.find t.table id with
+  | n ->
       t.hits <- t.hits + 1;
+      (* fast path: a hit on the MRU node needs no list surgery *)
+      if t.sentinel.next != n then begin
+        t.relinks <- t.relinks + 1;
+        unlink n;
+        push_front t n
+      end;
+      let data = n.data in
+      Mutex.unlock t.lock;
       Obs.Metrics.incr m_hits;
       Pager.record_pool_event t.pager `Hit;
-      (* fast path: a hit on the MRU node needs no list surgery.  The
-         node must be compared directly — [t.head != Some n] allocates a
-         fresh [Some] and physical inequality against it is always
-         true. *)
-      (match t.head with
-      | Some h when h == n -> ()
-      | _ ->
-          t.relinks <- t.relinks + 1;
-          unlink t n;
-          push_front t n);
-      Bytes.copy n.data
-  | None ->
+      data
+  | exception Not_found ->
       t.misses <- t.misses + 1;
       Obs.Metrics.incr m_misses;
       Pager.record_pool_event t.pager `Miss;
-      let data = Pager.read t.pager id in
-      if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      let n = { page_id = id; data; prev = None; next = None } in
-      Hashtbl.replace t.table id n;
-      push_front t n;
-      Bytes.copy data
+      (match Pager.read t.pager id with
+      | data ->
+          if Hashtbl.length t.table >= t.capacity then evict_lru t;
+          let rec n = { page_id = id; data; prev = n; next = n } in
+          Hashtbl.replace t.table id n;
+          push_front t n;
+          Mutex.unlock t.lock;
+          data
+      | exception e ->
+          Mutex.unlock t.lock;
+          raise e)
+
+let read t id = Bytes.copy (read_ro t id)
 
 (* Write-through: refresh a resident page in place so a later hit can
    never serve stale bytes.  Absent pages are not write-allocated — the
@@ -114,15 +130,16 @@ let invalidate t id =
   with_lock t @@ fun () ->
   match Hashtbl.find_opt t.table id with
   | Some n ->
-      unlink t n;
+      unlink n;
       Hashtbl.remove t.table id
   | None -> ()
 
 let flush t =
   with_lock t @@ fun () ->
   Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None
+  let s = t.sentinel in
+  s.next <- s;
+  s.prev <- s
 
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)
@@ -133,11 +150,9 @@ let pager t = t.pager
 
 let lru_order t =
   with_lock t @@ fun () ->
-  let rec go acc = function
-    | None -> List.rev acc
-    | Some n -> go (n.page_id :: acc) n.next
-  in
-  go [] t.head
+  let s = t.sentinel in
+  let rec go acc n = if n == s then List.rev acc else go (n.page_id :: acc) n.next in
+  go [] s.next
 
 let hit_rate t =
   with_lock t @@ fun () ->

@@ -39,7 +39,16 @@ val create : capacity:int -> Pager.t -> t
 (** [capacity] is the number of pages held (must be positive). *)
 
 val read : t -> int -> Bytes.t
-(** Serves from the pool, falling back to (and counting) a pager read. *)
+(** Serves from the pool, falling back to (and counting) a pager read.
+    Returns a private copy the caller may freely mutate. *)
+
+val read_ro : t -> int -> Bytes.t
+(** Like {!read}, but a hit hands out the resident buffer itself —
+    no copy, no allocation.  The returned bytes must be treated as
+    read-only; they stay valid (though possibly stale) indefinitely,
+    because {!update} replaces a resident buffer rather than mutating it
+    and eviction only drops the pool's reference.  This is the B-tree
+    descent's page source: a warm lookup allocates nothing. *)
 
 val update : t -> int -> Bytes.t -> unit
 (** Write-through hook: if the page is resident, replace its bytes with

@@ -40,6 +40,16 @@ let common_prefix_len a b =
   let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
   go 0
 
+let match_len b boff s soff len =
+  let i = ref 0 in
+  while
+    !i < len
+    && Bytes.unsafe_get b (boff + !i) = String.unsafe_get s (soff + !i)
+  do
+    incr i
+  done;
+  !i
+
 (* FNV-1a, folded to 32 bits; used for page-file header and journal
    checksums.  Not cryptographic — it only needs to catch torn writes. *)
 let fnv32 ?(init = 0x811C9DC5) b off len =

@@ -44,6 +44,12 @@ val common_prefix_len : string -> string -> int
 (** [common_prefix_len a b] is the length of the longest common prefix of
     [a] and [b]. *)
 
+val match_len : Bytes.t -> int -> string -> int -> int -> int
+(** [match_len b boff s soff len] is the number of equal leading bytes of
+    [b.[boff..]] and [s.[soff..]], at most [len].  The ranges must lie
+    inside their buffers (unchecked); this is the allocation-free inner
+    loop of the compare-in-place node search. *)
+
 val fnv32 : ?init:int -> Bytes.t -> int -> int -> int
 (** [fnv32 b off len] is the 32-bit FNV-1a hash of [len] bytes of [b]
     starting at [off]; pass a previous result as [init] to chain ranges.

@@ -800,13 +800,17 @@ let physical_writes t = t.phys_writes
 (* Buffer pools mirror their events here rather than poking the record
    directly, so every mutation of a pager's stats — page ops, pool
    events, snapshot merges — serializes on the same lock. *)
+(* Hand-rolled lock scope (no [with_lock] closure): this rides the
+   pool-hit hot path, which must stay allocation-free, and the guarded
+   field bumps cannot raise. *)
 let record_pool_event t ev =
-  with_lock t @@ fun () ->
-  match ev with
+  Mutex.lock t.lock;
+  (match ev with
   | `Hit -> t.stats.Stats.pool_hits <- t.stats.Stats.pool_hits + 1
   | `Miss -> t.stats.Stats.pool_misses <- t.stats.Stats.pool_misses + 1
   | `Eviction ->
-      t.stats.Stats.pool_evictions <- t.stats.Stats.pool_evictions + 1
+      t.stats.Stats.pool_evictions <- t.stats.Stats.pool_evictions + 1);
+  Mutex.unlock t.lock
 
 let meta t = t.meta
 

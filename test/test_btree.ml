@@ -48,6 +48,57 @@ let test_node_roundtrip () =
       Alcotest.(check (array int)) "children" [| 1; 2; 3 |] n.children
   | Leaf _ -> Alcotest.fail "expected internal"
 
+(* encode must refuse any field the u16 layout would silently truncate:
+   pre-guard, a 70000-byte suffix wrote nkeys-worth of garbage (low 16
+   bits only) and a 65535-byte inline value collided with the overflow
+   marker, both yielding well-formed-looking but wrong pages *)
+let test_encode_u16_guards () =
+  let open Btree.Node in
+  let expect_invalid what fn =
+    match fn () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: encode accepted a truncating field" what
+  in
+  let page_size = 1 lsl 18 in
+  let big_key = String.make 70_000 'k' in
+  expect_invalid "key suffix >= 65536" (fun () ->
+      encode ~front_coding:true ~page_size
+        (Leaf { lkeys = [| big_key |]; lvals = [| Inline "" |]; next = -1 }));
+  expect_invalid "separator suffix >= 65536" (fun () ->
+      encode ~front_coding:false ~page_size
+        (Internal { ikeys = [| big_key |]; children = [| 1; 2 |] }));
+  (* 0xFFFF is the overflow marker: the largest inline length is 65534 *)
+  expect_invalid "inline value = 65535" (fun () ->
+      encode ~front_coding:true ~page_size
+        (Leaf
+           {
+             lkeys = [| "k" |];
+             lvals = [| Inline (String.make 0xFFFF 'v') |];
+             next = -1;
+           }));
+  (* the boundary cases must still round-trip *)
+  let k = String.make 0xFFFF 'k' and v = String.make 0xFFFE 'v' in
+  match decode (encode ~front_coding:true ~page_size
+                  (Leaf { lkeys = [| k |]; lvals = [| Inline v |]; next = -1 }))
+  with
+  | Leaf l ->
+      Alcotest.(check bool) "max key round-trips" true (l.lkeys.(0) = k);
+      Alcotest.(check bool) "max inline round-trips" true (l.lvals.(0) = Inline v)
+  | Internal _ -> Alcotest.fail "expected leaf"
+
+(* the tree layer rejects oversized keys up front (and oversized values
+   are routed to overflow pages, never inlined) *)
+let test_tree_entry_guards () =
+  let t = mk ~page_size:4096 () in
+  (match Btree.insert t ~key:(String.make 70_000 'k') ~value:"" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "insert accepted a 70000-byte key");
+  (* a value at the marker boundary must come back intact via overflow *)
+  let v = String.make 0xFFFF 'v' in
+  Btree.insert t ~key:"big" ~value:v;
+  Alcotest.(check bool) "marker-length value survives" true
+    (Btree.find t "big" = Some v)
+
 let test_node_size_compression () =
   let open Btree.Node in
   let keys = Array.init 20 (fun i -> Printf.sprintf "common-prefix-%04d" i) in
@@ -494,6 +545,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_node_roundtrip;
           Alcotest.test_case "compression shrinks" `Quick test_node_size_compression;
+          Alcotest.test_case "encode u16 guards" `Quick test_encode_u16_guards;
+          Alcotest.test_case "tree entry guards" `Quick test_tree_entry_guards;
         ] );
       ( "operations",
         [

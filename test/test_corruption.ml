@@ -324,6 +324,39 @@ let test_pool_never_caches_corrupt_page () =
       Pager.close p)
 
 (* ------------------------------------------------------------------ *)
+(* attach/reattach over a damaged root: typed corruption, not a bare
+   decode error                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: [attach] walks the leftmost path to recover the tree
+   height, and used to decode those pages directly — a root page that no
+   longer parsed as a node escaped as [Invalid_argument] instead of
+   {!Err.Corruption}.  The damage is written through the pager, so its
+   checksums stay consistent and only the node layer can notice. *)
+let test_attach_corrupt_root () =
+  with_temp "uc_attach" (fun path ->
+      let page_size = 256 in
+      let root =
+        let p = Pager.create_file ~page_size path in
+        let t = Btree.create p in
+        for i = 0 to 99 do
+          Btree.insert t ~key:(Printf.sprintf "k%03d" i)
+            ~value:(string_of_int i)
+        done;
+        Btree.sync t;
+        let root = Btree.root t in
+        Pager.close p;
+        root
+      in
+      let p = Pager.open_file path in
+      Pager.write p root (Bytes.make page_size '\007');
+      expect_corruption ~component:"btree.node" ~page:root
+        "attach over mangled root" (fun () -> Btree.attach p ~root);
+      expect_corruption ~component:"btree.node" ~page:root
+        "reattach over mangled root" (fun () -> Btree.reattach p);
+      Pager.close p)
+
+(* ------------------------------------------------------------------ *)
 (* The headline property: randomized corruption never yields a silent
    wrong answer, and salvage restores the oracle                        *)
 (* ------------------------------------------------------------------ *)
@@ -501,6 +534,8 @@ let unit_suite =
       test_truncate_rejected_on_memory;
     Alcotest.test_case "pool never caches a corrupt page" `Quick
       test_pool_never_caches_corrupt_page;
+    Alcotest.test_case "attach over corrupt root" `Quick
+      test_attach_corrupt_root;
     Alcotest.test_case "verify accepts a healthy index" `Quick
       test_verify_clean;
   ]

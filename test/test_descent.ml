@@ -1,0 +1,414 @@
+(* The compare-in-place descent (DESIGN.md §13) against the decoding
+   reference implementation:
+
+   - node-level property tests proving [Node.leaf_search] and
+     [Node.child_in_place] agree with plain binary-search semantics over
+     the decoded node, across adversarial key shapes (dup-heavy shared
+     prefixes, prefix-of-each-other chains, long keys, front coding on
+     and off);
+   - a tree-level differential test proving fast and reference modes
+     return byte-identical answers AND issue identical page reads with
+     no cache attached;
+   - an allocation assertion: a warm-pool point lookup allocates
+     (almost) nothing on the minor heap;
+   - scanner-reuse and memo-bound regressions. *)
+
+let with_fast on f =
+  let old = Btree.fast_descent () in
+  Btree.set_fast_descent on;
+  Fun.protect ~finally:(fun () -> Btree.set_fast_descent old) f
+
+let mk ?(page_size = 256) ?max_entries ?(front_coding = true) () =
+  let pager = Storage.Pager.create ~page_size () in
+  let config =
+    { (Btree.default_config ~page_size) with max_entries; front_coding }
+  in
+  Btree.create ~config pager
+
+(* --- node-level: in-place search vs decoded reference --------------------- *)
+
+(* independent re-statement of the search semantics, over decoded keys *)
+let ref_lower_bound (keys : string array) probe =
+  let n = Array.length keys in
+  let i = ref 0 in
+  while !i < n && String.compare keys.(!i) probe < 0 do
+    incr i
+  done;
+  (!i, !i < n && keys.(!i) = probe)
+
+(* child [i] holds keys [k] with [ikeys.(i-1) <= k < ikeys.(i)]: an equal
+   separator sends the descent right *)
+let ref_child (n : Btree.Node.internal) probe =
+  let m = Array.length n.ikeys in
+  let i = ref 0 in
+  while !i < m && String.compare n.ikeys.(!i) probe <= 0 do
+    incr i
+  done;
+  n.children.(!i)
+
+(* adversarial key shapes: tiny alphabet (heavy shared prefixes), runs
+   padded to hundreds of bytes (long keys, large suffix_len), and mixed
+   printable tails *)
+let key_gen =
+  let open QCheck.Gen in
+  let small_char = map (fun i -> Char.chr (Char.code 'a' + i)) (int_bound 2) in
+  frequency
+    [
+      (5, string_size ~gen:small_char (int_range 1 8));
+      ( 2,
+        map2
+          (fun a b -> a ^ b)
+          (string_size ~gen:small_char (int_range 1 5))
+          (string_size ~gen:printable (int_range 0 6)) );
+      ( 1,
+        map2
+          (fun s n -> s ^ String.make n 'q')
+          (string_size ~gen:small_char (int_range 1 4))
+          (int_range 1 300) );
+    ]
+
+(* sorted unique keys, with the first key's whole prefix chain mixed in so
+   front coding produces maximal-prefix entries *)
+let keys_gen =
+  let open QCheck.Gen in
+  map
+    (fun ks ->
+      let ks = match ks with [] -> [ "k" ] | ks -> ks in
+      let chain =
+        match ks with
+        | k :: _ -> List.init (String.length k) (fun i -> String.sub k 0 (i + 1))
+        | [] -> []
+      in
+      Array.of_list (List.sort_uniq compare (chain @ ks)))
+    (list_size (int_range 1 40) key_gen)
+
+(* probes that land on, just before, just after, and inside every key *)
+let probes_of keys =
+  let mutate_last k delta =
+    let n = String.length k in
+    if n = 0 then k
+    else
+      String.mapi
+        (fun i c -> if i = n - 1 then Char.chr ((Char.code c + delta) land 0xFF) else c)
+        k
+  in
+  let per k =
+    [
+      k;
+      k ^ "\x00";
+      k ^ "zz";
+      (if String.length k > 1 then String.sub k 0 (String.length k - 1) else "");
+      mutate_last k 1;
+      mutate_last k (-1);
+    ]
+  in
+  "" :: String.make 310 'z' :: List.concat_map per (Array.to_list keys)
+
+let leaf_of keys =
+  let vals =
+    Array.mapi
+      (fun i k ->
+        if i mod 7 = 3 then
+          Btree.Node.Overflow { head = i + 2; length = 100_000 + i }
+        else Btree.Node.Inline (Printf.sprintf "v%d:%s" i k))
+      keys
+  in
+  Btree.Node.Leaf { lkeys = keys; lvals = vals; next = 42 }
+
+let prop_leaf_search_matches_decode =
+  QCheck.Test.make ~count:1000 ~name:"leaf_search = lower bound over decode"
+    QCheck.(make (Gen.pair keys_gen Gen.bool))
+    (fun (keys, front_coding) ->
+      let node = leaf_of keys in
+      let page_size = max 64 (Btree.Node.size ~front_coding node) in
+      let b = Btree.Node.encode ~front_coding ~page_size node in
+      let lvals =
+        match node with Btree.Node.Leaf l -> l.lvals | _ -> assert false
+      in
+      List.for_all
+        (fun probe ->
+          let r = Btree.Node.leaf_search b probe in
+          let i = Btree.Node.search_index r
+          and exact = Btree.Node.search_exact r in
+          let want_i, want_exact = ref_lower_bound keys probe in
+          if i <> want_i || exact <> want_exact then
+            QCheck.Test.fail_reportf
+              "probe %S over %d keys (fc=%b): got (%d,%b), want (%d,%b)" probe
+              (Array.length keys) front_coding i exact want_i want_exact;
+          (* the packed offset must point at the entry's payload *)
+          (if exact then
+             let v =
+               Btree.Node.leaf_value b
+                 (Btree.Node.leaf_payload_off b (Btree.Node.search_off r))
+             in
+             if v <> lvals.(i) then
+               QCheck.Test.fail_reportf "probe %S: payload at offset diverged"
+                 probe);
+          true)
+        (probes_of keys))
+
+let prop_child_matches_decode =
+  QCheck.Test.make ~count:1000 ~name:"child_in_place = child index over decode"
+    QCheck.(make (Gen.pair keys_gen Gen.bool))
+    (fun (keys, front_coding) ->
+      let children = Array.init (Array.length keys + 1) (fun i -> 100 + i) in
+      let node = Btree.Node.Internal { ikeys = keys; children } in
+      let page_size = max 64 (Btree.Node.size ~front_coding node) in
+      let b = Btree.Node.encode ~front_coding ~page_size node in
+      let dec =
+        match Btree.Node.decode b with
+        | Btree.Node.Internal n -> n
+        | Btree.Node.Leaf _ -> assert false
+      in
+      List.for_all
+        (fun probe ->
+          let got = Btree.Node.child_in_place b probe in
+          let want = ref_child dec probe in
+          if got <> want then
+            QCheck.Test.fail_reportf
+              "probe %S over %d separators (fc=%b): child %d, want %d" probe
+              (Array.length keys) front_coding got want;
+          true)
+        (probes_of keys))
+
+(* --- tree-level differential: answers and page reads ---------------------- *)
+
+(* keys with shared prefixes, a few hundred entries over many small pages,
+   a couple of overflow values *)
+let build_tree () =
+  let t = mk ~page_size:256 ~max_entries:4 () in
+  for i = 0 to 399 do
+    let key = Printf.sprintf "grp%d/item%04d" (i mod 5) i in
+    let value =
+      if i mod 97 = 0 then String.make 3000 (Char.chr (65 + (i mod 26)))
+      else Printf.sprintf "value-%d" i
+    in
+    Btree.insert t ~key ~value
+  done;
+  t
+
+let tree_probes =
+  List.init 450 (fun i -> Printf.sprintf "grp%d/item%04d" (i mod 7) i)
+
+let run_mode t fast =
+  with_fast fast @@ fun () ->
+  let stats = Storage.Pager.stats (Btree.pager t) in
+  Storage.Stats.reset stats;
+  let finds = List.map (fun k -> Btree.find t k) tree_probes in
+  let mems = List.map (fun k -> Btree.mem t k) tree_probes in
+  let sc = Btree.Scanner.create t ~read:(Btree.raw_read t) in
+  let scanned = ref [] in
+  let note = function
+    | None -> ()
+    | Some (e : Btree.entry) -> scanned := (e.key, e.value ()) :: !scanned
+  in
+  List.iteri
+    (fun i k ->
+      if i mod 3 = 0 then begin
+        note (Btree.Scanner.seek sc k);
+        for _ = 1 to 6 do
+          note (Btree.Scanner.next sc)
+        done
+      end)
+    tree_probes;
+  (* one full sweep through the leaf chain *)
+  note (Btree.Scanner.seek sc "");
+  let continue = ref true in
+  while !continue do
+    match Btree.Scanner.next sc with
+    | Some e -> scanned := (e.key, e.value ()) :: !scanned
+    | None -> continue := false
+  done;
+  (finds, mems, List.rev !scanned, stats.Storage.Stats.reads)
+
+let test_differential () =
+  let t = build_tree () in
+  let f_finds, f_mems, f_scanned, f_reads = run_mode t true in
+  let r_finds, r_mems, r_scanned, r_reads = run_mode t false in
+  Alcotest.(check (list (option string))) "find answers" r_finds f_finds;
+  Alcotest.(check (list bool)) "mem answers" r_mems f_mems;
+  Alcotest.(check (list (pair string string))) "scanned entries" r_scanned
+    f_scanned;
+  (* no cache anywhere: both modes must fetch exactly the same pages *)
+  Alcotest.(check int) "page reads identical" r_reads f_reads;
+  if f_reads = 0 then Alcotest.fail "differential run issued no reads"
+
+(* descents and node visits must also agree: the fast path reports the
+   paper's metrics identically *)
+let test_differential_metrics () =
+  let t = build_tree () in
+  let counters () =
+    ( Option.value ~default:0 (Obs.Metrics.find Obs.Metrics.default "btree.descents"),
+      Option.value ~default:0
+        (Obs.Metrics.find Obs.Metrics.default "btree.node_visits") )
+  in
+  let delta fast =
+    let d0, v0 = counters () in
+    ignore (run_mode t fast);
+    let d1, v1 = counters () in
+    (d1 - d0, v1 - v0)
+  in
+  let fd, fv = delta true in
+  let rd, rv = delta false in
+  Alcotest.(check int) "descents" rd fd;
+  Alcotest.(check int) "node visits" rv fv
+
+(* --- allocation: warm-pool point lookups -------------------------------- *)
+
+let test_warm_lookup_alloc () =
+  with_fast true @@ fun () ->
+  let page_size = 1024 in
+  let pager = Storage.Pager.create ~page_size () in
+  let pool = Storage.Buffer_pool.create ~capacity:512 pager in
+  let config = { (Btree.default_config ~page_size) with max_entries = Some 16 } in
+  let t = Btree.create ~config ~pool pager in
+  let n = 2000 in
+  let keys = Array.init n (fun i -> Printf.sprintf "warm/key%06d" (i * 3)) in
+  Array.iter (fun k -> Btree.insert t ~key:k ~value:"v") keys;
+  (* everything resident and MRU state settled *)
+  Array.iter (fun k -> ignore (Btree.mem t k)) keys;
+  let lookups = 1000 in
+  let w0 = Gc.minor_words () in
+  for i = 0 to lookups - 1 do
+    ignore (Btree.mem t (Array.unsafe_get keys (i * 7 mod n)))
+  done;
+  let per = (Gc.minor_words () -. w0) /. float_of_int lookups in
+  if per > 8. then
+    Alcotest.failf "warm point lookup allocates %.1f minor words (want ~0)" per
+
+(* --- scanner: memo bound and reuse --------------------------------------- *)
+
+(* reference mode memoizes internal nodes only, so a full iteration over a
+   many-leaf tree keeps the memo at O(height) — pre-fix it pinned every
+   decoded leaf *)
+let test_memo_bounded () =
+  with_fast false @@ fun () ->
+  let t = mk ~page_size:512 ~max_entries:4 () in
+  for i = 0 to 399 do
+    Btree.insert t ~key:(Printf.sprintf "%05d" i) ~value:""
+  done;
+  if Btree.leaf_count t < 50 then
+    Alcotest.failf "tree too shallow for the memo test: %d leaves"
+      (Btree.leaf_count t);
+  let bound = Btree.height t + 2 in
+  let sc = Btree.Scanner.create t ~read:(Btree.raw_read t) in
+  let worst = ref 0 in
+  let cur = ref (Btree.Scanner.seek sc "") in
+  let n = ref 0 in
+  while !cur <> None do
+    worst := max !worst (Btree.Scanner.memo_size sc);
+    incr n;
+    cur := Btree.Scanner.next sc
+  done;
+  Alcotest.(check int) "full iteration" 400 !n;
+  if !worst > bound then
+    Alcotest.failf "memo grew to %d decoded nodes during iteration (height %d)"
+      !worst (Btree.height t)
+
+(* fast mode memoizes raw internal pages (mirroring the reference memo,
+   and for the same reason: page-read parity on repeated seeks) but must
+   never retain leaves — the same O(height) bound applies *)
+let test_fast_memo_bounded () =
+  with_fast true @@ fun () ->
+  let t = mk ~page_size:512 ~max_entries:4 () in
+  for i = 0 to 399 do
+    Btree.insert t ~key:(Printf.sprintf "%05d" i) ~value:""
+  done;
+  let bound = Btree.height t + 2 in
+  let sc = Btree.Scanner.create t ~read:(Btree.raw_read t) in
+  let worst = ref 0 in
+  let cur = ref (Btree.Scanner.seek sc "") in
+  let n = ref 0 in
+  while !cur <> None do
+    worst := max !worst (Btree.Scanner.memo_size sc);
+    incr n;
+    cur := Btree.Scanner.next sc
+  done;
+  Alcotest.(check int) "full iteration" 400 !n;
+  if !worst > bound then
+    Alcotest.failf "fast memo grew to %d pages during iteration (height %d)"
+      !worst (Btree.height t)
+
+(* reset re-points an existing scanner at another tree (the Exec per-domain
+   cursor), and at the same tree after mutation *)
+let test_scanner_reset_reuse () =
+  let ta = mk ~max_entries:4 () in
+  let tb = mk ~max_entries:4 () in
+  for i = 0 to 49 do
+    Btree.insert ta ~key:(Printf.sprintf "a%03d" i) ~value:"A";
+    Btree.insert tb ~key:(Printf.sprintf "b%03d" i) ~value:"B"
+  done;
+  let sc = Btree.Scanner.create ta ~read:(Btree.raw_read ta) in
+  (match Btree.Scanner.seek sc "a" with
+  | Some e -> Alcotest.(check string) "tree A" "a000" e.Btree.key
+  | None -> Alcotest.fail "expected entry in tree A");
+  Btree.Scanner.reset sc tb ~read:(Btree.raw_read tb);
+  Alcotest.(check int) "memo cleared" 0 (Btree.Scanner.memo_size sc);
+  (match Btree.Scanner.seek sc "" with
+  | Some e -> Alcotest.(check string) "tree B" "b000" e.Btree.key
+  | None -> Alcotest.fail "expected entry in tree B");
+  (* mutation + reset: the cursor must observe the new entry *)
+  Btree.insert tb ~key:"b000a" ~value:"new";
+  Btree.Scanner.reset sc tb ~read:(Btree.raw_read tb);
+  (match Btree.Scanner.seek sc "b000a" with
+  | Some e ->
+      Alcotest.(check string) "new key" "b000a" e.Btree.key;
+      Alcotest.(check string) "new value" "new" (e.Btree.value ())
+  | None -> Alcotest.fail "reset scanner missed the new entry")
+
+(* both scanner modes agree after reset swaps trees mid-life *)
+let test_scanner_reset_differential () =
+  let run fast =
+    with_fast fast @@ fun () ->
+    let ta = mk ~max_entries:4 () in
+    let tb = mk ~max_entries:5 () in
+    for i = 0 to 99 do
+      Btree.insert ta ~key:(Printf.sprintf "k%04d" (2 * i)) ~value:"a";
+      Btree.insert tb ~key:(Printf.sprintf "k%04d" ((2 * i) + 1)) ~value:"b"
+    done;
+    let sc = Btree.Scanner.create ta ~read:(Btree.raw_read ta) in
+    let out = ref [] in
+    let burst t key =
+      Btree.Scanner.reset sc t ~read:(Btree.raw_read t);
+      (match Btree.Scanner.seek sc key with
+      | Some e -> out := e.Btree.key :: !out
+      | None -> ());
+      for _ = 1 to 4 do
+        match Btree.Scanner.next sc with
+        | Some e -> out := e.Btree.key :: !out
+        | None -> ()
+      done
+    in
+    burst ta "k0050";
+    burst tb "k0050";
+    burst ta "k0199";
+    burst tb "zzz";
+    List.rev !out
+  in
+  Alcotest.(check (list string)) "reset bursts agree" (run false) (run true)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_leaf_search_matches_decode; prop_child_matches_decode ]
+
+let () =
+  Alcotest.run "descent"
+    [
+      ("in-place search", qsuite);
+      ( "differential",
+        [
+          Alcotest.test_case "answers and page reads" `Quick test_differential;
+          Alcotest.test_case "descent metrics" `Quick test_differential_metrics;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "warm point lookup" `Quick test_warm_lookup_alloc ] );
+      ( "scanner",
+        [
+          Alcotest.test_case "memo stays O(height)" `Quick test_memo_bounded;
+          Alcotest.test_case "fast memo stays O(height)" `Quick
+            test_fast_memo_bounded;
+          Alcotest.test_case "reset and reuse" `Quick test_scanner_reset_reuse;
+          Alcotest.test_case "reset differential" `Quick
+            test_scanner_reset_differential;
+        ] );
+    ]
