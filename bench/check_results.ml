@@ -378,6 +378,81 @@ let check_descent_fastpath path j ~serve_digest =
       al_fast al_ref;
   (al_fast, al_ref)
 
+(* The chaos_resilience section gates the fault-tolerant serving story.
+   Correctness: both rows' digests must equal serve_throughput's — every
+   reply the retrying client accepted as a success was byte-identical to
+   the fault-free answer, storm or no storm.  Robustness: the "on" row
+   must show the storm actually happened (faults > 0) and that retries
+   carried requests through it (retries > 0, success rate >= 90%); the
+   "off" row must be perfect (success rate 1.0, zero faults) — a clean
+   server that drops requests is a server bug, not chaos. *)
+let check_chaos_resilience path j ~serve_digest =
+  let rows =
+    match get path "chaos_resilience" j with
+    | Obs.Json.List (_ :: _ as rows) -> rows
+    | Obs.Json.List [] -> fail "%s: chaos_resilience is empty" path
+    | _ -> fail "%s: chaos_resilience is not a list" path
+  in
+  let num name row =
+    match Obs.Json.member name row with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> fail "%s: chaos_resilience.%s not a number" path name
+  in
+  let find mode =
+    match
+      List.find_opt
+        (fun row ->
+          Obs.Json.(member "mode" row |> Option.map to_str)
+          = Some (Some mode))
+        rows
+    with
+    | Some row -> row
+    | None -> fail "%s: chaos_resilience has no %S row" path mode
+  in
+  let off = find "off" and on_ = find "on" in
+  let digest row =
+    match Obs.Json.(member "digest" row |> Option.map to_str) with
+    | Some (Some d) -> d
+    | _ -> fail "%s: chaos_resilience row missing digest" path
+  in
+  let d_off = digest off and d_on = digest on_ in
+  if d_on <> d_off then
+    fail
+      "chaos_resilience: chaos changed accepted reply bytes (digest %s on, \
+       %s off) — a corrupted answer slipped past the client"
+      d_on d_off;
+  (match serve_digest with
+  | Some d when d <> d_off ->
+      fail
+        "chaos_resilience: digest %s differs from serve_throughput's %s — \
+         the sections no longer run the same query mix"
+        d_off d
+  | _ -> ());
+  if num "success_rate" off < 1.0 then
+    fail
+      "chaos_resilience: fault-free success rate %.3f < 1.0 — the server \
+       drops requests without chaos"
+      (num "success_rate" off);
+  if num "faults" off > 0. then
+    fail "chaos_resilience: %.0f faults injected with chaos off"
+      (num "faults" off);
+  let faults = num "faults" on_ and retries = num "retries" on_ in
+  if faults <= 0. then
+    fail "chaos_resilience: the storm never happened (0 faults injected)";
+  if retries <= 0. then
+    fail
+      "chaos_resilience: %.0f faults injected but the client never retried \
+       — the retry layer is not engaging"
+      faults;
+  let rate = num "success_rate" on_ in
+  if rate < 0.9 then
+    fail
+      "chaos_resilience: success rate %.3f under chaos (threshold 0.9, %.0f \
+       faults) — retries are not carrying requests through the storm"
+      rate faults;
+  (rate, faults, retries)
+
 (* The bulk_load section: a 100k-entry bottom-up build must produce a
    tree identical to entry-at-a-time insertion, beat it in wall-clock,
    and pack pages at least as densely. *)
@@ -459,6 +534,9 @@ let () =
   let n_mx = check_serve_mixed results_path r in
   let tel_pct = check_telemetry results_path r ~serve_digest in
   let al_fast, al_ref = check_descent_fastpath results_path r ~serve_digest in
+  let cr_rate, cr_faults, cr_retries =
+    check_chaos_resilience results_path r ~serve_digest
+  in
   let n_bl = check_bulk_load results_path r in
   Printf.printf
     "check_results: %d table1 rows match %s; %d cache A/B rows warm<=cold \
@@ -466,6 +544,8 @@ let () =
      digest-identical with 4>=1 scaling; %d mixed rows digest-identical \
      with <1 fsync/commit at >=4 writers; telemetry digest-identical at \
      %+.1f%% p50; fast descent digest-identical at %.0f alloc words p50 \
-     (reference %.0f); bulk load of %d entries identical and faster\n"
+     (reference %.0f); chaos digest-identical at %.1f%% success through \
+     %.0f faults and %.0f retries; bulk load of %d entries identical and \
+     faster\n"
     (List.length want) expected_path n_ab n_ck n_sv n_mx tel_pct al_fast al_ref
-    n_bl
+    (100. *. cr_rate) cr_faults cr_retries n_bl

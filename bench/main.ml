@@ -1020,7 +1020,7 @@ let run_serve_throughput (e : Dg.exp1) =
     let path = Filename.concat dir (Printf.sprintf "srv%d.sock" threads) in
     let config =
       {
-        Server.addr = Server.Unix_sock path;
+        (Server.default_config (Server.Unix_sock path)) with
         workers = threads;
         backlog = 64;
         request_timeout = 30.;
@@ -1185,7 +1185,7 @@ let run_serve_mixed (e : Dg.exp1) =
     let path = Filename.concat dir (Printf.sprintf "mix%d.sock" threads) in
     let config =
       {
-        Server.addr = Server.Unix_sock path;
+        (Server.default_config (Server.Unix_sock path)) with
         workers = threads;
         backlog = 64;
         request_timeout = 30.;
@@ -1524,6 +1524,139 @@ let run_descent_fastpath (e : Dg.exp1) =
     rows;
   rows
 
+(* --- chaos resilience --------------------------------------------------------- *)
+
+(* The serve_throughput mix fired through the retrying client at a
+   chaos-armed server: connection resets, truncated replies, injected
+   delays, slow-loris reads and worker crashes.  check_results gates the
+   story: both rows' digests must equal serve_throughput's
+   (byte-identical answers survive the storm), the chaos row must have
+   actually injected faults and spent retries, and its success rate must
+   stay above threshold — availability through retries, not luck. *)
+type chaos_row = {
+  cr_mode : string; (* "off" | "on" *)
+  cr_queries : int;
+  cr_ok : int; (* replies byte-identical to the fault-free answer *)
+  cr_typed_errors : int; (* conclusive typed error replies *)
+  cr_failed : int; (* retry exhaustion *)
+  cr_retries : int;
+  cr_faults : int; (* chaos.* injections during the run *)
+  cr_worker_restarts : int;
+  cr_success_rate : float;
+  cr_digest : string; (* digest of one canonical reply cycle *)
+}
+
+let run_chaos_resilience (e : Dg.exp1) =
+  section "Chaos resilience: retrying client vs fault-injected server";
+  let module Db = Uindex.Db in
+  let module Server = Uindex_server.Server in
+  let module Service = Uindex_server.Service in
+  let module Client = Uindex_server.Client in
+  let module Chaos = Uindex_server.Chaos in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  Db.attach_index db e.path_age;
+  let svc = Service.create ~schema:e.ext.b.schema db in
+  let mix =
+    [|
+      "query (Red, Bus*)";
+      "query (White, Vehicle*)";
+      "query-forward (Red, Bus*)";
+      "query ([50-60], Employee*, Company*, Vehicle*)";
+    |]
+  in
+  (* the fault-free answers, straight from the service *)
+  let expected = Array.map (fun l -> Service.serve_line svc l) mix in
+  let total = if quick then 240 else 480 in
+  let dir = Filename.temp_file "uindex_bench_chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let one_run mode chaos =
+    let path = Filename.concat dir (Printf.sprintf "chaos_%s.sock" mode) in
+    let config =
+      {
+        (Server.default_config (Server.Unix_sock path)) with
+        workers = 2;
+        backlog = 64;
+        request_timeout = 5.;
+        chaos = Option.map Chaos.arm chaos;
+        restart_budget = 100_000;
+      }
+    in
+    let faults0 = metric "chaos.faults" in
+    let restarts0 = metric "server.worker_restarts" in
+    let server = Server.start svc config in
+    let ok = ref 0 and typed = ref 0 and failed = ref 0 in
+    let policy =
+      {
+        Client.attempts = 10;
+        base_delay = 0.002;
+        max_delay = 0.05;
+        jitter = 0.5;
+        retry_seed = 42;
+      }
+    in
+    let r = Client.retrying ~timeout:5. ~policy path in
+    Fun.protect
+      ~finally:(fun () ->
+        Client.retry_close r;
+        Server.stop server)
+    @@ fun () ->
+    for i = 0 to total - 1 do
+      let j = i mod Array.length mix in
+      match Client.retry_request_raw r mix.(j) with
+      | raw ->
+          if raw = expected.(j) then incr ok
+          else begin
+            (* the injector never mutates bytes, so anything else must
+               be a typed error document *)
+            (match Obs.Json.of_string raw with
+            | exception _ -> failwith "chaos_resilience: unparseable reply"
+            | resp ->
+                if Uindex_server.Protocol.response_is_ok resp then
+                  failwith "chaos_resilience: silent wrong answer");
+            incr typed
+          end
+      | exception Client.Error (Client.Exhausted _) -> incr failed
+    done;
+    {
+      cr_mode = mode;
+      cr_queries = total;
+      cr_ok = !ok;
+      cr_typed_errors = !typed;
+      cr_failed = !failed;
+      cr_retries = Client.retry_count r;
+      cr_faults = metric "chaos.faults" - faults0;
+      cr_worker_restarts = metric "server.worker_restarts" - restarts0;
+      cr_success_rate = float_of_int !ok /. float_of_int total;
+      cr_digest = Digest.string (String.concat "\n" (Array.to_list expected));
+    }
+  in
+  let storm =
+    {
+      Chaos.seed = 42;
+      reset = 0.05;
+      partial = 0.05;
+      truncate = 0.02;
+      delay = 0.10;
+      slow_read = 0.05;
+      crash = 0.03;
+      delay_ms = 1.;
+    }
+  in
+  let rows = [ one_run "off" None; one_run "on" (Some storm) ] in
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  List.iter
+    (fun r ->
+      Printf.printf
+        "chaos %-3s: %d/%d ok (%.1f%%)  %d typed errors  %d failed  %d \
+         retries  %d faults  %d respawns  digest %s\n"
+        r.cr_mode r.cr_ok r.cr_queries (100. *. r.cr_success_rate)
+        r.cr_typed_errors r.cr_failed r.cr_retries r.cr_faults
+        r.cr_worker_restarts (Digest.to_hex r.cr_digest))
+    rows;
+  rows
+
 (* --- bulk load vs incremental build ------------------------------------------ *)
 
 (* Builds the same 100k-entry tree twice — bottom-up bulk load vs
@@ -1599,7 +1732,7 @@ let json_path =
     (Sys.getenv_opt "UINDEX_BENCH_JSON")
 
 let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
-    ~telemetry ~descent ~bulk =
+    ~telemetry ~descent ~chaos ~bulk =
   let open Obs.Json in
   let row (r : Ex.t1_row) =
     Obj
@@ -1688,6 +1821,21 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
         ("digest", Str (Digest.to_hex r.ds_digest));
       ]
   in
+  let cr_row r =
+    Obj
+      [
+        ("mode", Str r.cr_mode);
+        ("queries", Int r.cr_queries);
+        ("ok", Int r.cr_ok);
+        ("typed_errors", Int r.cr_typed_errors);
+        ("failed", Int r.cr_failed);
+        ("retries", Int r.cr_retries);
+        ("faults", Int r.cr_faults);
+        ("worker_restarts", Int r.cr_worker_restarts);
+        ("success_rate", Float r.cr_success_rate);
+        ("digest", Str (Digest.to_hex r.cr_digest));
+      ]
+  in
   let bulk_obj =
     Obj
       [
@@ -1702,7 +1850,7 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
   let j =
     Obj
       [
-        ("schema_version", Int 7);
+        ("schema_version", Int 8);
         ("quick", Bool quick);
         ("reps", Int reps);
         ("objects", Int n_objects);
@@ -1718,6 +1866,7 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
         ("serve_mixed", List (List.map mx_row mixed));
         ("telemetry_overhead", List (List.map tel_row telemetry));
         ("descent_fastpath", List (List.map ds_row descent));
+        ("chaos_resilience", List (List.map cr_row chaos));
         ("bulk_load", bulk_obj);
         ("metrics", Obs.Metrics.to_json Obs.Metrics.default);
       ]
@@ -1756,8 +1905,11 @@ let () =
   (* same store-unmutated constraint: both descent digests are gated
      against serve_throughput's *)
   let descent = run_descent_fastpath e1 in
+  (* chaos replays the same mix, so the store must still be unmutated:
+     its digests are gated against serve_throughput's *)
+  let chaos = run_chaos_resilience e1 in
   let bulk = run_bulk_load () in
   (* last: its writers mutate e1's store *)
   let mixed = run_serve_mixed e1 in
   write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
-    ~telemetry ~descent ~bulk
+    ~telemetry ~descent ~chaos ~bulk

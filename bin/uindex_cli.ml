@@ -391,14 +391,25 @@ let connect_or_die spec =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match Uindex_server.Client.connect_spec spec with
   | c -> c
-  | exception Unix.Unix_error (err, _, _) ->
+  | exception Uindex_server.Client.Error f ->
       Printf.eprintf "uindex-cli: cannot connect to %s: %s\n" spec
-        (Unix.error_message err);
+        (Uindex_server.Client.failure_to_string f);
+      exit 1
+
+(* a server that dies (or a chaos injector that cuts the connection)
+   mid-scrape is an error message and exit 1, not a backtrace *)
+let request_or_die f =
+  match f () with
+  | v -> v
+  | exception Uindex_server.Client.Error fl ->
+      Printf.eprintf "uindex-cli: server request failed: %s\n"
+        (Uindex_server.Client.failure_to_string fl);
       exit 1
 
 let stats_remote spec json monotone_since =
   let module Client = Uindex_server.Client in
   let c = connect_or_die spec in
+  request_or_die @@ fun () ->
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let s = Client.stats c in
   let h = Client.health c in
@@ -1045,6 +1056,8 @@ let shootout_cmd =
 module Server = Uindex_server.Server
 module Service = Uindex_server.Service
 module Client = Uindex_server.Client
+module Chaos = Uindex_server.Chaos
+module Scrub = Uindex_server.Scrub
 
 let addr_args =
   let socket =
@@ -1080,10 +1093,21 @@ let addr_args =
   in
   Term.(const combine $ socket $ tcp)
 
+let parse_chaos_or_die = function
+  | None -> None
+  | Some spec -> (
+      match Chaos.parse spec with
+      | Ok s -> Some (Chaos.arm s)
+      | Error msg ->
+          Printf.eprintf "uindex-cli: %s\n" msg;
+          exit 1)
+
 let serve_cmd =
   let run n_vehicles seed addr workers backlog timeout file churn group_window
-      slow_ms slow_log trace_sample no_tracing no_fast =
+      slow_ms slow_log trace_sample no_tracing no_fast chaos_spec scrub_every
+      restart_budget =
     if no_fast then Btree.set_fast_descent false;
+    let chaos = parse_chaos_or_die chaos_spec in
     let e = Dg.exp1 ~n_vehicles ~seed () in
     let b = e.ext.b in
     let db = Uindex.Db.create e.store in
@@ -1120,8 +1144,16 @@ let serve_cmd =
     in
     let svc = Service.create ~telemetry ~schema:b.schema db in
     let config = { (Server.default_config addr) with workers; backlog;
-                   request_timeout = timeout } in
+                   request_timeout = timeout; chaos; restart_budget } in
     let server = Server.start svc config in
+    let scrub =
+      if scrub_every > 0. then
+        Some
+          (Scrub.start
+             ~config:{ Scrub.default_config with every = scrub_every }
+             db)
+      else None
+    in
     let stop = Atomic.make false in
     let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
     Sys.set_signal Sys.sigterm on_signal;
@@ -1157,6 +1189,7 @@ let serve_cmd =
     Atomic.set churn_stop true;
     let commits = List.fold_left (fun a d -> a + Domain.join d) 0 churners in
     if churn > 0 then Printf.printf "churn writers committed %d times\n" commits;
+    Option.iter Scrub.stop scrub;
     Server.stop server;
     (* SIGTERM drain dumps the slow-query log so the slowest requests of
        the run survive the process (stderr keeps stdout scriptable) *)
@@ -1247,6 +1280,37 @@ let serve_cmd =
              the slow-query log stay on; slow entries just carry no \
              span).")
   in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Arm the seeded fault injector on every connection.  \
+             $(docv) is comma-separated key=value pairs: $(b,seed=N), \
+             probabilities $(b,reset), $(b,partial), $(b,truncate), \
+             $(b,delay), $(b,slow-read), $(b,crash) in [0,1], and \
+             $(b,delay-ms=MS).  Example: \
+             seed=7,reset=0.05,partial=0.1,delay=0.2,delay-ms=3.")
+  in
+  let scrub_every =
+    Arg.(
+      value & opt float 0.
+      & info [ "scrub-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Run the online background scrub this often: each pass \
+             re-verifies every serving index against a pinned snapshot \
+             (IO-throttled) and quarantines any damage it finds.  0 \
+             disables the scrub.")
+  in
+  let restart_budget =
+    Arg.(
+      value & opt int 8
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:
+            "Worker/acceptor domain respawns the in-process supervisor \
+             may perform before letting capacity degrade.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1258,42 +1322,70 @@ let serve_cmd =
     Term.(
       const run $ n $ seed $ addr_args $ workers $ backlog $ timeout $ file
       $ churn $ group_window $ slow_ms $ slow_log $ trace_sample
-      $ no_tracing $ no_fast_descent_arg)
+      $ no_tracing $ no_fast_descent_arg $ chaos $ scrub_every
+      $ restart_budget)
 
 let client_cmd =
-  let run addr requests =
+  let run addr requests retry timeout retry_seed =
     (* a server that vanishes mid-request should be an error message,
        not a SIGPIPE death *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let c =
-      match
-        match addr with
-        | Server.Unix_sock path -> Client.connect_unix path
-        | Server.Tcp (host, port) -> Client.connect_tcp host port
-      with
-      | c -> c
-      | exception Unix.Unix_error (err, _, _) ->
-          Printf.eprintf "uindex-cli: cannot connect: %s\n"
-            (Unix.error_message err);
-          exit 1
-    in
     let failures = ref 0 in
-    Fun.protect
-      ~finally:(fun () -> Client.close c)
-      (fun () ->
-        List.iter
-          (fun line ->
-            match Client.request_raw c line with
-            | raw ->
-                print_endline raw;
-                (match Obs.Json.of_string raw with
-                | j when Uindex_server.Protocol.response_is_ok j -> ()
-                | _ -> incr failures
-                | exception Obs.Json.Parse_error _ -> incr failures)
-            | exception Client.Closed_by_server ->
-                print_endline "(connection closed by server)";
-                incr failures)
-          requests);
+    let note_reply raw =
+      print_endline raw;
+      match Obs.Json.of_string raw with
+      | j when Uindex_server.Protocol.response_is_ok j -> ()
+      | _ -> incr failures
+      | exception Obs.Json.Parse_error _ -> incr failures
+    in
+    let sockaddr =
+      match addr with
+      | Server.Unix_sock path -> Unix.ADDR_UNIX path
+      | Server.Tcp (host, port) ->
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+    in
+    (if retry > 0 then begin
+       (* reconnecting path: transport failures and retryable replies
+          are retried with seeded backoff; typed errors print and count *)
+       let policy =
+         { Client.default_retry_policy with attempts = retry; retry_seed }
+       in
+       let r = Client.retrying_addr ~timeout ~policy sockaddr in
+       Fun.protect
+         ~finally:(fun () -> Client.retry_close r)
+         (fun () ->
+           List.iter
+             (fun line ->
+               match Client.retry_request_raw r line with
+               | raw -> note_reply raw
+               | exception Client.Error f ->
+                   Printf.printf "(request failed: %s)\n"
+                     (Client.failure_to_string f);
+                   incr failures)
+             requests)
+     end
+     else begin
+       let c =
+         match Client.connect_addr ~timeout sockaddr with
+         | c -> c
+         | exception Client.Error f ->
+             Printf.eprintf "uindex-cli: cannot connect: %s\n"
+               (Client.failure_to_string f);
+             exit 1
+       in
+       Fun.protect
+         ~finally:(fun () -> Client.close c)
+         (fun () ->
+           List.iter
+             (fun line ->
+               match Client.request_raw c line with
+               | raw -> note_reply raw
+               | exception Client.Error f ->
+                   Printf.printf "(request failed: %s)\n"
+                     (Client.failure_to_string f);
+                   incr failures)
+             requests)
+     end);
     if !failures > 0 then exit 1
   in
   let requests =
@@ -1305,18 +1397,224 @@ let client_cmd =
              <q>), $(b,query-forward <q>) with $(i,<q>) in the paper's \
              syntax.")
   in
+  let retry =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"ATTEMPTS"
+          ~doc:
+            "Retry each request up to $(docv) times total with seeded \
+             exponential backoff, reconnecting after transport failures \
+             and $(b,overloaded)/$(b,timeout) replies.  0 sends each \
+             request exactly once.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Socket read/write deadline — a stalled server surfaces as \
+             a typed timeout instead of a hang.  0 disables.")
+  in
+  let retry_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "retry-seed" ] ~docv:"N"
+          ~doc:"Seed for the backoff jitter stream (runs are replayable).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send request lines to a running $(b,serve) instance and print \
           each raw JSON reply.  Exits 1 if any reply is not ok.")
-    Term.(const run $ addr_args $ requests)
+    Term.(const run $ addr_args $ requests $ retry $ timeout $ retry_seed)
+
+(* --- supervise: crash -> recover -> re-serve, automatically ----------------- *)
+
+let supervise_cmd =
+  let run file n seed socket tcp workers chaos scrub_every churn group_window
+      timeout max_restarts =
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf "uindex-cli: no such file: %s\n" file;
+      exit 1
+    end;
+    (* validate the chaos spec here, before a child ever sees it *)
+    ignore (parse_chaos_or_die chaos);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let stop = ref false in
+    let child = ref None in
+    let on_signal =
+      Sys.Signal_handle
+        (fun _ ->
+          stop := true;
+          (* forward the shutdown so the child drains gracefully *)
+          match !child with
+          | Some pid -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+          | None -> ())
+    in
+    Sys.set_signal Sys.sigterm on_signal;
+    Sys.set_signal Sys.sigint on_signal;
+    let argv =
+      Array.of_list
+        ([
+           Sys.executable_name; "serve"; "--file"; file;
+           "-n"; string_of_int n;
+           "--seed"; string_of_int seed;
+           "--workers"; string_of_int workers;
+           "--group-window"; Printf.sprintf "%g" group_window;
+           "--timeout"; Printf.sprintf "%g" timeout;
+         ]
+        @ (match tcp with
+          | Some spec -> [ "--tcp"; spec ]
+          | None -> [ "--socket"; socket ])
+        @ (match chaos with Some c -> [ "--chaos"; c ] | None -> [])
+        @ (if scrub_every > 0. then
+             [ "--scrub-every"; Printf.sprintf "%g" scrub_every ]
+           else [])
+        @ (if churn > 0 then [ "--churn"; string_of_int churn ] else []))
+    in
+    let rec waitpid pid =
+      match Unix.waitpid [] pid with
+      | _, status -> status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid pid
+    in
+    let recover_file () =
+      match Storage.Pager.recover_status file with
+      | Storage.Pager.Replayed ->
+          print_endline "supervise: recover replayed a committed journal"
+      | Storage.Pager.No_journal ->
+          print_endline "supervise: recover found the file consistent"
+      | Storage.Pager.Discarded_torn ->
+          print_endline
+            "supervise: recover discarded a torn commit (last committed \
+             state restored)"
+      | exception Storage.Storage_error.Corruption { detail; _ } ->
+          Printf.eprintf "uindex-cli: supervise: %s is corrupt: %s\n" file
+            detail;
+          exit 2
+    in
+    let restarts = ref 0 in
+    let rec loop () =
+      Printf.printf "supervise: starting server (restart %d/%d)\n%!"
+        !restarts max_restarts;
+      let pid =
+        Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout
+          Unix.stderr
+      in
+      child := Some pid;
+      let status = waitpid pid in
+      child := None;
+      match status with
+      | Unix.WEXITED 0 -> print_endline "supervise: server exited cleanly"
+      | status ->
+          let describe =
+            match status with
+            | Unix.WEXITED n -> Printf.sprintf "exit code %d" n
+            | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+          in
+          Printf.eprintf "supervise: server died (%s)\n%!" describe;
+          if !stop then ()
+          else begin
+            (* crash exit: recover the page file, then re-serve — this
+               is the process-level tier of the supervision story *)
+            recover_file ();
+            if !restarts >= max_restarts then begin
+              Printf.eprintf
+                "uindex-cli: supervise: restart budget (%d) exhausted\n"
+                max_restarts;
+              exit 1
+            end;
+            incr restarts;
+            Unix.sleepf 0.2;
+            loop ()
+          end
+    in
+    loop ()
+  in
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Page file the supervised server serves (and recovers).")
+  in
+  let n =
+    Arg.(value & opt int 12_000 & info [ "n" ] ~doc:"Number of vehicles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let socket =
+    Arg.(
+      value
+      & opt string "uindex.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path (ignored with $(b,--tcp)).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen on TCP instead.")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker domains.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:"Forwarded to $(b,serve --chaos).")
+  in
+  let scrub_every =
+    Arg.(
+      value & opt float 0.
+      & info [ "scrub-every" ] ~docv:"SECONDS"
+          ~doc:"Forwarded to $(b,serve --scrub-every).")
+  in
+  let churn =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ] ~docv:"N" ~doc:"Forwarded to $(b,serve --churn).")
+  in
+  let group_window =
+    Arg.(
+      value & opt float 0.002
+      & info [ "group-window" ] ~docv:"SECONDS"
+          ~doc:"Forwarded to $(b,serve --group-window).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Forwarded to $(b,serve --timeout).")
+  in
+  let max_restarts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Crash restarts before giving up (a crash loop should page \
+             someone, not spin).")
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Run $(b,serve) as a supervised child process: on a crash exit \
+          (a signal or a non-zero status), run journal recovery on the \
+          page file and start a fresh server, up to $(b,--max-restarts) \
+          times.  SIGTERM/SIGINT forward to the child for a graceful \
+          drain.  Exits 2 if the recovered file is corrupt, 1 when the \
+          restart budget is exhausted.")
+    Term.(
+      const run $ file $ n $ seed $ socket $ tcp $ workers $ chaos
+      $ scrub_every $ churn $ group_window $ timeout $ max_restarts)
 
 (* --- top: a refreshing live dashboard over the admin protocol -------------- *)
 
 let top_cmd =
   let run spec interval iterations raw =
     let c = connect_or_die spec in
+    request_or_die @@ fun () ->
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
     let prev = ref None in
     let tick = ref 0 in
@@ -1457,5 +1755,6 @@ let () =
             shootout_cmd;
             serve_cmd;
             client_cmd;
+            supervise_cmd;
             top_cmd;
           ]))

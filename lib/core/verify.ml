@@ -32,7 +32,7 @@ let rec diff_sorted a b =
       else if c < 0 then x :: diff_sorted a' b
       else diff_sorted a b'
 
-let check ?store idx =
+let check ?(throttle = fun (_ : int) -> ()) ?store idx =
   let tree = Index.tree idx in
   let pager = Btree.pager tree in
   let enc = Index.encoding idx in
@@ -79,12 +79,16 @@ let check ?store idx =
         source;
       None
     end
-    else
+    else begin
+      (* the scrub's pacing point: one callback per page read, before
+         the read, so a sleeping throttle spreads the IO out *)
+      throttle id;
       match Pager.read pager id with
       | b -> Some b
       | exception e ->
           record_exn "verify.reachability" e;
           None
+    end
   in
   let rec walk_node id ~source =
     if claim id `Node ~source then

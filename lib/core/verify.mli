@@ -40,9 +40,12 @@ type report = {
   issues : issue list;  (** at most 1000 retained; [ok] reflects all *)
 }
 
-val check : ?store:Store.t -> Index.t -> report
+val check : ?throttle:(int -> unit) -> ?store:Store.t -> Index.t -> report
 (** Run all verification passes.  [?store] enables the store
-    cross-reference pass. *)
+    cross-reference pass.  [?throttle] is called with each page id just
+    before the reachability walk reads it — the online scrub sleeps
+    inside it to spread verification IO out over time, and it doubles
+    as a page-visit observer. *)
 
 val salvage :
   ?config:Btree.config ->

@@ -1,0 +1,267 @@
+let src = Logs.Src.create "uindex.chaos" ~doc:"network fault injection"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Metrics = Obs.Metrics
+
+let c_resets =
+  Metrics.counter ~subsystem:"chaos" ~help:"connections reset before a reply"
+    "resets"
+
+let c_partials =
+  Metrics.counter ~subsystem:"chaos"
+    ~help:"replies cut short mid-payload" "partial_writes"
+
+let c_truncates =
+  Metrics.counter ~subsystem:"chaos"
+    ~help:"replies cut short inside the length header" "truncated_writes"
+
+let c_delays =
+  Metrics.counter ~subsystem:"chaos" ~help:"injected pauses" "delays"
+
+let c_slow_reads =
+  Metrics.counter ~subsystem:"chaos"
+    ~help:"requests consumed byte-at-a-time" "slow_reads"
+
+let c_crashes =
+  Metrics.counter ~subsystem:"chaos"
+    ~help:"deliberate worker-domain crashes" "crashes"
+
+let c_faults =
+  Metrics.counter ~subsystem:"chaos" ~help:"all injected faults" "faults"
+
+(* --- seeded RNG -------------------------------------------------------- *)
+
+module Rng = struct
+  (* splitmix64: the same stream the workload generator uses, inlined so
+     the server library carries no workload dependency *)
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let float t =
+    (* top 53 bits -> [0, 1) *)
+    Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Chaos.Rng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+                    (Int64.of_int bound))
+end
+
+(* --- spec -------------------------------------------------------------- *)
+
+type spec = {
+  seed : int;
+  reset : float;
+  partial : float;
+  truncate : float;
+  delay : float;
+  slow_read : float;
+  crash : float;
+  delay_ms : float;
+}
+
+let none =
+  {
+    seed = 0;
+    reset = 0.;
+    partial = 0.;
+    truncate = 0.;
+    delay = 0.;
+    slow_read = 0.;
+    crash = 0.;
+    delay_ms = 2.;
+  }
+
+let parse s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parts =
+    List.filter (fun p -> p <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  let rec go spec = function
+    | [] -> Ok spec
+    | kv :: tl -> (
+        match String.index_opt kv '=' with
+        | None -> err "chaos spec: %S is not key=value" kv
+        | Some i -> (
+            let key = String.sub kv 0 i
+            and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let prob k =
+              match float_of_string_opt v with
+              | Some p when p >= 0. && p <= 1. -> Ok (k p)
+              | _ -> err "chaos spec: %s wants a probability in [0,1], got %S"
+                       key v
+            in
+            let next =
+              match key with
+              | "seed" -> (
+                  match int_of_string_opt v with
+                  | Some n -> Ok { spec with seed = n }
+                  | None -> err "chaos spec: seed wants an integer, got %S" v)
+              | "delay-ms" -> (
+                  match float_of_string_opt v with
+                  | Some ms when ms >= 0. -> Ok { spec with delay_ms = ms }
+                  | _ ->
+                      err "chaos spec: delay-ms wants milliseconds >= 0, got %S"
+                        v)
+              | "reset" -> prob (fun p -> { spec with reset = p })
+              | "partial" -> prob (fun p -> { spec with partial = p })
+              | "truncate" -> prob (fun p -> { spec with truncate = p })
+              | "delay" -> prob (fun p -> { spec with delay = p })
+              | "slow-read" -> prob (fun p -> { spec with slow_read = p })
+              | "crash" -> prob (fun p -> { spec with crash = p })
+              | k -> err "chaos spec: unknown key %S" k
+            in
+            match next with Ok spec -> go spec tl | Error _ as e -> e))
+  in
+  go none parts
+
+let spec_to_string s =
+  Printf.sprintf
+    "seed=%d,reset=%g,partial=%g,truncate=%g,delay=%g,slow-read=%g,crash=%g,delay-ms=%g"
+    s.seed s.reset s.partial s.truncate s.delay s.slow_read s.crash s.delay_ms
+
+(* --- armed injector ---------------------------------------------------- *)
+
+exception Crash
+
+let () =
+  Printexc.register_printer (function
+    | Crash -> Some "Chaos.Crash (injected worker crash)"
+    | _ -> None)
+
+type t = { cfg : spec; rng : Rng.t; lock : Mutex.t }
+
+let arm cfg = { cfg; rng = Rng.create cfg.seed; lock = Mutex.create () }
+let spec t = t.cfg
+
+(* one uniform draw per decision, under the lock: the stream is
+   deterministic even when several workers consult it, only the
+   interleaving varies *)
+let roll t p =
+  p > 0.
+  &&
+  let u =
+    Mutex.lock t.lock;
+    let u = Rng.float t.rng in
+    Mutex.unlock t.lock;
+    u
+  in
+  u < p
+
+let draw_int t bound =
+  Mutex.lock t.lock;
+  let n = Rng.int t.rng bound in
+  Mutex.unlock t.lock;
+  n
+
+let fault counter =
+  Metrics.incr counter;
+  Metrics.incr c_faults
+
+let pause t =
+  if t.cfg.delay_ms > 0. then Unix.sleepf (t.cfg.delay_ms /. 1000.)
+
+let maybe_delay t =
+  if roll t t.cfg.delay then begin
+    fault c_delays;
+    pause t
+  end
+
+(* --- read side --------------------------------------------------------- *)
+
+(* read exactly [len] bytes one at a time, pausing every few bytes; the
+   total injected sleep is bounded by ~4x delay_ms *)
+let slow_read_full t fd b off len =
+  let slice = t.cfg.delay_ms /. 1000. /. 4. in
+  let rec go off len sleeps =
+    len = 0
+    ||
+    let n = Unix.read fd b off 1 in
+    n > 0
+    &&
+    (if slice > 0. && sleeps > 0 then Unix.sleepf slice;
+     go (off + n) (len - n) (sleeps - 1))
+  in
+  go off len 16
+
+let slow_read_frame t fd =
+  let hdr = Bytes.create 4 in
+  let n0 = Unix.read fd hdr 0 4 in
+  if n0 = 0 then Protocol.Eof
+  else if not (slow_read_full t fd hdr n0 (4 - n0)) then Protocol.Truncated
+  else
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) land 0xFFFFFFFF in
+    if len > Protocol.max_frame then Protocol.Too_large len
+    else
+      let b = Bytes.create len in
+      if slow_read_full t fd b 0 len then Protocol.Frame (Bytes.to_string b)
+      else Protocol.Truncated
+
+let read_frame c fd =
+  match c with
+  | None -> Protocol.read_frame fd
+  | Some t ->
+      maybe_delay t;
+      if roll t t.cfg.slow_read then begin
+        fault c_slow_reads;
+        slow_read_frame t fd
+      end
+      else Protocol.read_frame fd
+
+let maybe_crash = function
+  | None -> ()
+  | Some t ->
+      if roll t t.cfg.crash then begin
+        fault c_crashes;
+        Log.warn (fun m -> m "injecting worker crash");
+        raise Crash
+      end
+
+(* --- write side -------------------------------------------------------- *)
+
+let write_frame c fd payload =
+  match c with
+  | None ->
+      Protocol.write_frame fd payload;
+      `Sent
+  | Some t ->
+      maybe_delay t;
+      if roll t t.cfg.reset then begin
+        (* close with the reply unsent: the client sees EOF (or a reset)
+           exactly where the answer should have been *)
+        fault c_resets;
+        `Injected
+      end
+      else if roll t t.cfg.truncate then begin
+        (* cut inside the 4-byte header: a frame that never even
+           announced its length *)
+        fault c_truncates;
+        let b = Protocol.encode_frame payload in
+        let cut = 1 + draw_int t 3 in
+        Protocol.write_all fd b 0 (min cut (Bytes.length b));
+        `Injected
+      end
+      else if roll t t.cfg.partial then begin
+        (* a strict prefix of the true frame, never mutated bytes: the
+           client must detect the truncation, not parse a wrong answer *)
+        fault c_partials;
+        let b = Protocol.encode_frame payload in
+        let n = Bytes.length b in
+        let cut = 4 + draw_int t (max 1 (n - 4)) in
+        Protocol.write_all fd b 0 (min cut (n - 1));
+        `Injected
+      end
+      else begin
+        Protocol.write_frame fd payload;
+        `Sent
+      end

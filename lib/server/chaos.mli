@@ -1,0 +1,88 @@
+(** Deterministic, seeded network-fault injection for the socket server.
+
+    An armed injector wraps the server side of every connection's frame
+    I/O and, with per-fault probabilities drawn from a seeded [splitmix64]
+    stream, injects the classic serving failure modes:
+
+    - {b reset}: the connection is closed abruptly instead of a reply;
+    - {b partial}: only a prefix of the reply frame is written before the
+      close — the client sees a frame truncated mid-payload;
+    - {b truncate}: the close lands inside the 4-byte length header — a
+      frame truncated before the payload even starts;
+    - {b delay}: an injected pause of [delay-ms] before the operation;
+    - {b slow-read}: the request frame is consumed one byte at a time
+      with pauses (a server-side slow-loris, exercising peer deadlines);
+    - {b crash}: {!Crash} is raised instead of serving the request,
+      killing the worker domain — the hook that exercises supervision.
+
+    Every decision comes from the spec's seed, so a chaos run is
+    reproducible; every injection increments a [chaos.*] counter, so a
+    soak can prove the storm actually happened.  The injector never
+    fabricates or mutates payload {e bytes} — replies are either the
+    true bytes, a strict prefix of them, or nothing — which is what
+    makes the differential property ("byte-identical answers or typed
+    errors") meaningful under chaos. *)
+
+module Rng : sig
+  (** splitmix64 — the same generator the workload library uses, inlined
+      here so the server library stays dependency-free.  Not
+      thread-safe; one stream per owner. *)
+
+  type t
+
+  val create : int -> t
+
+  val float : t -> float
+  (** uniform in [0, 1) *)
+
+  val int : t -> int -> int
+  (** [int t bound] — uniform in [0, bound), [bound > 0]. *)
+end
+
+type spec = {
+  seed : int;
+  reset : float;  (** P(close instead of replying) *)
+  partial : float;  (** P(write a strict prefix of the reply, then close) *)
+  truncate : float;  (** P(cut the reply inside its length header) *)
+  delay : float;  (** P(pause [delay_ms] before a read or write) *)
+  slow_read : float;  (** P(consume the request byte-at-a-time) *)
+  crash : float;  (** P(raise {!Crash} instead of serving) *)
+  delay_ms : float;  (** pause length for [delay] and [slow_read] *)
+}
+
+val none : spec
+(** All probabilities zero, seed 0 — injects nothing. *)
+
+val parse : string -> (spec, string) result
+(** Parses the [--chaos] grammar: comma-separated [key=value] pairs with
+    keys [seed], [reset], [partial], [truncate], [delay], [slow-read],
+    [crash] (probabilities in [0, 1]) and [delay-ms] (milliseconds).
+    Unset keys default to {!none}'s fields (with [delay_ms] = 2).
+    Example: ["seed=7,reset=0.05,partial=0.1,delay=0.2,delay-ms=3"]. *)
+
+val spec_to_string : spec -> string
+(** Canonical round-trippable spelling of a spec. *)
+
+exception Crash
+(** The deliberate worker-crash fault.  The server's worker loop lets it
+    escape (after closing the victim connection), so the domain actually
+    dies and the supervisor must respawn it. *)
+
+type t
+(** An armed injector: a spec plus its mutex-guarded RNG stream. *)
+
+val arm : spec -> t
+val spec : t -> spec
+
+val read_frame : t option -> Unix.file_descr -> Protocol.read_result
+(** {!Protocol.read_frame} with [delay] and [slow-read] faults.  [None]
+    is the fault-free fast path. *)
+
+val maybe_crash : t option -> unit
+(** Raises {!Crash} with probability [crash]. *)
+
+val write_frame : t option -> Unix.file_descr -> string -> [ `Sent | `Injected ]
+(** {!Protocol.write_frame} with [delay], [reset], [partial] and
+    [truncate] faults.  [`Injected] means the reply was dropped or cut
+    short and the connection must be closed.  [Unix.Unix_error]
+    propagates as from {!Protocol.write_frame}. *)

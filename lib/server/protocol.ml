@@ -11,19 +11,26 @@ let rec read_full fd b off len =
   let n = Unix.read fd b off len in
   n > 0 && read_full fd b (off + n) (len - n)
 
-let write_frame fd payload =
+let encode_frame payload =
   let n = String.length payload in
-  if n > max_frame then invalid_arg "Protocol.write_frame: payload too large";
+  if n > max_frame then invalid_arg "Protocol.encode_frame: payload too large";
   let b = Bytes.create (4 + n) in
   Bytes.set_int32_be b 0 (Int32.of_int n);
   Bytes.blit_string payload 0 b 4 n;
+  b
+
+let write_all fd b off len =
   let rec go off len =
     if len > 0 then begin
       let w = Unix.write fd b off len in
       go (off + w) (len - w)
     end
   in
-  go 0 (4 + n)
+  go off len
+
+let write_frame fd payload =
+  let b = encode_frame payload in
+  write_all fd b 0 (Bytes.length b)
 
 type read_result =
   | Frame of string
@@ -148,6 +155,7 @@ type error_kind =
   | Timeout
   | Overloaded
   | Frame_too_large
+  | Corrupt
   | Internal
 
 let error_kind_name = function
@@ -157,6 +165,7 @@ let error_kind_name = function
   | Timeout -> "timeout"
   | Overloaded -> "overloaded"
   | Frame_too_large -> "frame_too_large"
+  | Corrupt -> "data_corruption"
   | Internal -> "internal"
 
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)

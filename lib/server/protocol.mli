@@ -24,6 +24,15 @@ val write_frame : Unix.file_descr -> string -> unit
 (** Raises [Invalid_argument] if the payload exceeds {!max_frame};
     [Unix.Unix_error] on I/O failure. *)
 
+val encode_frame : string -> bytes
+(** The on-wire bytes of one frame (header + payload) without writing
+    them — what the chaos injector cuts short to fake partial writes.
+    Raises [Invalid_argument] past {!max_frame}. *)
+
+val write_all : Unix.file_descr -> bytes -> int -> int -> unit
+(** [write_all fd b off len] writes exactly the given byte range,
+    looping over short writes.  [Unix.Unix_error] propagates. *)
+
 type read_result =
   | Frame of string  (** one complete payload *)
   | Eof  (** clean close: the peer finished before any header byte *)
@@ -71,6 +80,9 @@ type error_kind =
   | Timeout  (** the request exceeded its deadline *)
   | Overloaded  (** accept queue full; retry later *)
   | Frame_too_large
+  | Corrupt
+      (** the request touched a page that failed its checksum — the
+          damage is quarantined and deterministic, so {e not} retryable *)
   | Internal
 
 val error_kind_name : error_kind -> string

@@ -1,0 +1,38 @@
+(** The online background scrub: a domain that periodically re-verifies
+    every serving index against a pinned snapshot, while queries keep
+    running.
+
+    Each pass opens a read session (the same snapshot machinery queries
+    use, so the scrub never blocks the writer or the readers), runs the
+    offline verifier's structural passes ({!Uindex.Verify.check}) over
+    each index view with an IO throttle — sleeping every few page reads
+    so a big file does not monopolize the disk — and feeds every finding
+    into the {!Quarantine}.  A damaged page is therefore reported even
+    if no query ever touches it, closing the gap between "no request
+    failed" and "the file is intact".
+
+    Pass/issue counts surface as [scrub.*] metrics and in the [health]
+    response. *)
+
+type config = {
+  every : float;  (** seconds between passes (> 0) *)
+  pause_every : int;  (** sleep after this many page reads *)
+  pause : float;  (** seconds slept at each throttle point *)
+}
+
+val default_config : config
+(** A pass every 30 s, pausing 1 ms every 64 pages. *)
+
+type t
+
+val start : ?config:config -> Uindex.Db.t -> t
+(** Spawns the scrub domain.  The first pass runs after [every]
+    seconds. *)
+
+val passes : t -> int
+(** Completed passes so far. *)
+
+val stop : t -> unit
+(** Stops after at most the current pass's remaining page reads (the
+    throttle stops sleeping once a stop is requested) and joins the
+    domain.  Idempotent. *)

@@ -12,6 +12,19 @@ let g_queue_depth =
   Obs.Metrics.gauge ~subsystem:"server"
     ~help:"connections waiting in the accept queue" "queue_depth"
 
+let c_worker_restarts =
+  Obs.Metrics.counter ~subsystem:"server"
+    ~help:"dead worker domains respawned by the supervisor" "worker_restarts"
+
+let c_acceptor_restarts =
+  Obs.Metrics.counter ~subsystem:"server"
+    ~help:"dead acceptor domains respawned by the supervisor"
+    "acceptor_restarts"
+
+let g_budget_left =
+  Obs.Metrics.gauge ~subsystem:"server"
+    ~help:"domain respawns left in the restart budget" "restart_budget_left"
+
 type addr = Unix_sock of string | Tcp of string * int
 
 type config = {
@@ -19,10 +32,19 @@ type config = {
   workers : int;
   backlog : int;
   request_timeout : float;  (* seconds; 0. = no deadline *)
+  chaos : Chaos.t option;  (* armed fault injector; None = serve honestly *)
+  restart_budget : int;  (* domain respawns before degrading *)
 }
 
 let default_config addr =
-  { addr; workers = 4; backlog = 64; request_timeout = 5. }
+  {
+    addr;
+    workers = 4;
+    backlog = 64;
+    request_timeout = 5.;
+    chaos = None;
+    restart_budget = 8;
+  }
 
 type conn = { fd : Unix.file_descr; enqueued_at : float }
 
@@ -34,18 +56,21 @@ type t = {
   qlock : Mutex.t;
   qcond : Condition.t;
   stopping : bool Atomic.t;
+  (* supervision: dying domains report their slot (-1 = acceptor) here;
+     the supervisor joins the corpse and respawns it under the budget *)
+  dead : int Queue.t;
+  dlock : Mutex.t;
+  dcond : Condition.t;
+  budget_left : int Atomic.t;
+  pool : unit Domain.t option array;
   mutable acceptor : unit Domain.t option;
-  mutable pool : unit Domain.t list;
+  mutable supervisor : unit Domain.t option;
 }
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let send_quietly fd json =
   try Protocol.write_frame fd (Json.to_string json)
-  with Unix.Unix_error _ | Invalid_argument _ -> ()
-
-let send_raw_quietly fd payload =
-  try Protocol.write_frame fd payload
   with Unix.Unix_error _ | Invalid_argument _ -> ()
 
 (* --- binding ---------------------------------------------------------- *)
@@ -122,6 +147,7 @@ let pop t =
 
 let serve_conn t conn =
   let timeout = t.config.request_timeout in
+  let chaos = t.config.chaos in
   let fd = conn.fd in
   if timeout > 0. then begin
     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
@@ -141,7 +167,7 @@ let serve_conn t conn =
            ((Unix.gettimeofday () -. conn.enqueued_at) *. 1e9))
     in
     let rec loop () =
-      match Protocol.read_frame fd with
+      match Chaos.read_frame chaos fd with
       | Protocol.Eof | Protocol.Truncated -> close_quietly fd
       | Protocol.Too_large n ->
           (* stream position is unrecoverable after a hostile length *)
@@ -150,21 +176,35 @@ let serve_conn t conn =
                ~detail:(Printf.sprintf "frame of %d bytes exceeds %d" n Protocol.max_frame)
                Protocol.Frame_too_large);
           close_quietly fd
-      | Protocol.Frame payload ->
+      | Protocol.Frame payload -> (
+          (* the injected worker crash: raises out of serve_conn so the
+             domain really dies and supervision has to earn its keep *)
+          Chaos.maybe_crash chaos;
           let deadline =
             if timeout > 0. then Some (Unix.gettimeofday () +. timeout)
             else None
           in
           let wait = !queued_ns in
           queued_ns := 0;
-          send_raw_quietly fd
-            (Service.serve_line ~queued_ns:wait ?deadline t.service payload);
-          if
-            match Protocol.parse_request payload with
-            | Ok Protocol.Quit -> true
-            | _ -> false
-          then close_quietly fd
-          else loop ()
+          let reply =
+            Service.serve_line ~queued_ns:wait ?deadline t.service payload
+          in
+          let sent =
+            try Chaos.write_frame chaos fd reply
+            with Unix.Unix_error _ | Invalid_argument _ -> `Sent
+          in
+          match sent with
+          | `Injected ->
+              (* the reply was dropped or cut short: the connection is
+                 poisoned, kill it like a real fault would *)
+              close_quietly fd
+          | `Sent ->
+              if
+                match Protocol.parse_request payload with
+                | Ok Protocol.Quit -> true
+                | _ -> false
+              then close_quietly fd
+              else loop ())
     in
     try loop ()
     with
@@ -181,20 +221,104 @@ let worker_loop t =
     match pop t with
     | None -> ()
     | Some conn ->
-        (* a worker must survive anything one connection throws at it *)
-        (try serve_conn t conn
-         with e ->
-           Log.err (fun m -> m "worker: %s" (Printexc.to_string e));
-           close_quietly conn.fd);
+        (* a worker must survive anything one connection throws at it —
+           except the deliberate chaos crash, which must kill the domain *)
+        (match serve_conn t conn with
+        | () -> ()
+        | exception Chaos.Crash ->
+            close_quietly conn.fd;
+            raise Chaos.Crash
+        | exception e ->
+            Log.err (fun m -> m "worker: %s" (Printexc.to_string e));
+            (* best-effort typed reply before closing, so a client can
+               tell a server bug from network death *)
+            send_quietly conn.fd
+              (Protocol.error
+                 ~detail:("unhandled server error: " ^ Printexc.to_string e)
+                 Protocol.Internal);
+            close_quietly conn.fd);
         go ()
   in
   go ()
+
+(* --- supervision ------------------------------------------------------- *)
+
+let report_death t slot =
+  Mutex.lock t.dlock;
+  Queue.push slot t.dead;
+  Condition.signal t.dcond;
+  Mutex.unlock t.dlock
+
+let worker_body t slot =
+  try worker_loop t
+  with e ->
+    Log.err (fun m -> m "worker %d died: %s" slot (Printexc.to_string e));
+    report_death t slot
+
+let acceptor_body t =
+  try accept_loop t
+  with e ->
+    Log.err (fun m -> m "acceptor died: %s" (Printexc.to_string e));
+    report_death t (-1)
+
+let live_workers t =
+  Array.fold_left (fun n d -> if d = None then n else n + 1) 0 t.pool
+
+(* joins each corpse as it is reported and respawns it while the budget
+   lasts; an exhausted budget degrades (fewer workers) instead of
+   respawning forever — a crash loop should page someone, not spin *)
+let rec supervisor_loop t =
+  Mutex.lock t.dlock;
+  while Queue.is_empty t.dead && not (Atomic.get t.stopping) do
+    Condition.wait t.dcond t.dlock
+  done;
+  let slot = if Queue.is_empty t.dead then None else Some (Queue.pop t.dead) in
+  Mutex.unlock t.dlock;
+  match slot with
+  | None -> ()  (* stopping and every death handled *)
+  | Some slot ->
+      (* the death report was the domain's last act; reap it *)
+      if slot < 0 then begin
+        Option.iter Domain.join t.acceptor;
+        t.acceptor <- None
+      end
+      else begin
+        Option.iter Domain.join t.pool.(slot);
+        t.pool.(slot) <- None
+      end;
+      let budget = Atomic.get t.budget_left in
+      if budget > 0 && not (Atomic.get t.stopping) then begin
+        Atomic.decr t.budget_left;
+        Obs.Metrics.set g_budget_left (budget - 1);
+        if slot < 0 then begin
+          Obs.Metrics.incr c_acceptor_restarts;
+          Log.warn (fun m ->
+              m "supervisor: respawning acceptor (%d respawns left)"
+                (budget - 1));
+          t.acceptor <- Some (Domain.spawn (fun () -> acceptor_body t))
+        end
+        else begin
+          Obs.Metrics.incr c_worker_restarts;
+          Log.warn (fun m ->
+              m "supervisor: respawning worker %d (%d respawns left)" slot
+                (budget - 1));
+          t.pool.(slot) <- Some (Domain.spawn (fun () -> worker_body t slot))
+        end
+      end
+      else
+        Log.err (fun m ->
+            m "supervisor: restart budget exhausted, %s stays down"
+              (if slot < 0 then "acceptor" else "worker " ^ string_of_int slot));
+      Obs.Metrics.set g_workers (live_workers t);
+      supervisor_loop t
 
 (* --- lifecycle -------------------------------------------------------- *)
 
 let start service config =
   if config.workers < 1 then invalid_arg "Server.start: workers < 1";
   if config.backlog < 1 then invalid_arg "Server.start: backlog < 1";
+  if config.restart_budget < 0 then
+    invalid_arg "Server.start: restart_budget < 0";
   (* a peer that disconnects mid-reply must surface as EPIPE on the
      write, not kill the process *)
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -208,30 +332,52 @@ let start service config =
       qlock = Mutex.create ();
       qcond = Condition.create ();
       stopping = Atomic.make false;
+      dead = Queue.create ();
+      dlock = Mutex.create ();
+      dcond = Condition.create ();
+      budget_left = Atomic.make config.restart_budget;
+      pool = Array.make config.workers None;
       acceptor = None;
-      pool = [];
+      supervisor = None;
     }
   in
-  t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
-  t.pool <-
-    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.acceptor <- Some (Domain.spawn (fun () -> acceptor_body t));
+  for slot = 0 to config.workers - 1 do
+    t.pool.(slot) <- Some (Domain.spawn (fun () -> worker_body t slot))
+  done;
+  t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t));
   Obs.Metrics.set g_workers config.workers;
-  Log.info (fun m -> m "serving with %d workers" config.workers);
+  Obs.Metrics.set g_budget_left config.restart_budget;
+  Log.info (fun m ->
+      m "serving with %d workers%s" config.workers
+        (match config.chaos with
+        | None -> ""
+        | Some c -> " [chaos: " ^ Chaos.spec_to_string (Chaos.spec c) ^ "]"));
   t
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
+    (* wake the pool (to drain) and the supervisor (to exit); the
+       supervisor is joined first so nothing mutates the pool under us *)
     Mutex.lock t.qlock;
     Condition.broadcast t.qcond;
     Mutex.unlock t.qlock;
+    Mutex.lock t.dlock;
+    Condition.broadcast t.dcond;
+    Mutex.unlock t.dlock;
+    Option.iter Domain.join t.supervisor;
+    t.supervisor <- None;
     Option.iter Domain.join t.acceptor;
     t.acceptor <- None;
     (* wake workers again in case they raced the first broadcast *)
     Mutex.lock t.qlock;
     Condition.broadcast t.qcond;
     Mutex.unlock t.qlock;
-    List.iter Domain.join t.pool;
-    t.pool <- [];
+    Array.iteri
+      (fun i d ->
+        Option.iter Domain.join d;
+        t.pool.(i) <- None)
+      t.pool;
     Obs.Metrics.set g_workers 0;
     (* the pool drained the queue before exiting; anything left was
        enqueued in the closing race — refuse it cleanly *)

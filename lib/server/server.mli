@@ -1,5 +1,5 @@
-(** The socket server: a fixed worker pool serving the wire protocol over
-    a Unix-domain or TCP listener.
+(** The socket server: a supervised worker pool serving the wire protocol
+    over a Unix-domain or TCP listener.
 
     One acceptor domain polls the listener and pushes connections onto a
     bounded queue; [workers] domains pop connections and serve requests
@@ -7,12 +7,26 @@
     typed [overloaded] reply instead of a hang; a connection that waited
     in the queue past the request timeout gets a [timeout] reply; socket
     reads and writes carry OS-level timeouts so a stalled peer can never
-    pin a worker.  Workers survive every per-connection failure.
+    pin a worker.  Workers survive every per-connection failure, and
+    send a best-effort typed [internal] reply before closing when one
+    slips past the request pipeline.
 
-    {!stop} is graceful: the acceptor quits, workers finish every queued
-    connection, the listener closes (Unix-domain socket files are
-    unlinked), and the database syncs — after a clean stop the journal is
-    empty. *)
+    {b Supervision.}  A supervisor domain watches for dying worker or
+    acceptor domains (the only way a domain dies is an escaped
+    exception — e.g. the deliberate {!Chaos.Crash} fault), joins each
+    corpse and respawns a fresh domain in its slot while the
+    [restart_budget] lasts.  An exhausted budget degrades capacity
+    instead of masking a crash loop.  Restart counts surface as
+    [server.worker_restarts] / [server.acceptor_restarts] and in the
+    [health] response.
+
+    {b Chaos.}  An armed {!Chaos.t} in the config wraps every
+    connection's frame I/O with seeded fault injection — see {!Chaos}.
+
+    {!stop} is graceful: the supervisor and acceptor quit, workers
+    finish every queued connection, the listener closes (Unix-domain
+    socket files are unlinked), and the database syncs — after a clean
+    stop the journal is empty. *)
 
 type addr =
   | Unix_sock of string  (** path to a Unix-domain socket *)
@@ -26,18 +40,22 @@ type config = {
   request_timeout : float;
       (** per-request deadline and socket timeout in seconds; [0.]
           disables both *)
+  chaos : Chaos.t option;
+      (** armed fault injector; [None] serves honestly *)
+  restart_budget : int;
+      (** domain respawns before the supervisor gives up (>= 0) *)
 }
 
 val default_config : addr -> config
-(** 4 workers, backlog 64, 5 s timeout. *)
+(** 4 workers, backlog 64, 5 s timeout, no chaos, restart budget 8. *)
 
 type t
 
 val start : Service.t -> config -> t
-(** Binds, listens and spawns the acceptor and worker domains.  Raises
-    [Unix.Unix_error] if the address cannot be bound and
-    [Invalid_argument] on nonsensical config or a non-socket file at a
-    Unix-domain path (a stale socket file is unlinked and rebound).
+(** Binds, listens and spawns the acceptor, worker and supervisor
+    domains.  Raises [Unix.Unix_error] if the address cannot be bound
+    and [Invalid_argument] on nonsensical config or a non-socket file at
+    a Unix-domain path (a stale socket file is unlinked and rebound).
     Sets the process's [SIGPIPE] disposition to ignore, so peers that
     vanish mid-reply surface as [EPIPE] writes. *)
 

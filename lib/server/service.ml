@@ -42,6 +42,11 @@ let slow_admitted =
   Metrics.counter ~subsystem:"server"
     ~help:"requests admitted to the slow-query log" "slow_queries"
 
+let corruption_replies =
+  Metrics.counter ~subsystem:"server"
+    ~help:"requests answered with a typed data_corruption error"
+    "corruption_replies"
+
 (* --- telemetry configuration ------------------------------------------ *)
 
 type telemetry = {
@@ -201,6 +206,24 @@ let health_response t =
       ("lsn_lag", Json.Int (acked - durable));
       ("tracing", Json.Bool t.tel.tracing);
       ("fast_descent", Json.Bool (Btree.fast_descent ()));
+      ( "supervisor",
+        Json.Obj
+          [
+            ("worker_restarts", Json.Int (metric "server.worker_restarts"));
+            ( "acceptor_restarts",
+              Json.Int (metric "server.acceptor_restarts") );
+            ( "restart_budget_left",
+              Json.Int (metric "server.restart_budget_left") );
+          ] );
+      ("quarantine", Quarantine.summary_json ());
+      ( "scrub",
+        Json.Obj
+          [
+            ("passes", Json.Int (metric "scrub.passes"));
+            ("pages", Json.Int (metric "scrub.pages"));
+            ("issues", Json.Int (metric "scrub.issues"));
+            ("last_issues", Json.Int (metric "scrub.last_issues"));
+          ] );
       ( "slow_log",
         Json.Obj
           [
@@ -305,8 +328,22 @@ let dispatch ?deadline ?root t (req : Protocol.request) =
     | Protocol.Slow_queries limit -> slow_response ?limit t
     | Protocol.Query { algo; text } -> (
         try query_response ?root t ~algo text
-        with e ->
-          Protocol.error ~detail:(Printexc.to_string e) Protocol.Internal)
+        with
+        | Storage.Storage_error.Corruption { page; component; detail } ->
+            (* containment, not connection death: the page goes into the
+               quarantine, the client gets a typed error, and every query
+               that does not touch the damage keeps being served *)
+            Metrics.incr corruption_replies;
+            Quarantine.record ~source:"request" ?page ~component ~detail ();
+            Protocol.error
+              ~detail:
+                (Printf.sprintf "%s%s: %s" component
+                   (match page with
+                   | Some p -> Printf.sprintf " (page %d)" p
+                   | None -> "")
+                   detail)
+              Protocol.Corrupt
+        | e -> Protocol.error ~detail:(Printexc.to_string e) Protocol.Internal)
 
 (* echo a client-propagated trace id on every response, success or error *)
 let attach_trace_id id = function

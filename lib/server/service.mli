@@ -30,7 +30,15 @@
 
     Handling is thread-safe: any number of threads may call {!handle} on
     one service concurrently, and worker domains trace into domain-local
-    collectors. *)
+    collectors.
+
+    {b Corruption containment.}  A request that trips
+    [Storage_error.Corruption] (a page failed its checksum mid-query)
+    is answered with a typed [data_corruption] error — the connection
+    stays up — and the finding is recorded in the {!Quarantine}, which
+    the [health] response surfaces alongside scrub and supervisor
+    vitals.  Queries that do not touch the damaged page keep serving
+    normally; none ever returns a silently wrong answer. *)
 
 type t
 

@@ -1,0 +1,254 @@
+(* Interleaved fault families: the crash schedules of the recovery suite
+   (group commits cut down at a random physical write) composed with the
+   media damage of the corruption suite (bit rot, zeroed pages, truncated
+   files inflicted on the recovered file).
+
+   Per case: run a randomized group-commit schedule against a file-backed
+   index, crash it mid-write, recover ({!Pager.recover_status} — the
+   verdicts behind the CLI's 0/3 exit codes), then rot the recovered file
+   and demand the two safety properties hold through the composition:
+
+   - reading the rotten file yields a legal recovery state (a whole
+     group-commit boundary) or raises [Storage_error.Corruption] — never
+     a silently wrong tree;
+   - {!Verify.salvage} rebuilds from the surviving store without reading
+     a single damaged page, and the salvaged index answers queries
+     byte-identically to a fresh build from the same store. *)
+
+module Pager = Storage.Pager
+module Err = Storage.Storage_error
+module Rng = Workload.Rng
+module Dg = Workload.Datagen
+module Index = Uindex.Index
+module Verify = Uindex.Verify
+module Query = Uindex.Query
+module Exec = Uindex.Exec
+module Db = Uindex.Db
+module Value = Objstore.Value
+module Smap = Map.Make (String)
+
+let with_temp_pages f =
+  let path = Filename.temp_file "uindex_faultmix" ".pages" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; Pager.journal_path path ])
+    (fun () -> f path)
+
+type gc_step = { g_ops : int; g_sync : bool }
+
+let gen_schedule rng =
+  let n = 6 + Rng.int rng 10 in
+  List.init n (fun _ ->
+      { g_ops = 1 + Rng.int rng 4; g_sync = Rng.int rng 3 = 0 })
+
+let tree_contents t =
+  let out = ref Smap.empty in
+  Btree.iter t (fun e -> out := Smap.add e.Btree.key (e.value ()) !out);
+  !out
+
+let index_contents idx = tree_contents (Index.tree idx)
+
+(* the group-commit workload of the recovery suite, returning the store
+   it mutated so the salvage stage can rebuild from it *)
+let run_workload ~path ~seed ~plan ~fault =
+  let e = Dg.exp1 ~n_vehicles:40 ~n_companies:10 ~n_employees:5 ~seed () in
+  let b = e.ext.b in
+  let pager = Pager.create_file ~page_size:512 path in
+  let idx =
+    Index.create_class_hierarchy pager b.enc ~root:b.vehicle ~attr:"color"
+  in
+  let db = Db.create e.store in
+  Db.add_index db idx;
+  Db.sync db;
+  let setup_writes = Pager.physical_writes pager in
+  (match fault with
+  | Some spec -> ignore (Pager.create_faulty spec pager)
+  | None -> ());
+  let durable_model = ref (index_contents idx) in
+  let attempted = ref !durable_model in
+  let rng = Rng.create (seed + 7919) in
+  let oids = ref [] in
+  let counter = ref 0 in
+  let apply_op () =
+    incr counter;
+    match !oids with
+    | o :: rest when Rng.int rng 6 = 0 ->
+        oids := rest;
+        Db.delete db o
+    | _ ->
+        let oid =
+          Db.insert db ~cls:b.vehicle
+            [ ("color", Value.Str (Printf.sprintf "fm-%04d" !counter)) ]
+        in
+        oids := oid :: !oids
+  in
+  let outcome =
+    match
+      List.iter
+        (fun step ->
+          for _ = 1 to step.g_ops do
+            apply_op ()
+          done;
+          if step.g_sync then begin
+            attempted := index_contents idx;
+            ignore (Db.commit db : int);
+            durable_model := !attempted
+          end
+          else ignore (Db.commit ~mode:`Async db : int))
+        plan;
+      attempted := index_contents idx;
+      Db.sync db;
+      durable_model := !attempted;
+      Pager.close pager
+    with
+    | () -> `Completed
+    | exception Pager.Fault _ ->
+        (try Pager.close pager with Pager.Fault _ -> ());
+        `Crashed
+  in
+  ( outcome,
+    e,
+    !durable_model,
+    !attempted,
+    setup_writes,
+    Pager.physical_writes pager )
+
+let canon (o : Exec.outcome) =
+  List.sort compare
+    (List.map (fun bd -> (bd.Exec.value, bd.Exec.comps)) o.Exec.bindings)
+
+let queries e =
+  let b = e.Dg.ext.Workload.Paper_schema.b in
+  [
+    Query.class_hierarchy ~value:Query.V_any
+      (Query.P_subtree b.Workload.Paper_schema.vehicle);
+    Query.class_hierarchy
+      ~value:(Query.V_eq (Value.Str "fm-0001"))
+      (Query.P_subtree b.Workload.Paper_schema.vehicle);
+  ]
+
+(* answers from a throwaway index built fresh from [store] — the ground
+   truth salvage must reproduce *)
+let fresh_answers e =
+  let b = e.Dg.ext.Workload.Paper_schema.b in
+  let idx =
+    Index.create_class_hierarchy (Pager.create ())
+      b.Workload.Paper_schema.enc ~root:b.Workload.Paper_schema.vehicle
+      ~attr:"color"
+  in
+  Index.build idx e.Dg.store;
+  List.map (fun q -> canon (Exec.run idx q ~algo:`Parallel)) (queries e)
+
+let prop_faultmix =
+  QCheck.Test.make ~count:250
+    ~name:"crash + media rot: boundary state or Corruption, salvage restores"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let plan = gen_schedule rng in
+      let torn = Rng.int rng 2 = 0 in
+      let setup_writes, total_writes =
+        with_temp_pages (fun path ->
+            match run_workload ~path ~seed ~plan ~fault:None with
+            | `Completed, _, _, _, w0, w -> (w0, w)
+            | `Crashed, _, _, _, _, _ ->
+                QCheck.Test.fail_report "clean run crashed")
+      in
+      if total_writes <= setup_writes then
+        QCheck.Test.fail_report "schedule flushed nothing";
+      let fail_at =
+        setup_writes + 1 + Rng.int rng (total_writes - setup_writes)
+      in
+      let crash = { Pager.no_faults with fail_write = Some fail_at; torn } in
+      with_temp_pages (fun path ->
+          let outcome, e, durable_model, attempted, _, _ =
+            run_workload ~path ~seed ~plan ~fault:(Some crash)
+          in
+          if outcome <> `Crashed then
+            QCheck.Test.fail_reportf "fault at write %d/%d never fired"
+              fail_at total_writes;
+          (* recover: the CLI's exit codes 0 (No_journal/Replayed) and 3
+             (Discarded_torn) come from exactly this verdict *)
+          (match Pager.recover_status path with
+          | Pager.No_journal | Pager.Replayed | Pager.Discarded_torn -> ());
+          if Sys.file_exists (Pager.journal_path path) then
+            QCheck.Test.fail_report "journal survived recovery";
+          (* now rot the recovered file: pick a live page to damage *)
+          let live =
+            let p = Pager.open_file path in
+            let ids = ref [] in
+            for id = 0 to 63 do
+              match Pager.read p id with
+              | _ -> ids := id :: !ids
+              | exception Invalid_argument _ -> ()
+              | exception Err.Corruption _ -> ids := id :: !ids
+            done;
+            Pager.close p;
+            !ids
+          in
+          if live = [] then QCheck.Test.fail_report "no live pages recovered";
+          let pick l = List.nth l (Rng.int rng (List.length l)) in
+          let media =
+            match Rng.int rng 4 with
+            | 0 -> [] (* pure crash, no rot *)
+            | 1 ->
+                [ Pager.Flip_bit { page = pick live; bit = Rng.int rng (512 * 8) } ]
+            | 2 -> [ Pager.Zero_page { page = pick live } ]
+            | _ -> [ Pager.Truncate_file { keep = 1 + Rng.int rng (List.length live) } ]
+          in
+          (* property 1: the rotten file reads as a legal recovery state
+             or raises typed Corruption — never a silent wrong tree *)
+          (match
+             let p = Pager.open_file path in
+             ignore (Pager.create_faulty { Pager.no_faults with media } p);
+             Fun.protect
+               ~finally:(fun () ->
+                 try Pager.close p with Err.Corruption _ -> ())
+               (fun () -> tree_contents (Btree.reattach p))
+           with
+          | got ->
+              if not (Smap.equal String.equal got durable_model) then
+                if not (Smap.equal String.equal got attempted) then
+                  QCheck.Test.fail_reportf
+                    "rotten file read back %d entries: neither the \
+                     watermark state (%d) nor the in-flight group (%d)"
+                    (Smap.cardinal got)
+                    (Smap.cardinal durable_model)
+                    (Smap.cardinal attempted)
+          | exception Err.Corruption _ -> ()
+          | exception Invalid_argument _ ->
+              (* Truncate_file can leave reads beyond the new bound *)
+              if media = [] then
+                QCheck.Test.fail_report "clean reattach raised Invalid_argument");
+          (* property 2: salvage never reads the damaged pages — it must
+             succeed and answer byte-identically to a fresh build from
+             the surviving store, however badly the file is rotten *)
+          let b = e.Dg.ext.Workload.Paper_schema.b in
+          let desc =
+            Index.create_class_hierarchy (Pager.create ())
+              b.Workload.Paper_schema.enc
+              ~root:b.Workload.Paper_schema.vehicle ~attr:"color"
+          in
+          let salvaged =
+            Verify.salvage desc e.Dg.store (Pager.create ())
+          in
+          let report = Verify.check ~store:e.Dg.store salvaged in
+          if not report.Verify.ok then
+            QCheck.Test.fail_report "salvaged index does not verify";
+          let expected = fresh_answers e in
+          List.iter2
+            (fun q want ->
+              if canon (Exec.run salvaged q ~algo:`Parallel) <> want then
+                QCheck.Test.fail_report
+                  "salvaged index answers differ from a fresh build")
+            (queries e) expected;
+          true))
+
+let () =
+  Alcotest.run "faultmix"
+    [
+      ( "crash x media",
+        [ QCheck_alcotest.to_alcotest prop_faultmix ] );
+    ]
