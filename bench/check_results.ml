@@ -453,6 +453,86 @@ let check_chaos_resilience path j ~serve_digest =
       rate faults;
   (rate, faults, retries)
 
+(* The shard_scaling section gates the scatter-gather layer.
+   Correctness: the canonical reply digest must be identical at every
+   shard count — partitioning the index by COD range must never change
+   an answer, whether a query was served by one shard or merged from
+   four.  Scaling: each shard brings its own worker domains, so with
+   cores to actually spread onto (serve_cores >= 8: 4 shards x 2
+   workers) the 4-shard deployment must reach at least twice the
+   1-shard throughput; with fewer cores the gate degrades to
+   monotonicity (4 shards no slower than 1), and on a single core to an
+   anti-collapse floor of half the 1-shard rate — extra shards cannot
+   buy parallelism that the host does not have. *)
+let check_shard_scaling path j =
+  let rows =
+    match get path "shard_scaling" j with
+    | Obs.Json.List (_ :: _ as rows) -> rows
+    | Obs.Json.List [] -> fail "%s: shard_scaling is empty" path
+    | _ -> fail "%s: shard_scaling is not a list" path
+  in
+  let parsed =
+    List.map
+      (fun row ->
+        match
+          ( Obs.Json.(member "shards" row |> Option.map to_int),
+            Obs.Json.member "qps" row,
+            Obs.Json.(member "digest" row |> Option.map to_str) )
+        with
+        | Some (Some shards), Some qps, Some (Some digest) ->
+            let qps =
+              match qps with
+              | Obs.Json.Float f -> f
+              | Obs.Json.Int i -> float_of_int i
+              | _ -> fail "%s: shard_scaling qps not a number" path
+            in
+            (shards, qps, digest)
+        | _ -> fail "%s: malformed shard_scaling row" path)
+      rows
+  in
+  (match parsed with
+  | (_, _, d) :: rest ->
+      List.iter
+        (fun (shards, _, d') ->
+          if d' <> d then
+            fail
+              "shard_scaling: %d-shard answers differ from 1-shard (digest \
+               %s vs %s) — partitioning changed query results"
+              shards d' d)
+        rest
+  | [] -> ());
+  let qps_at n =
+    match List.find_opt (fun (s, _, _) -> s = n) parsed with
+    | Some (_, q, _) -> q
+    | None -> fail "%s: shard_scaling has no %d-shard row" path n
+  in
+  let q1 = qps_at 1 and q4 = qps_at 4 in
+  let cores =
+    match Obs.Json.(get path "serve_cores" j |> to_int) with
+    | Some n -> n
+    | None -> fail "%s: serve_cores is not an int" path
+  in
+  if cores >= 8 then begin
+    if q4 < 2.0 *. q1 then
+      fail
+        "shard_scaling: 4 shards at %.1f queries/s, under 2x the 1-shard \
+         %.1f on %d cores — scatter-gather is not scaling reads"
+        q4 q1 cores
+  end
+  else if cores >= 2 then begin
+    if q4 < q1 then
+      fail
+        "shard_scaling: 4 shards slower than 1 on %d cores (%.1f vs %.1f \
+         queries/s)"
+        cores q4 q1
+  end
+  else if q4 < 0.5 *. q1 then
+    fail
+      "shard_scaling: single-core collapse — 4 shards at %.1f queries/s, \
+       under half the 1-shard %.1f"
+      q4 q1;
+  (List.length parsed, q4 /. q1)
+
 (* The bulk_load section: a 100k-entry bottom-up build must produce a
    tree identical to entry-at-a-time insertion, beat it in wall-clock,
    and pack pages at least as densely. *)
@@ -537,6 +617,7 @@ let () =
   let cr_rate, cr_faults, cr_retries =
     check_chaos_resilience results_path r ~serve_digest
   in
+  let n_ss, ss_speedup = check_shard_scaling results_path r in
   let n_bl = check_bulk_load results_path r in
   Printf.printf
     "check_results: %d table1 rows match %s; %d cache A/B rows warm<=cold \
@@ -545,7 +626,7 @@ let () =
      with <1 fsync/commit at >=4 writers; telemetry digest-identical at \
      %+.1f%% p50; fast descent digest-identical at %.0f alloc words p50 \
      (reference %.0f); chaos digest-identical at %.1f%% success through \
-     %.0f faults and %.0f retries; bulk load of %d entries identical and \
-     faster\n"
+     %.0f faults and %.0f retries; %d shard rows digest-identical at \
+     %.2fx 4-shard speedup; bulk load of %d entries identical and faster\n"
     (List.length want) expected_path n_ab n_ck n_sv n_mx tel_pct al_fast al_ref
-    (100. *. cr_rate) cr_faults cr_retries n_bl
+    (100. *. cr_rate) cr_faults cr_retries n_ss ss_speedup n_bl

@@ -1725,6 +1725,188 @@ let run_bulk_load () =
     r.bl_identical r.bl_bulk_fill r.bl_incr_fill;
   r
 
+(* --- shard scaling: scatter-gather over 1/2/4 COD-range shards --------------- *)
+
+(* The same database partitioned into k COD-range shards, each shard
+   behind its own server (own worker domains), with a scatter-gather
+   router in front; a fixed client pool drives a fixed query mix and
+   only k varies.  Correctness: the canonical projection of every reply
+   (cost fields dropped — they are deployment-dependent sums) must be
+   byte-identical at every shard count; one digest per row, and
+   check_results asserts the rows agree.  Scaling: single-shard queries
+   spread across shards and spanning queries fan out in parallel, so on
+   a host with cores to spare the 4-shard deployment must beat 1-shard
+   by at least 2x (gated by check_results when serve_cores >= 8; an
+   anti-collapse floor otherwise).  Clients start the mix at staggered
+   offsets so lock-step rounds cannot pile onto one shard. *)
+type shard_scaling_row = {
+  ss_shards : int;
+  ss_queries : int;
+  ss_qps : float;
+  ss_p50_us : float;
+  ss_p99_us : float;
+  ss_digest : string;
+}
+
+let run_shard_scaling (e : Dg.exp1) =
+  section "Shard scaling: scatter-gather router over 1/2/4 COD-range shards";
+  let module Db = Uindex.Db in
+  let module Server = Uindex_server.Server in
+  let module Service = Uindex_server.Service in
+  let module Client = Uindex_server.Client in
+  let module Smap = Uindex_shard.Shard_map in
+  let module Splitter = Uindex_shard.Splitter in
+  let module Router = Uindex_shard.Router in
+  let b = e.ext.b in
+  let mix =
+    [
+      "query (Red, Bus*)";
+      "query (Blue, Automobile*)";
+      "query (Green, Truck*)";
+      "query (Black, CompactAutomobile)";
+      "query (White, Vehicle*)";
+      "query ([50-60], Employee*, Company*, Vehicle*)";
+    ]
+  in
+  let n_mix = List.length mix in
+  let clients = 8 in
+  let total_queries = if quick then 240 else 480 in
+  let per_client = total_queries / clients in
+  let dir = Filename.temp_file "uindex_bench_shard" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let one_deployment shards =
+    let bounds =
+      if shards = 1 then []
+      else Splitter.choose_boundaries ~source:e.ch_color ~shards
+    in
+    let rec ranges lo = function
+      | [] -> [ { Smap.lo; hi = None; file = None; endpoint = None } ]
+      | hi :: rest ->
+          { Smap.lo; hi = Some hi; file = None; endpoint = None }
+          :: ranges hi rest
+    in
+    let map = Smap.make (ranges "" bounds) in
+    let shard_servers =
+      Array.init (Smap.count map) (fun i ->
+          let db = Db.create e.store in
+          Db.attach_index db
+            (Splitter.restrict ~source:e.ch_color map i (Storage.Pager.create ()));
+          Db.attach_index db
+            (Splitter.restrict ~source:e.path_age map i (Storage.Pager.create ()));
+          let svc = Service.create ~schema:b.schema db in
+          let path = Filename.concat dir (Printf.sprintf "s%d_%d.sock" shards i) in
+          let config =
+            {
+              (Server.default_config (Server.Unix_sock path)) with
+              workers = 2;
+              backlog = 64;
+              request_timeout = 30.;
+            }
+          in
+          (Server.start svc config, path))
+    in
+    let router =
+      Router.create ~schema:b.schema ~enc:b.enc ~map
+        ~backends:(Array.map (fun (_, p) -> Router.Remote p) shard_servers)
+        ()
+    in
+    let rpath = Filename.concat dir (Printf.sprintf "router%d.sock" shards) in
+    let rconfig =
+      {
+        (Server.default_config (Server.Unix_sock rpath)) with
+        workers = clients;
+        backlog = 64;
+        request_timeout = 30.;
+      }
+    in
+    let rserver = Server.start_handler (Router.handler router) rconfig in
+    let one_run () =
+      let slots = Array.make clients None in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init clients (fun k ->
+            Thread.create
+              (fun () ->
+                let c = Client.connect_unix rpath in
+                Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+                let lat = Array.make per_client 0. in
+                let cycle = Array.make n_mix "" in
+                for i = 0 to per_client - 1 do
+                  (* staggered start: client k leads with mix slot k *)
+                  let j = (i + k) mod n_mix in
+                  let q0 = Unix.gettimeofday () in
+                  let raw = Client.request_raw c (List.nth mix j) in
+                  lat.(i) <- Unix.gettimeofday () -. q0;
+                  let canon = Router.canonical_projection raw in
+                  if i < n_mix then cycle.(j) <- canon
+                  else if canon <> cycle.(j) then
+                    failwith "shard_scaling: reply drifted between cycles"
+                done;
+                slots.(k) <-
+                  Some
+                    ( lat,
+                      Digest.string (String.concat "\n" (Array.to_list cycle))
+                    ))
+              ())
+      in
+      List.iter Thread.join threads;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let results =
+        Array.to_list slots
+        |> List.map (function
+             | Some r -> r
+             | None -> failwith "shard_scaling: a client thread died")
+      in
+      let digest =
+        match results with
+        | (_, d) :: rest ->
+            List.iter
+              (fun (_, d') ->
+                if d' <> d then
+                  failwith "shard_scaling: clients got different answers")
+              rest;
+            d
+        | [] -> assert false
+      in
+      let lats = Array.concat (List.map fst results) in
+      Array.sort compare lats;
+      let pct p =
+        1e6 *. lats.(min (Array.length lats - 1) (p * Array.length lats / 100))
+      in
+      {
+        ss_shards = Smap.count map;
+        ss_queries = per_client * clients;
+        ss_qps = float_of_int (per_client * clients) /. elapsed;
+        ss_p50_us = pct 50;
+        ss_p99_us = pct 99;
+        ss_digest = digest;
+      }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop rserver;
+        Array.iter (fun (s, _) -> Server.stop s) shard_servers)
+      (fun () ->
+        (* shard indexes are built once per deployment; best-of-3 timed
+           client phases damp scheduler noise *)
+        let runs = List.init 3 (fun _ -> one_run ()) in
+        List.fold_left
+          (fun acc r -> if r.ss_qps > acc.ss_qps then r else acc)
+          (List.hd runs) (List.tl runs))
+  in
+  let rows = List.map one_deployment [ 1; 2; 4 ] in
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%d shard(s): %7.1f queries/s  p50 %8.1f us  p99 %8.1f us  (%d \
+         queries, canonical digest %s)\n"
+        r.ss_shards r.ss_qps r.ss_p50_us r.ss_p99_us r.ss_queries
+        (Digest.to_hex r.ss_digest))
+    rows;
+  rows
+
 (* --- machine-readable results ---------------------------------------------- *)
 
 let json_path =
@@ -1732,7 +1914,7 @@ let json_path =
     (Sys.getenv_opt "UINDEX_BENCH_JSON")
 
 let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
-    ~telemetry ~descent ~chaos ~bulk =
+    ~telemetry ~descent ~chaos ~bulk ~shard =
   let open Obs.Json in
   let row (r : Ex.t1_row) =
     Obj
@@ -1836,6 +2018,17 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
         ("digest", Str (Digest.to_hex r.cr_digest));
       ]
   in
+  let ss_row r =
+    Obj
+      [
+        ("shards", Int r.ss_shards);
+        ("queries", Int r.ss_queries);
+        ("qps", Float r.ss_qps);
+        ("p50_us", Float r.ss_p50_us);
+        ("p99_us", Float r.ss_p99_us);
+        ("digest", Str (Digest.to_hex r.ss_digest));
+      ]
+  in
   let bulk_obj =
     Obj
       [
@@ -1850,7 +2043,7 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
   let j =
     Obj
       [
-        ("schema_version", Int 8);
+        ("schema_version", Int 9);
         ("quick", Bool quick);
         ("reps", Int reps);
         ("objects", Int n_objects);
@@ -1867,6 +2060,7 @@ let write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
         ("telemetry_overhead", List (List.map tel_row telemetry));
         ("descent_fastpath", List (List.map ds_row descent));
         ("chaos_resilience", List (List.map cr_row chaos));
+        ("shard_scaling", List (List.map ss_row shard));
         ("bulk_load", bulk_obj);
         ("metrics", Obs.Metrics.to_json Obs.Metrics.default);
       ]
@@ -1908,8 +2102,11 @@ let () =
   (* chaos replays the same mix, so the store must still be unmutated:
      its digests are gated against serve_throughput's *)
   let chaos = run_chaos_resilience e1 in
+  (* the splitter reads e1's indexes, so this too must precede the
+     store-mutating mixed section *)
+  let shard = run_shard_scaling e1 in
   let bulk = run_bulk_load () in
   (* last: its writers mutate e1's store *)
   let mixed = run_serve_mixed e1 in
   write_results ~t1_rows ~t1_vehicles ~cache_ab ~checksum_ab ~serve ~mixed
-    ~telemetry ~descent ~chaos ~bulk
+    ~telemetry ~descent ~chaos ~bulk ~shard

@@ -31,6 +31,9 @@ module Index = Uindex.Index
 module Exec = Uindex.Exec
 module Encoding = Oodb_schema.Encoding
 module Schema = Oodb_schema.Schema
+module Smap = Uindex_shard.Shard_map
+module Splitter = Uindex_shard.Splitter
+module Router = Uindex_shard.Router
 
 open Cmdliner
 
@@ -486,6 +489,73 @@ let stats_remote spec json monotone_since =
    end);
   if not monotone_ok then exit 1
 
+(* several endpoints: one column per server plus the cluster total — the
+   view over a shard fleet (its servers plus the router) *)
+let stats_multi specs json =
+  let module Client = Uindex_server.Client in
+  let scrape spec =
+    let c = connect_or_die spec in
+    request_or_die @@ fun () ->
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let s = Client.stats c in
+    let h = Client.health c in
+    (spec, s, h)
+  in
+  let snaps = List.map scrape specs in
+  let counters s = jobj_or_empty (jmember "counters" s) in
+  let merged =
+    Obs.Metrics.merge_counters (List.map (fun (_, s, _) -> counters s) snaps)
+  in
+  if json then
+    print_endline
+      (Obs.Json.to_multiline
+         (Obs.Json.Obj
+            [
+              ( "endpoints",
+                Obs.Json.List
+                  (List.map
+                     (fun (spec, s, h) ->
+                       Obs.Json.Obj
+                         [
+                           ("endpoint", Obs.Json.Str spec);
+                           ("stats", s);
+                           ("health", h);
+                         ])
+                     snaps) );
+              ("merged_counters", merged);
+            ]))
+  else begin
+    print_endline "endpoints:";
+    List.iteri
+      (fun i (spec, _, h) ->
+        Printf.printf
+          "  [%d] %s: up %.1fs, %d workers, queue %d, %d sessions%s\n" i spec
+          (jfloat h "uptime_s") (jint h "workers") (jint h "queue_depth")
+          (jint h "active_sessions")
+          (match jmember "role" h with
+          | Some (Obs.Json.Str r) -> ", role " ^ r
+          | _ -> ""))
+      snaps;
+    let cols = List.map (fun (_, s, _) -> counters s) snaps in
+    Printf.printf "%-40s" "counters:";
+    List.iteri (fun i _ -> Printf.printf " %11s" (Printf.sprintf "[%d]" i)) cols;
+    Printf.printf " %11s\n" "merged";
+    match merged with
+    | Obs.Json.Obj kvs ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Obs.Json.Int total ->
+                Printf.printf "  %-38s" k;
+                List.iter
+                  (fun c -> Printf.printf " %11d" (jint c k))
+                  cols;
+                Printf.printf " %11d\n" total
+            | _ -> ())
+          kvs
+    | _ -> ()
+  end
+
 let stats_cmd =
   let run_canned n_vehicles seed json =
     (* exercise every instrumented subsystem: build the generated database
@@ -538,7 +608,16 @@ let stats_cmd =
   in
   let run n_vehicles seed json connect monotone_since =
     match connect with
-    | Some spec -> stats_remote spec json monotone_since
+    | Some spec -> (
+        match String.split_on_char ',' spec with
+        | [] | [ _ ] -> stats_remote spec json monotone_since
+        | specs ->
+            if monotone_since <> None then begin
+              Printf.eprintf
+                "uindex-cli: --monotone-since needs a single endpoint\n";
+              exit 1
+            end;
+            stats_multi specs json)
     | None -> run_canned n_vehicles seed json
   in
   let n =
@@ -556,7 +635,9 @@ let stats_cmd =
           ~doc:
             "Scrape a live $(b,serve) instance instead of running the \
              canned workload: $(i,SPEC) is HOST:PORT or a Unix socket \
-             path.  Prints the server's stats and health snapshots.")
+             path.  Prints the server's stats and health snapshots.  A \
+             comma-separated list scrapes every endpoint (a shard fleet) \
+             and renders per-endpoint columns plus the merged totals.")
   in
   let monotone_since =
     Arg.(
@@ -698,6 +779,145 @@ let bulk_build_cmd =
           sorted entry stream (each page written once, packed to $(b,--fill)) \
           and commit it — the fast path for initial builds.")
     Term.(const run $ file $ n $ seed $ page_size $ fill $ no_checksums)
+
+(* --- shard-split: partition a page file into COD-range shards -------------- *)
+
+let shard_split_cmd =
+  let run source shards out endpoints page_size fill =
+    if shards < 1 then begin
+      Printf.eprintf "uindex-cli: --shards must be >= 1\n";
+      exit 1
+    end;
+    if not (Sys.file_exists source) then begin
+      Printf.eprintf "uindex-cli: no such file: %s\n" source;
+      exit 1
+    end;
+    let b = (Ps.extended ()).b in
+    let src_pager = Storage.Pager.open_file source in
+    Fun.protect ~finally:(fun () -> Storage.Pager.close src_pager)
+    @@ fun () ->
+    let src =
+      Index.attach_class_hierarchy src_pager b.enc ~root:b.vehicle
+        ~attr:"color"
+    in
+    let bounds = Splitter.choose_boundaries ~source:src ~shards in
+    let n = List.length bounds + 1 in
+    if n < shards then
+      Printf.eprintf
+        "uindex-cli: only %d distinct classes to cut on; producing %d \
+         shards instead of %d\n"
+        n n shards;
+    let eps =
+      match endpoints with
+      | None -> []
+      | Some s -> String.split_on_char ',' s
+    in
+    if eps <> [] && List.length eps <> n then begin
+      Printf.eprintf "uindex-cli: %d endpoints given for %d shards\n"
+        (List.length eps) n;
+      exit 1
+    end;
+    let file_of i = Printf.sprintf "%s.%d.pages" out i in
+    (* bounds b1 < b2 < ... become ["", b1) [b1, b2) ... [bk, inf) *)
+    let ranges =
+      let rec go lo = function
+        | [] -> [ (lo, None) ]
+        | b :: rest -> (lo, Some b) :: go b rest
+      in
+      go "" bounds
+    in
+    let map =
+      Smap.make
+        (List.mapi
+           (fun i (lo, hi) ->
+             {
+               Smap.lo;
+               hi;
+               file = Some (file_of i);
+               endpoint = List.nth_opt eps i;
+             })
+           ranges)
+    in
+    let pagers = Array.make n None in
+    let make_pager i =
+      let p = Storage.Pager.create_file ~page_size (file_of i) in
+      pagers.(i) <- Some p;
+      p
+    in
+    let idxs = Splitter.split ~fill ~source:src ~make_pager map in
+    let total = ref 0 in
+    Array.iteri
+      (fun i idx ->
+        Index.sync idx;
+        total := !total + Index.entry_count idx;
+        Printf.printf "shard %d: %d entries -> %s%s\n" i
+          (Index.entry_count idx) (file_of i)
+          (match (Smap.get map i).Smap.endpoint with
+          | Some e -> " (" ^ e ^ ")"
+          | None -> ""))
+      idxs;
+    Array.iter (Option.iter Storage.Pager.close) pagers;
+    (* every source entry must land on exactly one shard *)
+    if !total <> Index.entry_count src then begin
+      Printf.eprintf
+        "uindex-cli: shard entry counts sum to %d but the source holds %d\n"
+        !total (Index.entry_count src);
+      exit 2
+    end;
+    let map_file = out ^ ".map.json" in
+    Smap.save map map_file;
+    Printf.printf "%s: %d shards, %d entries\n" map_file n !total
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Source page file (written by $(b,build)/$(b,bulk-build)).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shards to produce.")
+  in
+  let out =
+    Arg.(
+      value & opt string "shard"
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:
+            "Output prefix: shard $(i,i) goes to $(i,PREFIX).$(i,i).pages \
+             and the map to $(i,PREFIX).map.json.")
+  in
+  let endpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"SPEC,SPEC,..."
+          ~doc:
+            "Comma-separated connect specs recorded in the map, one per \
+             shard in range order — what $(b,serve --shard-map) routes \
+             to.")
+  in
+  let page_size =
+    Arg.(
+      value & opt int 1024
+      & info [ "page-size" ] ~docv:"BYTES" ~doc:"Shard page size.")
+  in
+  let fill =
+    Arg.(
+      value & opt float 0.9
+      & info [ "fill" ] ~docv:"FACTOR"
+          ~doc:"Bulk-load fill factor for the shard files, in (0, 1].")
+  in
+  Cmd.v
+    (Cmd.info "shard-split"
+       ~doc:
+         "Partition a page file into COD-range shards: pick entry-balanced \
+          class-subtree boundaries, bulk-load each shard's entries into \
+          its own page file, and write the shard map ($(b,serve \
+          --shard-map) consumes it).  Exits 2 if the shards do not \
+          exactly cover the source.")
+    Term.(const run $ source $ shards $ out $ endpoints $ page_size $ fill)
 
 (* --- recover: journal replay + integrity check ----------------------------- *)
 
@@ -1102,24 +1322,110 @@ let parse_chaos_or_die = function
           Printf.eprintf "uindex-cli: %s\n" msg;
           exit 1)
 
+(* the serve/router shutdown loop: announce the bound address, then wait
+   for SIGTERM/SIGINT *)
+let announce_and_wait server =
+  let stop = Atomic.make false in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigterm on_signal;
+  Sys.set_signal Sys.sigint on_signal;
+  (match Server.bound_addr server with
+  | Unix.ADDR_UNIX p -> Printf.printf "listening on %s\n%!" p
+  | Unix.ADDR_INET (ip, port) ->
+      Printf.printf "listening on %s:%d\n%!" (Unix.string_of_inet_addr ip)
+        port);
+  while not (Atomic.get stop) do
+    try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  print_endline "shutting down"
+
+(* serve --shard-map without --shard-id: the scatter-gather router.  No
+   database of its own — every query fans out to the shards the planner
+   cannot prune. *)
+let run_router mapfile addr workers backlog timeout chaos restart_budget =
+  let map =
+    match Smap.load mapfile with
+    | map -> map
+    | exception (Sys_error msg | Invalid_argument msg) ->
+        Printf.eprintf "uindex-cli: %s\n" msg;
+        exit 1
+  in
+  let b = (Ps.extended ()).b in
+  let backends =
+    Array.mapi
+      (fun i (s : Smap.shard) ->
+        match s.endpoint with
+        | Some ep -> Router.Remote ep
+        | None ->
+            Printf.eprintf
+              "uindex-cli: shard %d carries no endpoint in %s (re-run \
+               shard-split with --endpoints)\n"
+              i mapfile;
+            exit 1)
+      (Smap.shards map)
+  in
+  let router =
+    Router.create
+      ~shard_timeout:(if timeout > 0. then timeout else 5.)
+      ~schema:b.schema ~enc:b.enc ~map ~backends ()
+  in
+  let config =
+    { (Server.default_config addr) with workers; backlog;
+      request_timeout = timeout; chaos; restart_budget }
+  in
+  let server = Server.start_handler (Router.handler router) config in
+  announce_and_wait server;
+  Server.stop server
+
 let serve_cmd =
   let run n_vehicles seed addr workers backlog timeout file churn group_window
       slow_ms slow_log trace_sample no_tracing no_fast chaos_spec scrub_every
-      restart_budget =
+      restart_budget shard_map shard_id =
     if no_fast then Btree.set_fast_descent false;
     let chaos = parse_chaos_or_die chaos_spec in
+    match (shard_map, shard_id) with
+    | None, Some _ ->
+        Printf.eprintf "uindex-cli: --shard-id requires --shard-map\n";
+        exit 1
+    | Some mapfile, None ->
+        run_router mapfile addr workers backlog timeout chaos restart_budget
+    | shard_role ->
+    let shard =
+      match shard_role with
+      | Some mapfile, Some k -> (
+          match Smap.load mapfile with
+          | map ->
+              if k < 0 || k >= Smap.count map then begin
+                Printf.eprintf
+                  "uindex-cli: shard id %d out of range (map has %d shards)\n"
+                  k (Smap.count map);
+                exit 1
+              end;
+              Some (map, k)
+          | exception (Sys_error msg | Invalid_argument msg) ->
+              Printf.eprintf "uindex-cli: %s\n" msg;
+              exit 1)
+      | _ -> None
+    in
     let e = Dg.exp1 ~n_vehicles ~seed () in
     let b = e.ext.b in
     let db = Uindex.Db.create e.store in
     (* arity-1 route: the on-file index when given, else the in-memory one;
        a --file index must have been built with the same -n/--seed so its
-       entries match the regenerated store *)
+       entries match the regenerated store.  A shard server takes its page
+       file from the map and restricts the arity-3 route to the same COD
+       range, so every route answers exactly this shard's slice. *)
     let file_pager =
-      match file with
-      | None ->
-          Uindex.Db.attach_index db e.ch_color;
-          None
-      | Some f ->
+      match shard with
+      | Some (map, k) ->
+          let f =
+            match (Smap.get map k).Smap.file with
+            | Some f -> f
+            | None ->
+                Printf.eprintf
+                  "uindex-cli: shard %d carries no page file in the map\n" k;
+                exit 1
+          in
           if not (Sys.file_exists f) then begin
             Printf.eprintf "uindex-cli: no such file: %s\n" f;
             exit 1
@@ -1130,9 +1436,29 @@ let serve_cmd =
               ~attr:"color"
           in
           Uindex.Db.attach_index db ch;
+          Uindex.Db.attach_index db
+            (Splitter.restrict ~source:e.path_age map k
+               (Storage.Pager.create ()));
           Some pager
+      | None -> (
+          Uindex.Db.attach_index db e.path_age;
+          match file with
+          | None ->
+              Uindex.Db.attach_index db e.ch_color;
+              None
+          | Some f ->
+              if not (Sys.file_exists f) then begin
+                Printf.eprintf "uindex-cli: no such file: %s\n" f;
+                exit 1
+              end;
+              let pager = Storage.Pager.open_file f in
+              let ch =
+                Index.attach_class_hierarchy pager b.enc ~root:b.vehicle
+                  ~attr:"color"
+              in
+              Uindex.Db.attach_index db ch;
+              Some pager)
     in
-    Uindex.Db.attach_index db e.path_age;
     Uindex.Db.set_group_window db group_window;
     let telemetry =
       {
@@ -1142,7 +1468,15 @@ let serve_cmd =
         slow_capacity = max 0 slow_log;
       }
     in
-    let svc = Service.create ~telemetry ~schema:b.schema db in
+    let shard_info =
+      Option.map
+        (fun (map, k) ->
+          match Smap.topology_json map with
+          | Obs.Json.List l -> List.nth l k
+          | _ -> Obs.Json.Null)
+        shard
+    in
+    let svc = Service.create ~telemetry ?shard_info ~schema:b.schema db in
     let config = { (Server.default_config addr) with workers; backlog;
                    request_timeout = timeout; chaos; restart_budget } in
     let server = Server.start svc config in
@@ -1154,10 +1488,6 @@ let serve_cmd =
              db)
       else None
     in
-    let stop = Atomic.make false in
-    let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
-    Sys.set_signal Sys.sigterm on_signal;
-    Sys.set_signal Sys.sigint on_signal;
     (* --churn: in-process writer storm alongside the served readers.
        The inserted colors are prefixed so they never match a benchmark
        query: reader replies stay comparable to a churn-free run. *)
@@ -1176,16 +1506,7 @@ let serve_cmd =
               done;
               !k))
     in
-    (match Server.bound_addr server with
-    | Unix.ADDR_UNIX p -> Printf.printf "listening on %s\n%!" p
-    | Unix.ADDR_INET (ip, port) ->
-        Printf.printf "listening on %s:%d\n%!" (Unix.string_of_inet_addr ip)
-          port);
-    while not (Atomic.get stop) do
-      try Unix.sleepf 0.1
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    done;
-    print_endline "shutting down";
+    announce_and_wait server;
     Atomic.set churn_stop true;
     let commits = List.fold_left (fun a d -> a + Domain.join d) 0 churners in
     if churn > 0 then Printf.printf "churn writers committed %d times\n" commits;
@@ -1311,6 +1632,26 @@ let serve_cmd =
             "Worker/acceptor domain respawns the in-process supervisor \
              may perform before letting capacity degrade.")
   in
+  let shard_map =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-map" ] ~docv:"FILE"
+          ~doc:
+            "Shard map written by $(b,shard-split).  Alone: run the \
+             scatter-gather router over the map's endpoints.  With \
+             $(b,--shard-id): serve that one shard's page file.")
+  in
+  let shard_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-id" ] ~docv:"K"
+          ~doc:
+            "With $(b,--shard-map): serve shard $(i,K) — its page file \
+             from the map, and the path index restricted to its COD \
+             range.  [health] reports the shard's range.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1318,21 +1659,24 @@ let serve_cmd =
           isolated readers on a fixed worker pool, with live telemetry \
           on the admin protocol ($(b,stats)/$(b,health)/$(b,slow-queries) \
           requests).  SIGTERM/SIGINT shut down gracefully (drain, sync, \
-          dump the slow-query log, exit 0).")
+          dump the slow-query log, exit 0).  With $(b,--shard-map) the \
+          process becomes a scatter-gather router (or, with \
+          $(b,--shard-id), one shard of the fleet).")
     Term.(
       const run $ n $ seed $ addr_args $ workers $ backlog $ timeout $ file
       $ churn $ group_window $ slow_ms $ slow_log $ trace_sample
       $ no_tracing $ no_fast_descent_arg $ chaos $ scrub_every
-      $ restart_budget)
+      $ restart_budget $ shard_map $ shard_id)
 
 let client_cmd =
-  let run addr requests retry timeout retry_seed =
+  let run addr requests retry timeout retry_seed stable =
     (* a server that vanishes mid-request should be an error message,
        not a SIGPIPE death *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let failures = ref 0 in
     let note_reply raw =
-      print_endline raw;
+      print_endline
+        (if stable then Router.canonical_projection raw else raw);
       match Obs.Json.of_string raw with
       | j when Uindex_server.Protocol.response_is_ok j -> ()
       | _ -> incr failures
@@ -1421,12 +1765,23 @@ let client_cmd =
       & info [ "retry-seed" ] ~docv:"N"
           ~doc:"Seed for the backoff jitter stream (runs are replayable).")
   in
+  let stable =
+    Arg.(
+      value & flag
+      & info [ "stable" ]
+          ~doc:
+            "Print the canonical projection of each reply (drop the \
+             deployment-dependent cost fields) — what a sharded and an \
+             unsharded deployment must answer byte-identically.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send request lines to a running $(b,serve) instance and print \
           each raw JSON reply.  Exits 1 if any reply is not ok.")
-    Term.(const run $ addr_args $ requests $ retry $ timeout $ retry_seed)
+    Term.(
+      const run $ addr_args $ requests $ retry $ timeout $ retry_seed
+      $ stable)
 
 (* --- supervise: crash -> recover -> re-serve, automatically ----------------- *)
 
@@ -1612,7 +1967,7 @@ let supervise_cmd =
 (* --- top: a refreshing live dashboard over the admin protocol -------------- *)
 
 let top_cmd =
-  let run spec interval iterations raw =
+  let run_single spec interval iterations raw =
     let c = connect_or_die spec in
     request_or_die @@ fun () ->
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
@@ -1686,6 +2041,12 @@ let top_cmd =
       line "page reads  %s   pool hit %s" (fmt_rate (rate "pager.reads")) hit_pct;
       line "fsyncs      %s   commits %s" (fmt_rate (rate "journal.fsyncs"))
         (fmt_rate (rate "journal.commits"));
+      (* a router also shows its fan-out economy *)
+      if jmember "shard.forwarded" (counters s) <> None then
+        line "forwarded   %s   pruned %s   shard-fail %s"
+          (fmt_rate (rate "shard.forwarded"))
+          (fmt_rate (rate "shard.pruned"))
+          (fmt_rate (rate "shard.failures"));
       if not raw then print_string "\027[2J\027[H";
       print_string (Buffer.contents buf);
       flush stdout;
@@ -1698,12 +2059,110 @@ let top_cmd =
     in
     loop ()
   in
+  (* several endpoints: a rate table, one column per server plus the
+     cluster total *)
+  let run_multi specs interval iterations raw =
+    let cs = List.map connect_or_die specs in
+    request_or_die @@ fun () ->
+    Fun.protect ~finally:(fun () -> List.iter Client.close cs) @@ fun () ->
+    let counters j = jobj_or_empty (jmember "counters" j) in
+    let prev = ref None in
+    let tick = ref 0 in
+    let rec loop () =
+      incr tick;
+      let ss = List.map Client.stats cs in
+      let hs = List.map Client.health cs in
+      let now = Unix.gettimeofday () in
+      let merged = Obs.Metrics.merge_counters (List.map counters ss) in
+      let cols = Array.of_list (List.map counters ss @ [ merged ]) in
+      let ncols = Array.length cols in
+      let rate =
+        match !prev with
+        | Some (cols0, t0) when Array.length cols0 = ncols ->
+            let dt = max 1e-6 (now -. t0) in
+            fun i key ->
+              Some (float_of_int (jint cols.(i) key - jint cols0.(i) key) /. dt)
+        | _ -> fun _ _ -> None
+      in
+      let fmt_rate = function
+        | None -> "        -"
+        | Some r -> Printf.sprintf "%9.1f" r
+      in
+      let buf = Buffer.create 1024 in
+      let line fmt =
+        Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+      in
+      line "uindex top — %d endpoints   tick %d (every %.1fs)"
+        (List.length specs) !tick interval;
+      List.iteri
+        (fun i (spec, h) ->
+          line "  [%d] %-28s up %8.1fs   workers %2d   queue %2d   sessions %2d%s"
+            i spec (jfloat h "uptime_s") (jint h "workers")
+            (jint h "queue_depth")
+            (jint h "active_sessions")
+            (match jmember "role" h with
+            | Some (Obs.Json.Str r) -> "   role " ^ r
+            | _ -> ""))
+        (List.combine specs hs);
+      line "";
+      let header = Buffer.create 80 in
+      Buffer.add_string header (Printf.sprintf "%-12s" "rate/s");
+      for i = 0 to ncols - 2 do
+        Buffer.add_string header
+          (Printf.sprintf " %9s" (Printf.sprintf "[%d]" i))
+      done;
+      Buffer.add_string header (Printf.sprintf " %9s" "merged");
+      line "%s" (Buffer.contents header);
+      let row label key =
+        let b = Buffer.create 80 in
+        Buffer.add_string b (Printf.sprintf "%-12s" label);
+        for i = 0 to ncols - 1 do
+          Buffer.add_string b (Printf.sprintf " %s" (fmt_rate (rate i key)))
+        done;
+        line "%s" (Buffer.contents b)
+      in
+      row "qps" "server.requests";
+      row "errors" "server.request_errors";
+      row "slow" "server.slow_queries";
+      row "page reads" "pager.reads";
+      row "fsyncs" "journal.fsyncs";
+      row "commits" "journal.commits";
+      if
+        Array.exists
+          (fun c -> jmember "shard.forwarded" c <> None)
+          cols
+      then begin
+        row "forwarded" "shard.forwarded";
+        row "pruned" "shard.pruned";
+        row "shard-fail" "shard.failures"
+      end;
+      if not raw then print_string "\027[2J\027[H";
+      print_string (Buffer.contents buf);
+      flush stdout;
+      prev := Some (cols, now);
+      if iterations = 0 || !tick < iterations then begin
+        (try Unix.sleepf interval
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let run spec interval iterations raw =
+    match String.split_on_char ',' spec with
+    | [] | [ _ ] -> run_single spec interval iterations raw
+    | specs -> run_multi specs interval iterations raw
+  in
   let connect =
     Arg.(
       required
       & opt (some string) None
       & info [ "connect" ] ~docv:"SPEC"
-          ~doc:"Server endpoint: HOST:PORT or a Unix socket path.")
+          ~doc:
+            "Server endpoint: HOST:PORT or a Unix socket path.  A \
+             comma-separated list polls every endpoint (a shard fleet) \
+             and renders per-endpoint rate columns plus the merged \
+             total.")
   in
   let interval =
     Arg.(
@@ -1747,6 +2206,7 @@ let () =
             stats_cmd;
             build_cmd;
             bulk_build_cmd;
+            shard_split_cmd;
             recover_cmd;
             check_cmd;
             salvage_cmd;

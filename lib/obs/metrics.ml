@@ -243,6 +243,31 @@ let counters_json r =
          | Gauge _ | Histogram _ -> None)
        (sorted_entries r))
 
+(* Key-wise sum of counter snapshots from several servers: the cluster
+   total a multi-endpoint [stats]/[top] renders as its merged row.  Keys
+   missing from some snapshots count from 0; non-integer members are
+   dropped.  Output keys are sorted, so merging is order-insensitive. *)
+let merge_counters snaps =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      match snap with
+      | Json.Obj kvs ->
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Json.Int n ->
+                  let prev =
+                    Option.value ~default:0 (Hashtbl.find_opt tbl k)
+                  in
+                  Hashtbl.replace tbl k (prev + n)
+              | _ -> ())
+            kvs
+      | _ -> ())
+    snaps;
+  let kvs = Hashtbl.fold (fun k n acc -> (k, Json.Int n) :: acc) tbl [] in
+  Json.Obj (List.sort (fun (a, _) (b, _) -> compare a b) kvs)
+
 let delta ~before ~after =
   match after with
   | Json.Obj kvs ->

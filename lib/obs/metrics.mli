@@ -121,6 +121,14 @@ val counters_json : registry -> Json.t
     CI monotonicity gate rely on.  Gauges and histograms are excluded
     because they may legitimately move backwards. *)
 
+val merge_counters : Json.t list -> Json.t
+(** Key-wise sum of several counter snapshots (as produced by
+    {!counters_json}) into one — the cluster-wide totals a
+    multi-endpoint [uindex stats]/[uindex top] shows as its merged row.
+    A key missing from some snapshots counts from 0 there; non-integer
+    members are dropped; the result's keys are sorted, so the merge is
+    insensitive to both snapshot order and member order. *)
+
 val delta : before:Json.t -> after:Json.t -> (string * int) list
 (** Pairwise differences of the integer members of two registry
     snapshots (as produced by {!counters_json} or {!to_json}), keyed by

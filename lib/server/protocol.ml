@@ -156,6 +156,7 @@ type error_kind =
   | Overloaded
   | Frame_too_large
   | Corrupt
+  | Shard_failure
   | Internal
 
 let error_kind_name = function
@@ -166,6 +167,7 @@ let error_kind_name = function
   | Overloaded -> "overloaded"
   | Frame_too_large -> "frame_too_large"
   | Corrupt -> "data_corruption"
+  | Shard_failure -> "shard_failure"
   | Internal -> "internal"
 
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)

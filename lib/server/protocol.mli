@@ -83,6 +83,9 @@ type error_kind =
   | Corrupt
       (** the request touched a page that failed its checksum — the
           damage is quarantined and deterministic, so {e not} retryable *)
+  | Shard_failure
+      (** a scatter-gather fan-out lost one or more shards: the router
+          refuses to return a silently partial row set *)
   | Internal
 
 val error_kind_name : error_kind -> string

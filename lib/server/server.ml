@@ -48,8 +48,24 @@ let default_config addr =
 
 type conn = { fd : Unix.file_descr; enqueued_at : float }
 
+(* what a worker serves requests through: the plain query service, or
+   any other request pipeline with the same line-in/payload-out contract
+   (e.g. a shard router) *)
+type handler = {
+  serve : queued_ns:int -> deadline:float option -> string -> string;
+  on_stop : unit -> unit;
+}
+
+let handler_of_service service =
+  {
+    serve =
+      (fun ~queued_ns ~deadline line ->
+        Service.serve_line ~queued_ns ?deadline service line);
+    on_stop = (fun () -> Uindex.Db.sync (Service.db service));
+  }
+
 type t = {
-  service : Service.t;
+  handler : handler;
   config : config;
   listen_fd : Unix.file_descr;
   queue : conn Queue.t;
@@ -186,9 +202,7 @@ let serve_conn t conn =
           in
           let wait = !queued_ns in
           queued_ns := 0;
-          let reply =
-            Service.serve_line ~queued_ns:wait ?deadline t.service payload
-          in
+          let reply = t.handler.serve ~queued_ns:wait ~deadline payload in
           let sent =
             try Chaos.write_frame chaos fd reply
             with Unix.Unix_error _ | Invalid_argument _ -> `Sent
@@ -314,7 +328,7 @@ let rec supervisor_loop t =
 
 (* --- lifecycle -------------------------------------------------------- *)
 
-let start service config =
+let start_handler handler config =
   if config.workers < 1 then invalid_arg "Server.start: workers < 1";
   if config.backlog < 1 then invalid_arg "Server.start: backlog < 1";
   if config.restart_budget < 0 then
@@ -325,7 +339,7 @@ let start service config =
   let listen_fd = bind_listener config in
   let t =
     {
-      service;
+      handler;
       config;
       listen_fd;
       queue = Queue.create ();
@@ -354,6 +368,8 @@ let start service config =
         | None -> ""
         | Some c -> " [chaos: " ^ Chaos.spec_to_string (Chaos.spec c) ^ "]"));
   t
+
+let start service config = start_handler (handler_of_service service) config
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
@@ -392,6 +408,6 @@ let stop t =
     | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ());
     (* drain-then-sync: shutdown leaves nothing in the journal *)
-    Uindex.Db.sync (Service.db t.service);
+    t.handler.on_stop ();
     Log.info (fun m -> m "stopped")
   end

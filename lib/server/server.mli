@@ -51,6 +51,27 @@ val default_config : addr -> config
 
 type t
 
+type handler = {
+  serve : queued_ns:int -> deadline:float option -> string -> string;
+      (** one request line in, one JSON reply out.  [queued_ns] is the
+          time the connection waited in the accept queue; [deadline] is
+          an absolute [Unix.gettimeofday] cutoff (or [None]). *)
+  on_stop : unit -> unit;
+      (** called once after a graceful {!stop} has drained the workers —
+          the place to sync a database or flush downstream state. *)
+}
+(** What the worker pool actually runs.  {!start} wraps a {!Service.t}
+    in one; {!start_handler} accepts any implementation, letting a
+    shard router (or any other request processor) sit behind the same
+    listener, queueing, chaos and supervision machinery. *)
+
+val handler_of_service : Service.t -> handler
+(** [serve] is {!Service.serve_line}; [on_stop] syncs the service's
+    database. *)
+
+val start_handler : handler -> config -> t
+(** {!start} generalized over the request handler. *)
+
 val start : Service.t -> config -> t
 (** Binds, listens and spawns the acceptor, worker and supervisor
     domains.  Raises [Unix.Unix_error] if the address cannot be bound

@@ -82,9 +82,10 @@ type t = {
   slow : slow_entry Ring.t;
   seq : int Atomic.t;  (* server-assigned trace ids and the sampling clock *)
   started : float;
+  shard_info : Json.t option;  (* topology of the shard this node serves *)
 }
 
-let create ?(telemetry = default_telemetry) ~schema db =
+let create ?(telemetry = default_telemetry) ?shard_info ~schema db =
   let telemetry =
     { telemetry with sample_every = max 1 telemetry.sample_every }
   in
@@ -99,6 +100,7 @@ let create ?(telemetry = default_telemetry) ~schema db =
     slow = Ring.create (max 0 telemetry.slow_capacity);
     seq = Atomic.make 0;
     started = Unix.gettimeofday ();
+    shard_info;
   }
 
 let db t = t.db
@@ -194,8 +196,11 @@ let health_response t =
   in
   let gc = Gc.quick_stat () in
   let acked = Db.acked_lsn t.db and durable = Db.durable_lsn t.db in
+  let shard_fields =
+    match t.shard_info with None -> [] | Some j -> [ ("shard", j) ]
+  in
   Protocol.ok
-    [
+    ([
       ("type", Json.Str "health");
       ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
       ("workers", Json.Int (metric "server.workers"));
@@ -244,6 +249,7 @@ let health_response t =
             ("top_heap_words", Json.Int gc.Gc.top_heap_words);
           ] );
     ]
+    @ shard_fields)
 
 let slow_response ?limit t =
   Protocol.ok (("type", Json.Str "slow_queries") :: slow_log_fields ?limit t)

@@ -58,9 +58,16 @@ val default_telemetry : telemetry
     slow log. *)
 
 val create :
-  ?telemetry:telemetry -> schema:Oodb_schema.Schema.t -> Uindex.Db.t -> t
+  ?telemetry:telemetry ->
+  ?shard_info:Obs.Json.t ->
+  schema:Oodb_schema.Schema.t ->
+  Uindex.Db.t ->
+  t
 (** Snapshots the database's current index registration into a routing
-    table (indexes registered later are not served). *)
+    table (indexes registered later are not served).  [?shard_info], when
+    given, is surfaced verbatim as a ["shard"] member of the [health]
+    response — a shard server uses it to report which COD range it
+    holds. *)
 
 val db : t -> Uindex.Db.t
 val telemetry : t -> telemetry

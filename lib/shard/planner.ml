@@ -1,0 +1,26 @@
+module Encoding = Oodb_schema.Encoding
+module Query = Uindex.Query
+
+(* sort by lo and merge touching/overlapping intervals, dropping empties *)
+let normalize ivs =
+  let ivs = List.filter (fun (lo, hi) -> lo < hi) ivs in
+  let ivs = List.sort (fun (a, _) (b, _) -> String.compare a b) ivs in
+  let rec merge = function
+    | (lo1, hi1) :: (lo2, hi2) :: rest when lo2 <= hi1 ->
+        merge ((lo1, (if hi1 < hi2 then hi2 else hi1)) :: rest)
+    | iv :: rest -> iv :: merge rest
+    | [] -> []
+  in
+  merge ivs
+
+let rec collect enc = function
+  | Query.P_class c -> [ Encoding.exact_interval enc c ]
+  | Query.P_subtree c -> [ Encoding.subtree_interval enc c ]
+  | Query.P_union ps -> List.concat_map (collect enc) ps
+
+let code_intervals enc pat = normalize (collect enc pat)
+
+let route map enc (q : Query.t) =
+  match q.comps with
+  | [] -> List.init (Shard_map.count map) Fun.id
+  | first :: _ -> Shard_map.intersecting map (code_intervals enc first.pat)

@@ -1,0 +1,20 @@
+(** Query-to-shard routing: the paper's containment argument lifted one
+    level.  A query's first component (the path target — the component
+    whose code leads every entry key after the value bytes) restricts
+    entries to a set of serialized-code intervals: one exact interval
+    per [P_class], one subtree interval per [P_subtree], their union for
+    [P_union].  A shard whose COD range is disjoint from that interval
+    set cannot hold a matching entry, so the router never contacts it —
+    pruning is exact, not heuristic. *)
+
+module Encoding := Oodb_schema.Encoding
+
+val code_intervals :
+  Encoding.t -> Uindex.Query.class_pat -> (string * string) list
+(** The normalized (sorted, merged, non-empty) half-open serialized-code
+    intervals admitted by the pattern.  [P_union []] yields []. *)
+
+val route : Shard_map.t -> Encoding.t -> Uindex.Query.t -> int list
+(** Shard ids (ascending) the query can touch, from the first
+    component's pattern.  A query with no components routes everywhere
+    (nothing to prune on). *)

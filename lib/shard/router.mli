@@ -1,0 +1,92 @@
+(** The scatter-gather query frontend.
+
+    One router serves the same wire protocol as an unsharded
+    {!Uindex_server.Service}: it parses each query, asks {!Planner}
+    which shards the query's code intervals can touch, fans the request
+    out to exactly those shards — in-process services or remote
+    endpoints — and merges the replies.
+
+    {b Reply canonicalization.}  Every shard renders rows in the
+    canonical sorted order ({!Uindex_server.Service}), and a COD-range
+    partition assigns each entry to exactly one shard, so the merged
+    row list (re-sorted by rendered bytes) is byte-identical to the
+    unsharded engine's row list; [count] is the sum of shard counts and
+    the cost fields ([page_reads], [pool_hits], [entries_scanned]) are
+    sums over the shards actually contacted.  {!canonical_projection}
+    extracts the deployment-independent part of a reply — everything
+    except the cost fields — which is the byte-comparable answer.
+
+    {b Single-shard bypass.}  A query routed to one shard is forwarded
+    verbatim and its reply bytes returned untouched: no parse, no merge,
+    no re-render.
+
+    {b Partial failure.}  A shard that cannot be reached (after the
+    client's retry policy is exhausted) or that replies with an error
+    the others do not turns the whole reply into a typed
+    [shard_failure] error naming the lost shards — never a hang and
+    never a silently partial row set.  If every contacted shard returns
+    the {e same} error kind (e.g. [unroutable]), that reply is passed
+    through unchanged. *)
+
+module Schema := Oodb_schema.Schema
+module Encoding := Oodb_schema.Encoding
+module Service := Uindex_server.Service
+module Server := Uindex_server.Server
+module Client := Uindex_server.Client
+
+type backend =
+  | Local of Service.t  (** in-process shard: direct dispatch *)
+  | Remote of string
+      (** connect spec ([HOST:PORT] or Unix socket path); each fan-out
+          request opens a fresh retrying connection, so any number of
+          worker domains may serve through the router concurrently *)
+
+type t
+
+val create :
+  ?shard_timeout:float ->
+  ?retry_policy:Client.retry_policy ->
+  schema:Schema.t ->
+  enc:Encoding.t ->
+  map:Shard_map.t ->
+  backends:backend array ->
+  unit ->
+  t
+(** [backends] must have one entry per shard of [map].
+    [?shard_timeout] (default 5 s) is the per-shard socket deadline on
+    remote fan-out requests. *)
+
+val map : t -> Shard_map.t
+
+val requests_per_shard : t -> int array
+(** How many requests this router has forwarded to each shard — the
+    pruning-exactness witness: a shard disjoint from every query's
+    interval set must show zero. *)
+
+val route_query : t -> Uindex.Query.t -> int list
+(** The shards {!Planner} would fan this query to (no request is
+    sent). *)
+
+val respond : ?trace_id:int -> t -> Uindex.Query.t -> string
+(** The reply for an already-parsed query — {!serve_line}'s query path
+    without the wire parsing.  This is how a query whose pattern admits
+    no code interval at all ([P_union []], which has no textual form)
+    gets its canonical empty reply without contacting any shard. *)
+
+val serve_line : ?queued_ns:int -> ?deadline:float -> t -> string -> string
+(** The router's request pipeline — same contract as
+    {!Uindex_server.Service.serve_line}, feeding the same [server.*]
+    instruments plus [shard.fanout] (shards contacted per query),
+    [shard.pruned] (shard requests avoided) and [shard.merge_ns]. *)
+
+val handler : t -> Server.handler
+(** Plug the router behind the socket server:
+    [Server.start_handler (Router.handler r) config]. *)
+
+val canonical_projection : string -> string
+(** The deployment-independent projection of a reply payload: parses the
+    JSON and keeps [ok], [type], [count], [rows], [error] and
+    [trace_id] members (in that order), dropping per-deployment cost
+    fields.  Two deployments answer a query identically iff their
+    projections are byte-identical.  Unparseable payloads are returned
+    unchanged. *)

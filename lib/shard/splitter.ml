@@ -1,0 +1,76 @@
+module Index = Uindex.Index
+module Value = Objstore.Value
+
+let shard_key ~ty key =
+  let _, stop = Value.decode ~ty key 0 in
+  let n = String.length key in
+  if stop >= n || key.[stop] <> '\x01' then
+    invalid_arg "Splitter.shard_key: missing value separator";
+  match String.index_from_opt key (stop + 1) '\x01' with
+  | None -> invalid_arg "Splitter.shard_key: unterminated component code"
+  | Some code_end -> String.sub key (stop + 1) (code_end - stop)
+
+let in_range (s : Shard_map.shard) sk =
+  sk >= s.lo && match s.hi with None -> true | Some hi -> sk < hi
+
+let restrict ?fill ~source map i pager =
+  let s = Shard_map.get map i in
+  let ty = Index.attr_ty source in
+  let target = Index.recreate source pager in
+  let tree = Index.tree source in
+  let sc = Btree.Scanner.create tree ~read:(Btree.raw_read tree) in
+  let started = ref false in
+  let rec next () =
+    let e =
+      if !started then Btree.Scanner.next sc
+      else begin
+        started := true;
+        Btree.Scanner.seek sc ""
+      end
+    in
+    match e with
+    | None -> Seq.Nil
+    | Some e ->
+        if in_range s (shard_key ~ty e.Btree.key) then
+          Seq.Cons ((e.Btree.key, e.value ()), next)
+        else next ()
+  in
+  Btree.bulk_load ?fill (Index.tree target) next;
+  target
+
+let split ?fill ~source ~make_pager map =
+  Array.init (Shard_map.count map) (fun i ->
+      restrict ?fill ~source map i (make_pager i))
+
+let choose_boundaries ~source ~shards =
+  let tree = Index.tree source in
+  let ty = Index.attr_ty source in
+  let counts = Hashtbl.create 64 in
+  Btree.iter tree (fun e ->
+      let sk = shard_key ~ty e.Btree.key in
+      (* strip the 0x01 terminator: boundaries are bare serialized codes,
+         so each cut lands exactly on a class-subtree boundary *)
+      let code = String.sub sk 0 (String.length sk - 1) in
+      Hashtbl.replace counts code
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts code)));
+  let codes =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+  in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 codes in
+  if total = 0 then []
+  else begin
+    let bounds = ref [] and acc = ref 0 and next = ref 1 in
+    List.iter
+      (fun (code, c) ->
+        (* cut before this class once the running count passes the next
+           equal-share target; at most one cut per class keeps ranges
+           non-empty even when one class dominates *)
+        if !next < shards && !acc > 0 && !acc * shards >= total * !next
+        then begin
+          bounds := code :: !bounds;
+          incr next
+        end;
+        acc := !acc + c)
+      codes;
+    List.rev !bounds
+  end

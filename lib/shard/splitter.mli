@@ -1,0 +1,53 @@
+(** Partitioning one U-index into per-shard indexes by COD range.
+
+    An entry belongs to the shard whose range contains its {e shard
+    key}: the first component's serialized code followed by the [0x01]
+    component terminator.  That convention makes a class's bare
+    serialized code a subtree boundary (the class and all its
+    descendants sort at or above it) and keeps the splitter's
+    classification in the same byte-string space as the planner's
+    {!Planner.code_intervals}.
+
+    Within one shard, the selected entries are a subsequence of the
+    source tree's in-order iteration — keys sort by value first, so a
+    COD range selects a sub-run inside every value group without
+    reordering anything — which is exactly the sorted stream
+    {!Btree.bulk_load} wants: each shard is built bottom-up, every page
+    written once.  One filtered scan per shard (a COD range is a union
+    of per-value-group key ranges, so a filter {e is} the general range
+    scan). *)
+
+module Schema := Oodb_schema.Schema
+module Encoding := Oodb_schema.Encoding
+
+val shard_key : ty:Schema.attr_type -> string -> string
+(** The shard key of a raw entry key (first component's serialized code
+    plus terminator).  Raises [Invalid_argument] on a malformed key. *)
+
+val restrict :
+  ?fill:float ->
+  source:Uindex.Index.t ->
+  Shard_map.t ->
+  int ->
+  Storage.Pager.t ->
+  Uindex.Index.t
+(** [restrict ~source map i pager] bulk-loads shard [i]'s entries (and
+    only those) from [source] into an empty index of the same kind on
+    [pager].  The result serves queries exactly like [source] restricted
+    to the shard's COD range. *)
+
+val split :
+  ?fill:float ->
+  source:Uindex.Index.t ->
+  make_pager:(int -> Storage.Pager.t) ->
+  Shard_map.t ->
+  Uindex.Index.t array
+(** {!restrict} for every shard of the map, in order. *)
+
+val choose_boundaries :
+  source:Uindex.Index.t -> shards:int -> string list
+(** Entry-balanced split points for [shards] shards: scans the source
+    once, counts entries per first-component class, and returns
+    [shards - 1] boundaries — each the bare serialized code of a class,
+    i.e. exactly a class-subtree boundary.  Fewer boundaries come back
+    when there are not enough distinct classes to cut. *)

@@ -369,6 +369,11 @@ let test_corruption_containment () =
             else begin
               Alcotest.(check bool) "other pages kept serving" true
                 (!ok_replies > 0);
+              (* corruption replies must release their sessions: a leak
+                 here would pin snapshot reclamation forever *)
+              Alcotest.(check int) "sessions drained after corrupt replies"
+                0
+                (Uindex.Db.active_sessions ());
               (* the quarantine heard about it ... *)
               Alcotest.(check bool) "quarantine populated" true
                 (Quarantine.length () > 0);

@@ -596,6 +596,106 @@ let test_graceful_stop () =
   | exception Client.Error (Client.Connect_failed _) -> ());
   Unix.rmdir dir
 
+(* --- session-leak audit ----------------------------------------------- *)
+
+(* [Db.active_sessions] must return to zero after every error path a
+   hostile client or a failing backend can reach: if a worker abandons
+   a request without releasing its session, snapshot reclamation stalls
+   forever.  Workers may still be finishing an abandoned request when
+   the client side returns, so poll briefly before declaring a leak. *)
+let assert_sessions_drained label =
+  let rec wait tries =
+    let n = Uindex.Db.active_sessions () in
+    if n = 0 then ()
+    else if tries = 0 then Alcotest.failf "%s: %d sessions leaked" label n
+    else begin
+      Unix.sleepf 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 100
+
+let test_session_leak_audit () =
+  with_server @@ fun path _server ->
+  Alcotest.(check int) "baseline" 0 (Uindex.Db.active_sessions ());
+  ignore (expect_ok path "query (Red, Vehicle*)");
+  assert_sessions_drained "good query";
+  expect_error path "query (((" "parse_error";
+  expect_error path "query (Red, NoSuchClass*)" "parse_error";
+  assert_sessions_drained "parse errors";
+  (* arity with no matching index: a typed unroutable reply *)
+  expect_error path "query ([1-2], Employee*, Vehicle*)" "unroutable";
+  assert_sessions_drained "unroutable";
+  (* hostile 256 MiB length header *)
+  let fd = raw_connect path in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (256 * 1024 * 1024));
+  ignore (Unix.write fd hdr 0 4);
+  ignore (read_reply fd);
+  Unix.close fd;
+  assert_sessions_drained "oversized frame";
+  (* header promising bytes that never come *)
+  let fd = raw_connect path in
+  Bytes.set_int32_be hdr 0 100l;
+  ignore (Unix.write fd hdr 0 4);
+  Unix.close fd;
+  assert_sessions_drained "truncated frame";
+  (* full request, client gone before the reply is written *)
+  let fd = raw_connect path in
+  Protocol.write_frame fd "query (White, Vehicle*)";
+  Unix.close fd;
+  prove_workers_alive path;
+  assert_sessions_drained "mid-request disconnect"
+
+let test_session_leak_under_chaos () =
+  let module Chaos = Uindex_server.Chaos in
+  let e = Dg.exp1 ~n_vehicles:300 ~seed:3 () in
+  let db = Db.create e.store in
+  Db.attach_index db e.ch_color;
+  Db.attach_index db e.path_age;
+  let svc = Service.create ~schema:e.ext.b.schema db in
+  let dir = Filename.temp_file "uindex_leak" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "srv.sock" in
+  let chaos =
+    { Chaos.none with Chaos.seed = 11; reset = 0.3; crash = 0.3; truncate = 0.2 }
+  in
+  let config =
+    {
+      (Server.default_config (Server.Unix_sock path)) with
+      workers = 2;
+      request_timeout = 2.;
+      chaos = Some (Chaos.arm chaos);
+      restart_budget = 1000;
+    }
+  in
+  let server = Server.start svc config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* hammer the chaotic server; cut connections and crashed workers
+         are expected — leaked sessions are not *)
+      for i = 0 to 39 do
+        let line =
+          match i mod 3 with
+          | 0 -> "query (Red, Vehicle*)"
+          | 1 -> "query ([50-60], Employee*, Company*, Vehicle*)"
+          | _ -> "query (White, Bus*)"
+        in
+        match Client.connect_unix path with
+        | exception Client.Error _ -> ()
+        | c ->
+            (match Client.request c line with
+            | (_ : Json.t) -> ()
+            | exception Client.Error _ -> ());
+            Client.close c
+      done;
+      assert_sessions_drained "chaos mix")
+
 let () =
   Alcotest.run "server"
     [
@@ -624,6 +724,10 @@ let () =
         [
           Alcotest.test_case "stats percentiles" `Quick test_stats_response;
           Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
+          Alcotest.test_case "session-leak audit" `Quick
+            test_session_leak_audit;
+          Alcotest.test_case "session leaks under chaos" `Quick
+            test_session_leak_under_chaos;
         ] );
       ( "telemetry",
         [
